@@ -1,0 +1,75 @@
+"""E1 — Theorem 5.3: A0 middleware cost is O(N^((m-1)/m) * k^(1/m)).
+
+Regenerates the paper's headline scaling claim: for independent atomic
+queries, A0's cost grows with exponent (m-1)/m in N — square root for
+two conjuncts, two-thirds power for three — far below the naive
+algorithm's linear growth.
+"""
+
+from repro.algorithms.fa import FaginA0
+from repro.analysis.bounds import a0_cost_bound
+from repro.analysis.experiments import measure_costs
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.tables import format_table
+from repro.core.tnorms import MINIMUM
+from repro.workloads.skeletons import independent_database
+
+from conftest import print_experiment_header
+
+K = 10
+NS_M2 = (500, 1000, 2000, 4000, 8000)
+NS_M3 = (500, 1000, 2000, 4000)
+
+
+def _sweep(m, ns, trials):
+    rows = []
+    costs = []
+    for n in ns:
+        summary = measure_costs(
+            lambda seed, n=n: independent_database(m, n, seed=seed),
+            FaginA0(),
+            MINIMUM,
+            k=K,
+            trials=trials,
+        )
+        bound = a0_cost_bound(n, m, K)
+        costs.append(summary.mean_sum)
+        rows.append(
+            (n, summary.mean_sum, summary.max_sum, bound,
+             summary.mean_sum / bound)
+        )
+    fit = fit_power_law(ns, costs)
+    return rows, fit
+
+
+def test_e01_cost_scaling_in_n(benchmark, trials):
+    print_experiment_header(
+        "E1",
+        "A0 cost ~ N^((m-1)/m) k^(1/m) (Theorem 5.3); naive is linear",
+    )
+    for m, ns, expected in ((2, NS_M2, 0.5), (3, NS_M3, 2 / 3)):
+        rows, fit = _sweep(m, ns, trials)
+        print(
+            format_table(
+                ("N", "mean S+R", "max S+R", "bound", "cost/bound"),
+                rows,
+                title=f"\nm = {m} conjuncts, k = {K} (independent lists)",
+            )
+        )
+        print(
+            f"fitted exponent: {fit.exponent:.3f} "
+            f"(paper predicts {expected:.3f}), R^2 = {fit.r_squared:.4f}"
+        )
+        assert abs(fit.exponent - expected) < 0.15, (
+            f"scaling exponent {fit.exponent:.3f} strays from "
+            f"{expected:.3f}"
+        )
+
+    # Timed representative run: one A0 evaluation at m=2, N=4000.
+    db = independent_database(2, 4000, seed=0)
+
+    def run():
+        return FaginA0().top_k(db.session(), MINIMUM, K)
+
+    result = benchmark(run)
+    assert result.k == K

@@ -1,0 +1,59 @@
+"""E2 — Theorem 5.3: A0 cost scales as k^(1/m) at fixed N.
+
+The other axis of the bound: at fixed database size, asking for more
+answers costs only the m-th root of k.
+"""
+
+from repro.algorithms.fa import FaginA0
+from repro.analysis.experiments import measure_costs
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.tables import format_table
+from repro.core.tnorms import MINIMUM
+from repro.workloads.skeletons import independent_database
+
+from conftest import print_experiment_header
+
+N = 4000
+KS = (1, 2, 5, 10, 25, 50)
+
+
+def _sweep(m, trials):
+    rows, costs = [], []
+    for k in KS:
+        summary = measure_costs(
+            lambda seed, k=k: independent_database(m, N, seed=seed),
+            FaginA0(),
+            MINIMUM,
+            k=k,
+            trials=trials,
+        )
+        costs.append(summary.mean_sum)
+        rows.append((k, summary.mean_sum, summary.mean_depth))
+    return rows, fit_power_law(KS, costs)
+
+
+def test_e02_cost_scaling_in_k(benchmark, trials):
+    print_experiment_header(
+        "E2", f"A0 cost ~ k^(1/m) at fixed N = {N} (Theorem 5.3)"
+    )
+    for m, expected in ((2, 0.5), (3, 1 / 3)):
+        rows, fit = _sweep(m, trials)
+        print(
+            format_table(
+                ("k", "mean S+R", "mean depth T"),
+                rows,
+                title=f"\nm = {m} lists",
+            )
+        )
+        print(
+            f"fitted exponent in k: {fit.exponent:.3f} "
+            f"(paper predicts {expected:.3f}), R^2 = {fit.r_squared:.4f}"
+        )
+        assert abs(fit.exponent - expected) < 0.16
+
+    db = independent_database(2, N, seed=0)
+
+    def run():
+        return FaginA0().top_k(db.session(), MINIMUM, 50)
+
+    benchmark(run)

@@ -1,0 +1,74 @@
+"""E3 — Section 5 tail bounds: Pr[sorted depth > c*sqrt(N*k)] is tiny.
+
+The paper (citing Wimmers' refined m = 2 analysis, dominant term
+e^(-c^2 k)): "the probability is less than 2 x 10^-8 that more than
+2*sqrt(Nk) objects are accessed by sorted access in each list, and less
+than 4 x 10^-27 [for] 3*sqrt(Nk)". At feasible trial counts we verify
+the empirical exceedance rate is far below the loose c = 1 level and
+exactly zero at c >= 1.5.
+"""
+
+import math
+
+from repro.algorithms.fa import run_sorted_phase
+from repro.analysis.bounds import WIMMERS_EXAMPLES, wimmers_tail_bound
+from repro.analysis.tables import format_table
+from repro.workloads.skeletons import independent_database
+
+from conftest import print_experiment_header
+
+N = 2500
+K = 5
+TRIALS = 300
+CS = (1.0, 1.25, 1.5, 2.0, 3.0)
+
+
+def _depths():
+    depths = []
+    for seed in range(TRIALS):
+        db = independent_database(2, N, seed=seed)
+        state = run_sorted_phase(db.session(), K)
+        depths.append(state.depth)
+    return depths
+
+
+def test_e03_sorted_depth_tail(benchmark):
+    print_experiment_header(
+        "E3",
+        "Pr[per-list sorted depth > c*sqrt(N*k)] collapses in c "
+        "(Wimmers bound, dominant term e^(-c^2 k))",
+    )
+    depths = _depths()
+    sqrt_nk = math.sqrt(N * K)
+    rows = []
+    for c in CS:
+        exceed = sum(d > c * sqrt_nk for d in depths) / len(depths)
+        envelope = wimmers_tail_bound(c, K)
+        quoted = WIMMERS_EXAMPLES.get(int(c)) if c == int(c) else None
+        rows.append(
+            (c, c * sqrt_nk, exceed, envelope, quoted if quoted else "-")
+        )
+    print(
+        format_table(
+            (
+                "c",
+                "c*sqrt(Nk)",
+                f"empirical Pr (n={TRIALS})",
+                "e^(-c^2 k)",
+                "paper's quoted bound",
+            ),
+            rows,
+            title=f"\nN = {N}, k = {K}, m = 2",
+        )
+    )
+    exceed_15 = sum(d > 1.5 * sqrt_nk for d in depths) / len(depths)
+    exceed_20 = sum(d > 2.0 * sqrt_nk for d in depths) / len(depths)
+    assert exceed_15 <= 0.05
+    assert exceed_20 == 0.0  # 2e-8 probability: never at 300 trials
+
+    db = independent_database(2, N, seed=0)
+
+    def run():
+        return run_sorted_phase(db.session(), K).depth
+
+    benchmark(run)

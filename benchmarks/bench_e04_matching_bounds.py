@@ -1,0 +1,96 @@
+"""E4 — Theorems 6.4/6.5: matching upper and lower bounds (Theta).
+
+Two checks:
+
+1. the ratio cost / (N^((m-1)/m) k^(1/m)) stays inside a constant band
+   across two decades of N — the Theta sandwich;
+2. the lower-bound envelope: the fraction of runs with cost below
+   theta * bound never exceeds theta^m (plus sampling noise), for a
+   grid of theta — Theorem 6.4's probability statement, verbatim.
+"""
+
+from repro.algorithms.fa import FaginA0
+from repro.analysis.bounds import a0_cost_bound, lower_bound_probability
+from repro.analysis.experiments import measure_costs, run_trials
+from repro.analysis.tables import format_table
+from repro.core.tnorms import MINIMUM
+from repro.workloads.skeletons import independent_database
+
+from conftest import print_experiment_header
+
+M = 2
+K = 5
+NS = (500, 2000, 8000)
+THETAS = (0.2, 0.35, 0.5, 0.75)
+LB_TRIALS = 120
+LB_N = 2000
+
+
+def test_e04_matching_bounds(benchmark, trials):
+    print_experiment_header(
+        "E4",
+        "Theta(N^((m-1)/m) k^(1/m)): constant-band ratios (upper) and "
+        "the theta^m envelope (lower, Theorem 6.4)",
+    )
+    # --- Theta band -----------------------------------------------------
+    rows, ratios = [], []
+    for n in NS:
+        summary = measure_costs(
+            lambda seed, n=n: independent_database(M, n, seed=seed),
+            FaginA0(),
+            MINIMUM,
+            k=K,
+            trials=trials,
+        )
+        ratio = summary.mean_sum / a0_cost_bound(n, M, K)
+        ratios.append(ratio)
+        rows.append((n, summary.mean_sum, a0_cost_bound(n, M, K), ratio))
+    print(
+        format_table(
+            ("N", "mean S+R", "bound", "cost/bound"),
+            rows,
+            title=f"\nTheta band (m = {M}, k = {K})",
+        )
+    )
+    band = max(ratios) / min(ratios)
+    print(f"band width (max ratio / min ratio): {band:.3f}")
+    assert band < 2.0, "cost/bound ratio should be N-independent"
+
+    # --- Lower-bound envelope -------------------------------------------
+    results = run_trials(
+        lambda seed: independent_database(M, LB_N, seed=seed),
+        FaginA0(),
+        MINIMUM,
+        K,
+        trials=LB_TRIALS,
+    )
+    costs = [r.stats.sum_cost for r in results]
+    bound = a0_cost_bound(LB_N, M, K)
+    rows = []
+    for theta in THETAS:
+        frac = sum(c <= theta * bound for c in costs) / len(costs)
+        envelope = lower_bound_probability(theta, M)
+        rows.append((theta, theta * bound, frac, envelope))
+        assert frac <= envelope + 0.08, (
+            f"theta={theta}: {frac:.3f} beats the theta^m={envelope:.3f} "
+            "envelope"
+        )
+    print(
+        format_table(
+            (
+                "theta",
+                "theta*bound",
+                f"Pr[cost <= theta*bound] (n={LB_TRIALS})",
+                "theta^m limit",
+            ),
+            rows,
+            title=f"\nLower-bound envelope at N = {LB_N}",
+        )
+    )
+
+    db = independent_database(M, LB_N, seed=0)
+
+    def run():
+        return FaginA0().top_k(db.session(), MINIMUM, K)
+
+    benchmark(run)

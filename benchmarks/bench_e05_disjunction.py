@@ -1,0 +1,59 @@
+"""E5 — Theorem 4.5 / Remark 6.1: B0 evaluates max in m*k accesses.
+
+"Algorithm B0 of Theorem 4.5 has middleware cost only mk, independent
+of the size N of the database!" — the lower bound fails because max is
+not strict. The table shows B0's dead-flat cost curve next to A0
+evaluating the same (monotone) max query sublinearly-but-growing.
+"""
+
+from repro.algorithms.disjunction import DisjunctionB0
+from repro.algorithms.fa import FaginA0
+from repro.analysis.experiments import measure_costs
+from repro.analysis.tables import format_table
+from repro.core.tconorms import MAXIMUM
+from repro.workloads.skeletons import independent_database
+
+from conftest import print_experiment_header
+
+M = 2
+K = 10
+NS = (500, 2000, 8000, 32000)
+
+
+def test_e05_b0_flat_cost(benchmark, trials):
+    print_experiment_header(
+        "E5", "B0 cost = m*k independent of N; strict lower bound fails for max"
+    )
+    rows = []
+    for n in NS:
+        b0 = measure_costs(
+            lambda seed, n=n: independent_database(M, n, seed=seed),
+            DisjunctionB0(),
+            MAXIMUM,
+            k=K,
+            trials=trials,
+        )
+        a0 = measure_costs(
+            lambda seed, n=n: independent_database(M, n, seed=seed),
+            FaginA0(),
+            MAXIMUM,
+            k=K,
+            trials=max(3, trials // 2),
+        )
+        assert b0.mean_sum == M * K  # exactly, every trial, every N
+        assert b0.mean_random == 0.0
+        rows.append((n, b0.mean_sum, a0.mean_sum, a0.mean_sum / b0.mean_sum))
+    print(
+        format_table(
+            ("N", "B0 S+R (= m*k)", "A0-on-max S+R", "A0/B0"),
+            rows,
+            title=f"\nm = {M}, k = {K}",
+        )
+    )
+
+    db = independent_database(M, 32000, seed=0)
+
+    def run():
+        return DisjunctionB0().top_k(db.session(), MAXIMUM, K)
+
+    benchmark(run)

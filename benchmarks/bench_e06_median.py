@@ -1,0 +1,69 @@
+"""E6 — Remark 6.1: the median (m = 3) is solvable in O(sqrt(N*k)).
+
+The median is monotone but not strict, so the Omega(N^(2/3)) lower
+bound does not apply — and indeed the subset-min construction (three
+pairwise A0 runs + identity (13)) grows like sqrt(N), while generic A0
+on the same median query grows like N^(2/3).
+"""
+
+from repro.algorithms.fa import FaginA0
+from repro.algorithms.median import MedianTopK
+from repro.analysis.experiments import measure_costs
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.tables import format_table
+from repro.core.means import MEDIAN
+from repro.workloads.skeletons import independent_database
+
+from conftest import print_experiment_header
+
+K = 5
+NS = (500, 1000, 2000, 4000, 8000)
+
+
+def test_e06_median_construction(benchmark, trials):
+    print_experiment_header(
+        "E6",
+        "median via max-of-pairwise-mins: O(sqrt(Nk)) vs A0's N^(2/3) "
+        "(Remark 6.1, identity (13))",
+    )
+    rows, med_costs, a0_costs = [], [], []
+    for n in NS:
+        med = measure_costs(
+            lambda seed, n=n: independent_database(3, n, seed=seed),
+            MedianTopK(),
+            MEDIAN,
+            k=K,
+            trials=trials,
+        )
+        a0 = measure_costs(
+            lambda seed, n=n: independent_database(3, n, seed=seed),
+            FaginA0(),
+            MEDIAN,
+            k=K,
+            trials=max(3, trials // 2),
+        )
+        med_costs.append(med.mean_sum)
+        a0_costs.append(a0.mean_sum)
+        rows.append((n, med.mean_sum, a0.mean_sum, a0.mean_sum / med.mean_sum))
+    med_fit = fit_power_law(NS, med_costs)
+    a0_fit = fit_power_law(NS, a0_costs)
+    print(
+        format_table(
+            ("N", "median-alg S+R", "A0-on-median S+R", "A0/median-alg"),
+            rows,
+            title=f"\nm = 3, k = {K}",
+        )
+    )
+    print(
+        f"median-alg exponent: {med_fit.exponent:.3f} (predicts 0.5); "
+        f"A0 exponent: {a0_fit.exponent:.3f} (predicts 0.667)"
+    )
+    assert med_fit.exponent < a0_fit.exponent - 0.05
+    assert abs(med_fit.exponent - 0.5) < 0.15
+
+    db = independent_database(3, 4000, seed=0)
+
+    def run():
+        return MedianTopK().top_k(db.session(), MEDIAN, K)
+
+    benchmark(run)

@@ -1,0 +1,64 @@
+"""E7 — Theorem 7.1: the query Q AND NOT Q costs Theta(N).
+
+The extreme negative correlation of the self-negated pair forces every
+correct algorithm to touch a linear fraction of the database: A0's
+match depth is exactly ceil((N+k)/2), the naive scan pays 2N, and even
+the negation-aware single-list scan pays N — all linear, as the
+theorem proves unavoidable.
+"""
+
+from repro.algorithms.fa import FaginA0
+from repro.algorithms.hard_query import SelfNegatedScan, hard_query_depth
+from repro.algorithms.naive import NaiveAlgorithm
+from repro.analysis.bounds import hard_query_lower_bound
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.tables import format_table
+from repro.core.tnorms import MINIMUM
+from repro.workloads.correlated import hard_query_database
+
+from conftest import print_experiment_header
+
+NS = (250, 500, 1000, 2000, 4000)
+
+
+def test_e07_hard_query_linear(benchmark):
+    print_experiment_header(
+        "E7",
+        "Q AND NOT Q is provably hard: every algorithm pays Theta(N) "
+        "(Theorem 7.1)",
+    )
+    rows, a0_costs = [], []
+    for n in NS:
+        db = hard_query_database(n, seed=n)
+        a0 = FaginA0().top_k(db.session(), MINIMUM, 1)
+        naive = NaiveAlgorithm().top_k(db.session(), MINIMUM, 1)
+        scan = SelfNegatedScan().top_k(db.session(), MINIMUM, 1)
+        a0_costs.append(a0.stats.sum_cost)
+        assert a0.details["T"] == hard_query_depth(n, 1)
+        assert scan.stats.sum_cost >= hard_query_lower_bound(n)
+        rows.append(
+            (
+                n,
+                a0.stats.sum_cost,
+                naive.stats.sum_cost,
+                scan.stats.sum_cost,
+                a0.stats.sum_cost / n,
+            )
+        )
+    fit = fit_power_law(NS, a0_costs)
+    print(
+        format_table(
+            ("N", "A0 S+R", "naive S+R", "negation-aware scan", "A0 cost/N"),
+            rows,
+            title="\ntop-1 on the self-negated pair (fully fuzzy Q)",
+        )
+    )
+    print(f"A0 growth exponent on the hard query: {fit.exponent:.3f} (linear = 1.0)")
+    assert fit.exponent > 0.9  # linear, not sqrt
+
+    db = hard_query_database(4000, seed=0)
+
+    def run():
+        return SelfNegatedScan().top_k(db.session(), MINIMUM, 1)
+
+    benchmark(run)

@@ -1,0 +1,80 @@
+"""E8 — Section 9: Ullman's algorithm under the two grade regimes.
+
+* Capped regime ("the maximum value of the grades … under A1 is, say,
+  0.9" with A2 uniform): expected stop after <= 10 objects, flat in N.
+* Uniform regime (both lists uniform — Landau's analysis): expected
+  stop Theta(sqrt(N)) — "no better than our algorithm A0".
+"""
+
+import statistics
+
+from repro.algorithms.ullman import UllmanAlgorithm
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.tables import format_table
+from repro.core.tnorms import MINIMUM
+from repro.workloads.distributions import Capped, Uniform
+from repro.workloads.skeletons import independent_database
+
+from conftest import print_experiment_header
+
+NS = (500, 2000, 8000)
+TRIALS = 40
+
+
+def _mean_seen(n, dists):
+    seen = []
+    for seed in range(TRIALS):
+        db = independent_database(
+            2, n, seed=seed, distributions=list(dists)
+        )
+        result = UllmanAlgorithm(stop_rule="paper").top_k(
+            db.session(), MINIMUM, 1
+        )
+        seen.append(result.details["objects_seen"])
+    return statistics.fmean(seen)
+
+
+def test_e08_ullman_regimes(benchmark):
+    print_experiment_header(
+        "E8",
+        "Ullman's algorithm: constant cost when A1 is capped at 0.9; "
+        "Theta(sqrt(N)) when both lists are uniform (Section 9)",
+    )
+    rows, capped_means, uniform_means = [], [], []
+    for n in NS:
+        capped = _mean_seen(n, (Capped(0.9), Uniform()))
+        uniform = _mean_seen(n, (Uniform(), Uniform()))
+        capped_means.append(capped)
+        uniform_means.append(uniform)
+        rows.append((n, capped, uniform, n**0.5))
+    print(
+        format_table(
+            (
+                "N",
+                "capped regime mean seen",
+                "uniform regime mean seen",
+                "sqrt(N)",
+            ),
+            rows,
+            title=f"\nobjects seen before stopping (k = 1, {TRIALS} trials)",
+        )
+    )
+    # Capped: expectation <= 10, flat in N.
+    assert all(mean <= 25 for mean in capped_means)
+    assert max(capped_means) / min(capped_means) < 3.0
+    # Uniform: grows like sqrt(N).
+    fit = fit_power_law(NS, uniform_means)
+    print(f"uniform-regime growth exponent: {fit.exponent:.3f} (Landau: 0.5)")
+    assert 0.3 <= fit.exponent <= 0.7
+
+    db = independent_database(
+        2, 8000, seed=0, distributions=[Capped(0.9), Uniform()]
+    )
+
+    def run():
+        db.session()  # fresh cursors per round
+        return UllmanAlgorithm(stop_rule="paper").top_k(
+            db.session(), MINIMUM, 1
+        )
+
+    benchmark(run)

@@ -1,0 +1,61 @@
+"""E9 — Section 4: the naive algorithm vs A0, the headline table.
+
+"the naive algorithm must retrieve a number of elements that is linear
+in the database size. In contrast … the total number of elements
+retrieved in evaluating the query is sublinear … (in the case of two
+conjuncts, it is of the order of the square root of the database
+size)." The speedup factor must therefore grow like sqrt(N).
+"""
+
+from repro.algorithms.fa import FaginA0
+from repro.algorithms.fa_min import FaginA0Min
+from repro.algorithms.naive import NaiveAlgorithm
+from repro.analysis.experiments import measure_costs
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.tables import format_table
+from repro.core.tnorms import MINIMUM
+from repro.workloads.skeletons import independent_database
+
+from conftest import print_experiment_header
+
+M = 2
+K = 10
+NS = (500, 2000, 8000, 32000)
+
+
+def test_e09_naive_vs_fa(benchmark, trials):
+    print_experiment_header(
+        "E9", "naive (linear) vs A0 / A0' (sublinear): the headline crossover"
+    )
+    rows, speedups = [], []
+    for n in NS:
+        def make(seed, n=n):
+            return independent_database(M, n, seed=seed)
+
+        naive = measure_costs(make, NaiveAlgorithm(), MINIMUM, K, trials=3)
+        a0 = measure_costs(make, FaginA0(), MINIMUM, K, trials=trials)
+        a0p = measure_costs(make, FaginA0Min(), MINIMUM, K, trials=trials)
+        assert naive.mean_sum == M * n
+        speedup = naive.mean_sum / a0.mean_sum
+        speedups.append(speedup)
+        rows.append(
+            (n, naive.mean_sum, a0.mean_sum, a0p.mean_sum, speedup)
+        )
+    print(
+        format_table(
+            ("N", "naive S+R", "A0 S+R", "A0' S+R", "naive/A0 speedup"),
+            rows,
+            title=f"\nm = {M}, k = {K}",
+        )
+    )
+    fit = fit_power_law(NS, speedups)
+    print(f"speedup growth exponent: {fit.exponent:.3f} (sqrt law: 0.5)")
+    assert speedups == sorted(speedups)  # monotone widening gap
+    assert speedups[-1] > 10  # decisive at N = 32000
+
+    db = independent_database(M, 32000, seed=0)
+
+    def run():
+        return FaginA0Min().top_k(db.session(), MINIMUM, K)
+
+    benchmark(run)

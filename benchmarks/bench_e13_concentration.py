@@ -1,0 +1,75 @@
+"""E13 — Lemma 5.1: concentration of random-set intersections.
+
+"Let B1 be a set of l1 members of {1..N}, and let B2 be a random set
+of l2 members … The expected size of B = B1 ∩ B2 is M = l1*l2/N.
+Assume that l1 <= N/10. Then Pr[|B| <= M/2] < e^(-M/10)."
+
+We sample the process directly and compare the empirical undershoot
+rate with the Chernoff envelope.
+"""
+
+import random
+import statistics
+
+import pytest
+
+from repro.analysis.bounds import expected_intersection, lemma51_bound
+from repro.analysis.tables import format_table
+
+from conftest import print_experiment_header
+
+CASES = (
+    # (N, l1, l2) with l1 <= N/10, chosen so M spans ~5 to ~50.
+    (2000, 200, 50),
+    (2000, 200, 200),
+    (5000, 500, 250),
+    (5000, 500, 500),
+)
+TRIALS = 400
+
+
+def _undershoot_rate(n, l1, l2, rng):
+    m_expected = expected_intersection(l1, l2, n)
+    b1 = set(range(1, l1 + 1))
+    hits = 0
+    for __ in range(TRIALS):
+        b2 = rng.sample(range(1, n + 1), l2)
+        if len(b1.intersection(b2)) <= m_expected / 2:
+            hits += 1
+    return hits / TRIALS, m_expected
+
+
+def test_e13_lemma51_concentration(benchmark):
+    print_experiment_header(
+        "E13", "Lemma 5.1: Pr[|B1 ∩ B2| <= M/2] < e^(-M/10)"
+    )
+    rng = random.Random(99)
+    rows = []
+    for n, l1, l2 in CASES:
+        rate, m_expected = _undershoot_rate(n, l1, l2, rng)
+        envelope = lemma51_bound(m_expected)
+        rows.append((n, l1, l2, m_expected, rate, envelope))
+        assert rate <= envelope + 0.05, (
+            f"N={n}, l1={l1}, l2={l2}: empirical {rate} exceeds "
+            f"envelope {envelope}"
+        )
+    print(
+        format_table(
+            ("N", "l1", "l2", "M = l1*l2/N",
+             f"empirical Pr (n={TRIALS})", "e^(-M/10)"),
+            rows,
+        )
+    )
+    # Also verify the expectation itself (the easy half of the lemma).
+    sizes = [
+        len(set(range(1, 201)).intersection(rng.sample(range(1, 2001), 200)))
+        for __ in range(TRIALS)
+    ]
+    assert statistics.fmean(sizes) == pytest.approx(20.0, rel=0.15)
+
+    def run():
+        sampler = random.Random(1)
+        b1 = set(range(1, 201))
+        return len(b1.intersection(sampler.sample(range(1, 2001), 200)))
+
+    benchmark(run)

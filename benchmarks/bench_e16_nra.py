@@ -1,0 +1,95 @@
+"""E16 — extension: the no-random-access trade-off.
+
+Quantifies what giving up random access costs (and saves). NRA's
+sorted phase runs deeper than A0's (it must wait for upper bounds to
+fall below the k-th exact grade, not merely for k matches), but it
+performs zero random accesses — so under the weighted middleware cost
+c1*S + c2*R of Section 5, the winner flips as c2/c1 grows. The table
+locates the crossover, which calibrates the planner's
+EXPENSIVE_RANDOM_ACCESS_RATIO heuristic.
+"""
+
+import statistics
+
+from repro.access.cost import CostModel
+from repro.algorithms.fa import FaginA0
+from repro.algorithms.fa_min import FaginA0Min
+from repro.algorithms.nra import NoRandomAccessAlgorithm
+from repro.analysis.tables import format_table
+from repro.core.tnorms import MINIMUM
+from repro.workloads.skeletons import independent_database
+
+from conftest import print_experiment_header
+
+N = 2000
+K = 10
+TRIALS = 8
+RATIOS = (1.0, 2.0, 5.0, 10.0, 50.0)
+
+
+def _mean_stats(alg):
+    stats = []
+    for seed in range(TRIALS):
+        db = independent_database(2, N, seed=seed)
+        stats.append(alg.top_k(db.session(), MINIMUM, K).stats)
+    return stats
+
+
+def test_e16_nra_tradeoff(benchmark):
+    print_experiment_header(
+        "E16",
+        "NRA (sorted access only) vs A0/A0': the c2/c1 crossover "
+        "(weighted middleware cost of Section 5)",
+    )
+    per_alg = {
+        "A0": _mean_stats(FaginA0()),
+        "A0'": _mean_stats(FaginA0Min()),
+        "NRA": _mean_stats(NoRandomAccessAlgorithm()),
+    }
+    print(
+        format_table(
+            ("algorithm", "mean S", "mean R"),
+            [
+                (
+                    name,
+                    statistics.fmean(s.sorted_cost for s in stats),
+                    statistics.fmean(s.random_cost for s in stats),
+                )
+                for name, stats in per_alg.items()
+            ],
+            title=f"\naccess profile (N = {N}, k = {K}, m = 2)",
+        )
+    )
+
+    rows = []
+    for ratio in RATIOS:
+        model = CostModel(sorted_weight=1.0, random_weight=ratio)
+        costs = {
+            name: statistics.fmean(s.middleware_cost(model) for s in stats)
+            for name, stats in per_alg.items()
+        }
+        winner = min(costs, key=costs.get)
+        rows.append(
+            (ratio, costs["A0"], costs["A0'"], costs["NRA"], winner)
+        )
+    print(
+        format_table(
+            ("c2/c1", "A0 cost", "A0' cost", "NRA cost", "winner"),
+            rows,
+            title="\nweighted middleware cost c1*S + c2*R",
+        )
+    )
+    # NRA performs no random access, so its weighted cost is flat in the
+    # ratio; the randomized algorithms grow linearly — NRA must win for
+    # large ratios and typically already at moderate ones.
+    assert rows[-1][4] == "NRA"
+    nra_costs = [r[3] for r in rows]
+    assert max(nra_costs) == min(nra_costs)  # flat in c2
+    assert rows[0][1] <= rows[-1][1]  # A0's weighted cost grows
+
+    db = independent_database(2, N, seed=0)
+
+    def run():
+        return NoRandomAccessAlgorithm().top_k(db.session(), MINIMUM, K)
+
+    benchmark(run)

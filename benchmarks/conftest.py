@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eNN_*.py`` regenerates one experiment from DESIGN.md's
+index: it prints the table EXPERIMENTS.md records (who wins, growth
+exponents, crossovers) and registers one representative run with
+pytest-benchmark for wall-clock tracking.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_experiment_header(experiment_id: str, claim: str) -> None:
+    """A uniform banner so bench output reads like EXPERIMENTS.md."""
+    print()
+    print("=" * 72)
+    print(f"{experiment_id}: {claim}")
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def trials() -> int:
+    """Default number of random-database trials per configuration."""
+    return 10

@@ -1,0 +1,60 @@
+"""The provably hard query Q AND NOT Q (Section 7).
+
+Demonstrates the paper's negative result live: on the self-negated
+pair of lists, Fagin's Algorithm — provably optimal for independent
+conjuncts — degrades to a full linear scan, because the second list's
+order is exactly the reverse of the first's and the prefix intersection
+stays empty until depth N/2. Theorem 7.1 shows this is not A0's fault:
+*every* correct algorithm pays Theta(N) here.
+
+Run:  python examples/hard_query.py
+"""
+
+from repro import FaginA0, MINIMUM, NaiveAlgorithm
+from repro.algorithms.hard_query import SelfNegatedScan, hard_query_depth
+from repro.workloads import hard_query_database, independent_database
+
+NS = (500, 1000, 2000, 4000)
+K = 1
+
+
+def main() -> None:
+    print("Q AND NOT Q, Q fully fuzzy: mu peaks at 1/2 for the object "
+          "whose mu_Q is closest to 1/2 (Section 7)\n")
+    header = (f"{'N':>6s}  {'A0 hard':>9s}  {'A0 indep':>9s}  "
+              f"{'naive':>7s}  {'aware scan':>10s}  {'T = (N+k)/2':>12s}")
+    print(header)
+    for n in NS:
+        hard = hard_query_database(n, seed=n)
+        indep = independent_database(2, n, seed=n)
+
+        a0_hard = FaginA0().top_k(hard.session(), MINIMUM, K)
+        a0_indep = FaginA0().top_k(indep.session(), MINIMUM, K)
+        naive = NaiveAlgorithm().top_k(hard.session(), MINIMUM, K)
+        scan = SelfNegatedScan().top_k(hard.session(), MINIMUM, K)
+
+        print(f"{n:6d}  {a0_hard.stats.sum_cost:9d}  "
+              f"{a0_indep.stats.sum_cost:9d}  {naive.stats.sum_cost:7d}  "
+              f"{scan.stats.sum_cost:10d}  {hard_query_depth(n, K):12d}")
+
+    print("\nreading the table:")
+    print("  * 'A0 hard'   — A0 on the self-negated pair: linear in N")
+    print("    (its sorted phase must reach depth (N+k)/2 before the")
+    print("    first match appears — the reversed permutation keeps the")
+    print("    prefix intersection empty until the middle).")
+    print("  * 'A0 indep'  — the same algorithm on independent lists of")
+    print("    the same size: ~2*sqrt(N), the Theorem 5.3 regime.")
+    print("  * 'aware scan' — even knowing list 2 = 1 - list 1 only")
+    print("    halves the constant (N instead of 2N): Theorem 7.1's")
+    print("    Omega(N) lower bound is about information, not cleverness.")
+
+    n = 2000
+    hard = hard_query_database(n, seed=1)
+    result = SelfNegatedScan().top_k(hard.session(), MINIMUM, 3)
+    print(f"\ntop 3 answers at N={n} (grades approach but never exceed 0.5):")
+    for rank, (obj, grade) in enumerate(result.items, start=1):
+        print(f"  {rank}. object {obj:6} grade {grade:.6f}")
+
+
+if __name__ == "__main__":
+    main()

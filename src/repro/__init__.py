@@ -1,0 +1,137 @@
+"""repro — a reproduction of Fagin's *Combining Fuzzy Information from
+Multiple Systems* (PODS 1996 / JCSS 58:83-99, 1999).
+
+The library implements the paper's graded-set semantics, the full
+catalogue of fuzzy aggregation functions, the sorted/random access
+middleware cost model, and the evaluation algorithms — most notably
+**Fagin's Algorithm (A0)** for top-k retrieval over multiple ranked
+sources — together with a Garlic-style federated middleware, simulated
+subsystems (relational / QBIC-like image search / text retrieval), the
+Section 5 probabilistic workload model, and a benchmark harness that
+regenerates every quantitative claim in the paper.
+
+Quick start::
+
+    from repro import Garlic, FaginA0, MINIMUM
+    from repro.workloads import independent_database
+
+    db = independent_database(num_lists=2, num_objects=10_000, seed=0)
+    result = FaginA0().top_k(db.session(), MINIMUM, k=10)
+    print(result.items, result.stats)   # ~2*sqrt(N*k) accesses, not 2N
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced results.
+"""
+
+from repro.access import (
+    AccessStats,
+    CostModel,
+    CostTracker,
+    GradedItem,
+    MaterializedSource,
+    MiddlewareSession,
+    ScoringDatabase,
+    Skeleton,
+    SortedRandomSource,
+)
+from repro.algorithms import (
+    DisjunctionB0,
+    FaginA0,
+    FaginA0Min,
+    IncrementalFagin,
+    MedianTopK,
+    NaiveAlgorithm,
+    ThresholdAlgorithm,
+    TopKAlgorithm,
+    TopKResult,
+    UllmanAlgorithm,
+    choose_algorithm,
+    is_valid_top_k,
+)
+from repro.core import (
+    ALGEBRAIC_PRODUCT,
+    ARITHMETIC_MEAN,
+    GEOMETRIC_MEAN,
+    MAXIMUM,
+    MEDIAN,
+    MINIMUM,
+    STANDARD_FUZZY,
+    AggregationFunction,
+    And,
+    AtomicQuery,
+    FuzzySemantics,
+    GradedSet,
+    Not,
+    Or,
+    Query,
+    TConorm,
+    TNorm,
+    Weighted,
+    atom,
+)
+from repro.middleware import Garlic, parse_query, render_query
+from repro.subsystems import (
+    QbicSubsystem,
+    RelationalSubsystem,
+    Subsystem,
+    SyntheticSubsystem,
+    TextSubsystem,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "GradedSet",
+    "AggregationFunction",
+    "TNorm",
+    "TConorm",
+    "MINIMUM",
+    "MAXIMUM",
+    "ALGEBRAIC_PRODUCT",
+    "ARITHMETIC_MEAN",
+    "GEOMETRIC_MEAN",
+    "MEDIAN",
+    "FuzzySemantics",
+    "STANDARD_FUZZY",
+    "Query",
+    "AtomicQuery",
+    "And",
+    "Or",
+    "Not",
+    "Weighted",
+    "atom",
+    # access
+    "GradedItem",
+    "AccessStats",
+    "CostModel",
+    "CostTracker",
+    "SortedRandomSource",
+    "MaterializedSource",
+    "MiddlewareSession",
+    "ScoringDatabase",
+    "Skeleton",
+    # algorithms
+    "TopKAlgorithm",
+    "TopKResult",
+    "FaginA0",
+    "FaginA0Min",
+    "IncrementalFagin",
+    "DisjunctionB0",
+    "MedianTopK",
+    "UllmanAlgorithm",
+    "NaiveAlgorithm",
+    "ThresholdAlgorithm",
+    "choose_algorithm",
+    "is_valid_top_k",
+    # middleware & subsystems
+    "Garlic",
+    "parse_query",
+    "render_query",
+    "Subsystem",
+    "RelationalSubsystem",
+    "QbicSubsystem",
+    "TextSubsystem",
+    "SyntheticSubsystem",
+]

@@ -1,0 +1,248 @@
+"""The subsystem access interface of Section 4.
+
+    "In response to a subquery … the subsystem will output the graded
+    set consisting of all objects, one by one, along with their grades
+    under the subquery, in sorted order based on grade, until Garlic
+    tells the subsystem to stop. Then Garlic could later tell the
+    subsystem to resume outputting the graded set where it left off.
+    … We refer to such types of access as 'sorted access.'
+
+    There is another way that we could expect Garlic to interact with
+    the subsystem. Garlic could ask the subsystem the grade (with
+    respect to a query) of any given object. We refer to this as
+    'random access.'"
+
+:class:`SortedRandomSource` is that interface; algorithms can reach
+grades *only* through it, so the access accounting is airtight by
+construction. :class:`MaterializedSource` backs it with an in-memory
+ranking (scoring databases, test fixtures); subsystem adapters in
+:mod:`repro.subsystems` provide lazily-evaluated implementations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping, Sequence
+
+from repro.access.cost import CostTracker
+from repro.access.types import GradedItem, ObjectId
+from repro.core.grades import validate_grade
+from repro.exceptions import ExhaustedSourceError, UnknownObjectError
+
+__all__ = [
+    "SortedRandomSource",
+    "MaterializedSource",
+    "InstrumentedSource",
+    "StreamOnlySource",
+    "rank_items",
+]
+
+
+def rank_items(
+    grades: Mapping[ObjectId, float] | Iterable[tuple[ObjectId, float]],
+) -> tuple[GradedItem, ...]:
+    """Sort (object, grade) pairs into a sorted-access ranking.
+
+    Descending by grade; ties broken deterministically by object repr —
+    one concrete choice of the "skeleton" a tied graded set is
+    consistent with (Section 5 allows any).
+    """
+    pairs = grades.items() if isinstance(grades, Mapping) else grades
+    items = [GradedItem(obj, validate_grade(g, context=f"object {obj!r}")) for obj, g in pairs]
+    items.sort(key=lambda it: (-it.grade, repr(it.obj)))
+    return tuple(items)
+
+
+class SortedRandomSource(ABC):
+    """One ranked list, reachable by sorted and random access only."""
+
+    name: str = "source"
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Total number of objects in the list."""
+
+    @property
+    @abstractmethod
+    def position(self) -> int:
+        """How many objects sorted access has delivered so far."""
+
+    @abstractmethod
+    def next_sorted(self) -> GradedItem:
+        """Deliver the next object in descending grade order.
+
+        Raises :class:`ExhaustedSourceError` past the end.
+        """
+
+    @abstractmethod
+    def random_access(self, obj: ObjectId) -> float:
+        """The grade of ``obj`` under this source's subquery.
+
+        Raises :class:`UnknownObjectError` for foreign objects.
+        """
+
+    @abstractmethod
+    def restart(self) -> None:
+        """Reset the sorted-access cursor to the top of the list.
+
+        Models re-issuing the subquery to the subsystem; any accesses
+        after a restart are charged again (they are real accesses).
+        """
+
+    @property
+    def exhausted(self) -> bool:
+        """True iff sorted access has delivered every object."""
+        return self.position >= len(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"{self.position}/{len(self)}>"
+        )
+
+
+class MaterializedSource(SortedRandomSource):
+    """A source backed by a fully materialised ranking.
+
+    Parameters
+    ----------
+    name:
+        Label used in errors and reprs.
+    ranking:
+        The graded set in sorted order — either pre-ranked
+        :class:`GradedItem` objects (must be non-increasing in grade)
+        or any mapping/pairs, which are ranked with :func:`rank_items`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ranking: Sequence[GradedItem] | Mapping[ObjectId, float] | Iterable[tuple],
+    ) -> None:
+        self.name = name
+        if isinstance(ranking, Sequence) and all(
+            isinstance(it, GradedItem) for it in ranking
+        ):
+            items = tuple(ranking)
+            for earlier, later in zip(items, items[1:]):
+                if later.grade > earlier.grade:
+                    raise ValueError(
+                        f"ranking for {name!r} is not sorted: "
+                        f"{earlier!r} precedes {later!r}"
+                    )
+        else:
+            items = rank_items(ranking)  # type: ignore[arg-type]
+        self._items = items
+        self._grades = {it.obj: it.grade for it in items}
+        if len(self._grades) != len(items):
+            raise ValueError(f"ranking for {name!r} contains duplicate objects")
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def position(self) -> int:
+        return self._cursor
+
+    def next_sorted(self) -> GradedItem:
+        if self._cursor >= len(self._items):
+            raise ExhaustedSourceError(self.name)
+        item = self._items[self._cursor]
+        self._cursor += 1
+        return item
+
+    def random_access(self, obj: ObjectId) -> float:
+        try:
+            return self._grades[obj]
+        except KeyError:
+            raise UnknownObjectError(obj, self.name) from None
+
+    def restart(self) -> None:
+        self._cursor = 0
+
+    def ranking(self) -> tuple[GradedItem, ...]:
+        """The full ranking (for tests and ground-truth computation).
+
+        Not part of the access interface — algorithms must not use it.
+        """
+        return self._items
+
+
+class StreamOnlySource(SortedRandomSource):
+    """A source whose random access capability is disabled.
+
+    Models subsystems that can only stream ranked results (Section 4's
+    footnote 5 assumes QBIC *can* do random accesses — this wrapper is
+    the subsystem that cannot). Algorithms restricted to sorted access
+    (B0, NRA, naive) run unchanged; anything attempting random access
+    fails loudly instead of silently miscounting.
+    """
+
+    def __init__(self, inner: SortedRandomSource) -> None:
+        self._inner = inner
+        self.name = f"{inner.name} (stream-only)"
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    @property
+    def position(self) -> int:
+        return self._inner.position
+
+    def next_sorted(self) -> GradedItem:
+        return self._inner.next_sorted()
+
+    def random_access(self, obj: ObjectId) -> float:
+        from repro.exceptions import SubsystemCapabilityError
+
+        raise SubsystemCapabilityError(
+            f"source {self.name!r} does not support random access"
+        )
+
+    def restart(self) -> None:
+        self._inner.restart()
+
+
+class InstrumentedSource(SortedRandomSource):
+    """Wraps any source, charging every access to a shared tracker.
+
+    ``list_index`` identifies which list this source is in the
+    tracker's per-list accounting (Section 5 counts costs per list,
+    e.g. "the top 100 objects from the first list and the top 20
+    objects from the second list … sorted access cost 120").
+    """
+
+    def __init__(
+        self, inner: SortedRandomSource, tracker: CostTracker, list_index: int
+    ) -> None:
+        if not 0 <= list_index < tracker.num_lists:
+            raise ValueError(
+                f"list index {list_index} out of range for tracker with "
+                f"{tracker.num_lists} lists"
+            )
+        self._inner = inner
+        self._tracker = tracker
+        self._list_index = list_index
+        self.name = inner.name
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    @property
+    def position(self) -> int:
+        return self._inner.position
+
+    def next_sorted(self) -> GradedItem:
+        item = self._inner.next_sorted()
+        # Charge only on success: an ExhaustedSourceError delivers no object.
+        self._tracker.charge_sorted(self._list_index)
+        return item
+
+    def random_access(self, obj: ObjectId) -> float:
+        grade = self._inner.random_access(obj)
+        self._tracker.charge_random(self._list_index)
+        return grade
+
+    def restart(self) -> None:
+        self._inner.restart()

@@ -1,0 +1,86 @@
+"""Tie handling: the definitional subtleties of Section 5.
+
+    "A scoring database can be consistent with more than one skeleton
+    if there are ties, that is, if for some i two distinct objects have
+    the same grade in the ith graded set. … Because of ties, the sorted
+    access cost might depend on which skeleton was used during the
+    course of the algorithm."
+
+This module enumerates the skeletons a (tied) scoring database is
+consistent with, so tests can check that A0 returns *a* correct top-k
+answer under every skeleton, and that worst-case-over-skeleton cost
+definitions (``sortedcost(A, S)`` as a max over consistent databases)
+behave as Remark 6.3 describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from repro.access.scoring_database import ScoringDatabase, Skeleton
+from repro.access.types import ObjectId
+
+__all__ = ["tie_groups", "consistent_skeletons", "count_consistent_skeletons"]
+
+
+def tie_groups(
+    database: ScoringDatabase, list_index: int
+) -> list[tuple[float, tuple[ObjectId, ...]]]:
+    """Group list ``i``'s objects by grade, in descending grade order.
+
+    Each group of size > 1 is a tie: its members may appear in any
+    relative order in a consistent skeleton.
+    """
+    ranking = database.ranking(list_index)
+    groups: list[tuple[float, tuple[ObjectId, ...]]] = []
+    for grade, members in itertools.groupby(ranking, key=lambda it: it.grade):
+        groups.append((grade, tuple(it.obj for it in members)))
+    return groups
+
+
+def _list_orders(
+    groups: Sequence[tuple[float, tuple[ObjectId, ...]]]
+) -> Iterator[tuple[ObjectId, ...]]:
+    """All descending-grade orders realisable from the tie groups."""
+    per_group = [itertools.permutations(members) for _, members in groups]
+    for choice in itertools.product(*per_group):
+        order: list[ObjectId] = []
+        for chunk in choice:
+            order.extend(chunk)
+        yield tuple(order)
+
+
+def consistent_skeletons(
+    database: ScoringDatabase, limit: int | None = 1000
+) -> Iterator[Skeleton]:
+    """Yield every skeleton ``database`` is consistent with.
+
+    The count is the product over lists of the factorials of tie-group
+    sizes, which explodes quickly — ``limit`` guards against runaway
+    enumeration (raise it explicitly for exhaustive small cases, or
+    pass ``None`` for no cap).
+    """
+    all_groups = [
+        tie_groups(database, i) for i in range(database.num_lists)
+    ]
+    produced = 0
+    for perms in itertools.product(*(_list_orders(g) for g in all_groups)):
+        if limit is not None and produced >= limit:
+            raise ValueError(
+                f"more than {limit} consistent skeletons; raise the limit "
+                "or use count_consistent_skeletons first"
+            )
+        produced += 1
+        yield Skeleton(tuple(perms))
+
+
+def count_consistent_skeletons(database: ScoringDatabase) -> int:
+    """How many skeletons the database is consistent with (exact count)."""
+    import math
+
+    total = 1
+    for i in range(database.num_lists):
+        for _, members in tie_groups(database, i):
+            total *= math.factorial(len(members))
+    return total

@@ -1,0 +1,36 @@
+"""Shared value types for the access layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.grades import validate_grade
+
+ObjectId = Hashable
+
+__all__ = ["ObjectId", "GradedItem"]
+
+
+@dataclass(frozen=True)
+class GradedItem:
+    """One (object, grade) pair as delivered by a subsystem.
+
+    This is the unit of *sorted access* (Section 4): "the subsystem
+    will output the graded set consisting of all objects, one by one,
+    along with their grades under the subquery, in sorted order based
+    on grade".
+    """
+
+    obj: ObjectId
+    grade: float
+
+    def __post_init__(self) -> None:
+        validate_grade(self.grade, context=f"item {self.obj!r}")
+
+    def __iter__(self):
+        """Allow ``obj, grade = item`` unpacking."""
+        return iter((self.obj, self.grade))
+
+    def __repr__(self) -> str:
+        return f"({self.obj!r}, {self.grade:.4g})"

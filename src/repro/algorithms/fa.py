@@ -1,0 +1,265 @@
+"""Algorithm A0 — Fagin's Algorithm (Section 4).
+
+    "The algorithm consists of three phases: sorted access, random
+    access, and computation.
+
+    Sorted access phase: For each i, give subsystem i the query Ai
+    under sorted access. … Wait until there are at least k 'matches';
+    that is, wait until there is a set L of at least k objects such
+    that each subsystem has output all of the members of L.
+
+    Random access phase: For each object x that has been seen, do
+    random access to each subsystem j to find mu_Aj(x).
+
+    Computation phase: Compute the grade mu_Q(x) = t(mu_A1(x), ...,
+    mu_Am(x)) for each object x that has been seen. Let Y be a set
+    containing the k objects that have been seen with highest grades
+    (ties are broken arbitrarily). The output is then the graded set
+    {(x, mu_Q(x)) | x in Y}."
+
+Correct for every *monotone* query (Theorem 4.2, via the
+upward-closure Proposition 4.1); middleware cost
+O(N^((m-1)/m) * k^(1/m)) with arbitrarily high probability when the
+atomic queries are independent (Theorem 5.3), which is optimal for
+monotone-and-strict queries (Theorem 6.5).
+
+This module also provides :class:`IncrementalFagin`, implementing the
+paper's observation that "after finding the top k answers, in order to
+find the next k best answers we can 'continue where we left off.'"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.access.session import MiddlewareSession
+from repro.access.types import ObjectId
+from repro.algorithms.base import TopKAlgorithm, TopKResult, top_k_of
+from repro.core.aggregation import AggregationFunction
+from repro.exceptions import ExhaustedSourceError, InsufficientObjectsError
+
+__all__ = ["SortedPhaseState", "run_sorted_phase", "FaginA0", "IncrementalFagin"]
+
+
+@dataclass
+class SortedPhaseState:
+    """Everything the sorted-access phase of A0 discovers.
+
+    Shared by A0 itself, A0-prime (:mod:`repro.algorithms.fa_min`) and
+    the variants (:mod:`repro.algorithms.fa_variants`), which differ
+    only in how they use this state afterwards.
+
+    Attributes
+    ----------
+    seen:
+        For each object seen under sorted access, the grades discovered
+        so far, keyed by list index.
+    order_by_list:
+        X^i_T in delivery order — ``order_by_list[i][r]`` is the object
+        at rank ``r + 1`` of list i.
+    matched:
+        L — the objects output by *every* list (at least k of them once
+        the phase ends).
+    depth:
+        T — the uniform number of sorted accesses made to each list.
+    """
+
+    seen: dict[ObjectId, dict[int, float]] = field(default_factory=dict)
+    order_by_list: list[list[ObjectId]] = field(default_factory=list)
+    matched: set[ObjectId] = field(default_factory=set)
+    depth: int = 0
+
+
+def run_sorted_phase(
+    session: MiddlewareSession,
+    k: int,
+    state: SortedPhaseState | None = None,
+    stop_mid_round: bool = False,
+) -> SortedPhaseState:
+    """Run (or resume) A0's sorted access phase until |L| >= k.
+
+    Lists are advanced in lockstep, one object per list per round, so
+    all lists reach the same depth T — matching the algorithm as
+    stated. With ``stop_mid_round`` the phase returns as soon as the
+    k-th match appears, even mid-round (one of Section 4's "minor
+    improvements"; saves at most m-1 accesses per round).
+
+    Resuming with an existing ``state`` continues where the previous
+    phase left off (sources keep their cursors), which is what
+    :class:`IncrementalFagin` uses for next-k queries.
+    """
+    if state is None:
+        state = SortedPhaseState()
+    m = session.num_lists
+    if not state.order_by_list:
+        state.order_by_list = [[] for _ in range(m)]
+
+    while len(state.matched) < k:
+        progressed = False
+        for i, source in enumerate(session.sources):
+            if source.exhausted:
+                continue
+            try:
+                item = source.next_sorted()
+            except ExhaustedSourceError:  # pragma: no cover - guarded above
+                continue
+            progressed = True
+            state.order_by_list[i].append(item.obj)
+            by_list = state.seen.setdefault(item.obj, {})
+            by_list[i] = item.grade
+            if len(by_list) == m:
+                state.matched.add(item.obj)
+                if stop_mid_round and len(state.matched) >= k:
+                    break
+        state.depth = max(len(lst) for lst in state.order_by_list)
+        if not progressed:
+            # All lists exhausted: every object has been seen in every
+            # list, so |matched| = N. If that is still below k the
+            # caller asked for more answers than objects exist.
+            if len(state.matched) < k:
+                raise InsufficientObjectsError(k, len(state.matched))
+            break
+    return state
+
+
+def complete_random_phase(
+    session: MiddlewareSession, state: SortedPhaseState
+) -> None:
+    """A0's random access phase: fill in every missing grade.
+
+    "For each object x that has been seen, do random access to each
+    subsystem j to find mu_Aj(x)." Grades already known from sorted
+    access are not re-fetched ("if x in X^j_T, then mu_Aj(x) has
+    already been determined, so random access is not needed").
+    """
+    m = session.num_lists
+    for obj, by_list in state.seen.items():
+        for j in range(m):
+            if j not in by_list:
+                by_list[j] = session.sources[j].random_access(obj)
+
+
+class FaginA0(TopKAlgorithm):
+    """Algorithm A0, exactly as given in Section 4.
+
+    Correctness requires the aggregation to be monotone
+    (Theorem 4.2) — this is asserted against the aggregation's
+    declared flag unless ``trust_caller`` is set (the cost experiments
+    never need to disable it; the flag exists so users can run A0 on
+    aggregations they have classified themselves).
+
+    Result ``details``: ``T`` (sorted depth), ``matches`` (|L|),
+    ``seen`` (number of distinct objects accessed).
+    """
+
+    name = "A0"
+
+    def __init__(self, trust_caller: bool = False) -> None:
+        self._trust_caller = trust_caller
+
+    def _run(
+        self,
+        session: MiddlewareSession,
+        aggregation: AggregationFunction,
+        k: int,
+    ) -> TopKResult:
+        if not aggregation.monotone and not self._trust_caller:
+            raise ValueError(
+                f"A0 is only guaranteed correct for monotone queries "
+                f"(Theorem 4.2); {aggregation.name!r} is declared "
+                "non-monotone. Pass trust_caller=True to override."
+            )
+        state = run_sorted_phase(session, k)
+        complete_random_phase(session, state)
+        m = session.num_lists
+        scored = {
+            obj: aggregation(*(by_list[j] for j in range(m)))
+            for obj, by_list in state.seen.items()
+        }
+        return TopKResult(
+            items=top_k_of(scored, k),
+            stats=session.tracker.snapshot(),
+            algorithm=self.name,
+            details={
+                "T": state.depth,
+                "matches": len(state.matched),
+                "seen": len(state.seen),
+            },
+        )
+
+
+class IncrementalFagin:
+    """Resumable A0: repeated next-k batches over one session.
+
+    The paper: "the algorithm has the nice feature that after finding
+    the top k answers, in order to find the next k best answers we can
+    'continue where we left off.'"
+
+    Each :meth:`next_batch` call extends the sorted phase until the
+    match set is large enough to certify the next batch, reuses every
+    grade discovered so far (no repeated accesses for known grades),
+    and excludes the already-returned answers.
+
+    >>> # doctest-style sketch; see examples/quickstart.py for a runnable one
+    >>> # inc = IncrementalFagin(session, MINIMUM)
+    >>> # first10 = inc.next_batch(10); next10 = inc.next_batch(10)
+    """
+
+    def __init__(
+        self, session: MiddlewareSession, aggregation: AggregationFunction
+    ) -> None:
+        if not aggregation.monotone:
+            raise ValueError(
+                "IncrementalFagin requires a monotone aggregation "
+                "(Theorem 4.2)"
+            )
+        self._session = session
+        self._aggregation = aggregation
+        self._state = SortedPhaseState()
+        self._returned: list[ObjectId] = []
+
+    @property
+    def returned(self) -> tuple[ObjectId, ...]:
+        """Objects already output, in output order."""
+        return tuple(self._returned)
+
+    def next_batch(self, k: int) -> TopKResult:
+        """The next ``k`` best answers after those already returned.
+
+        Correctness: once |L| >= r + k (r answers already returned),
+        Proposition 4.1 puts the true top r + k objects inside the seen
+        set; the previously returned objects are exactly a valid top-r,
+        so ranking the remaining seen objects yields a valid next-k.
+        """
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        total_needed = len(self._returned) + k
+        if total_needed > self._session.num_objects:
+            raise InsufficientObjectsError(
+                total_needed, self._session.num_objects
+            )
+        before = self._session.tracker.snapshot()
+        run_sorted_phase(self._session, total_needed, state=self._state)
+        complete_random_phase(self._session, self._state)
+        m = self._session.num_lists
+        excluded = set(self._returned)
+        scored = {
+            obj: self._aggregation(*(by_list[j] for j in range(m)))
+            for obj, by_list in self._state.seen.items()
+            if obj not in excluded
+        }
+        items = top_k_of(scored, k)
+        self._returned.extend(item.obj for item in items)
+        after = self._session.tracker.snapshot()
+        from repro.access.cost import AccessStats
+
+        delta = AccessStats(
+            tuple(a - b for a, b in zip(after.sorted_by_list, before.sorted_by_list)),
+            tuple(a - b for a, b in zip(after.random_by_list, before.random_by_list)),
+        )
+        return TopKResult(
+            items=items,
+            stats=delta,
+            algorithm="A0-incremental",
+            details={"T": self._state.depth, "batch_start": len(excluded)},
+        )

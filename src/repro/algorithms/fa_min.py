@@ -1,0 +1,94 @@
+"""Algorithm A0' — the candidates refinement for t = min (Section 4).
+
+    "Let i0 and x0 be as in Proposition 4.3. Let g0 = mu_Q(x0).
+    Intuitively, i0 is a subsystem that has shown the smallest grade g0
+    in the sorted access phase of algorithm A0, and x0 is an object
+    with this smallest grade g0 in subsystem i0. By the min rule, x0
+    has overall grade g0. Define the candidates to be the objects
+    x in X^{i0}_T with mu_{Ai0}(x) >= g0. … algorithm A0' has better
+    performance than A0, since we do random access only for the
+    candidates, each of which is a member of X^{i0}_T, rather than for
+    all of U_i X^i_T."
+
+Correct for the standard fuzzy conjunction, i.e. t = min
+(Theorem 4.4, via the strengthened upward-closure Proposition 4.3).
+The improvement over A0 is a constant factor in random accesses —
+quantified empirically by experiment E11.
+"""
+
+from __future__ import annotations
+
+from repro.access.session import MiddlewareSession
+from repro.algorithms.base import TopKAlgorithm, TopKResult, top_k_of
+from repro.algorithms.fa import run_sorted_phase
+from repro.core.aggregation import AggregationFunction
+from repro.core.tnorms import MinimumTNorm
+
+__all__ = ["FaginA0Min"]
+
+
+class FaginA0Min(TopKAlgorithm):
+    """Algorithm A0' of Section 4 — requires the min aggregation.
+
+    Result ``details``: ``T``, ``matches``, ``candidates`` (size of the
+    candidate set), ``i0`` and ``g0`` from Proposition 4.3.
+    """
+
+    name = "A0-prime"
+
+    def _run(
+        self,
+        session: MiddlewareSession,
+        aggregation: AggregationFunction,
+        k: int,
+    ) -> TopKResult:
+        if not isinstance(aggregation, MinimumTNorm):
+            raise ValueError(
+                "A0' is only correct for the standard fuzzy conjunction "
+                f"(t = min, Theorem 4.4); got {aggregation.name!r}. "
+                "Use FaginA0 for other monotone aggregations."
+            )
+        # Sorted access phase: identical to A0's.
+        state = run_sorted_phase(session, k)
+        m = session.num_lists
+
+        # Random access phase (A0' version). Every member of L has been
+        # seen in all m lists, so its overall min-grade is known without
+        # any random access; pick x0 minimising it.
+        def overall(obj) -> float:
+            by_list = state.seen[obj]
+            return min(by_list[j] for j in range(m))
+
+        x0 = min(state.matched, key=lambda obj: (overall(obj), repr(obj)))
+        g0 = overall(x0)
+        by_list_x0 = state.seen[x0]
+        i0 = next(j for j in range(m) if by_list_x0[j] == g0)
+
+        candidates = [
+            obj
+            for obj in state.order_by_list[i0]
+            if state.seen[obj][i0] >= g0
+        ]
+        for obj in candidates:
+            by_list = state.seen[obj]
+            for j in range(m):
+                if j != i0 and j not in by_list:
+                    by_list[j] = session.sources[j].random_access(obj)
+
+        # Computation phase, restricted to the candidates.
+        scored = {
+            obj: aggregation(*(state.seen[obj][j] for j in range(m)))
+            for obj in candidates
+        }
+        return TopKResult(
+            items=top_k_of(scored, k),
+            stats=session.tracker.snapshot(),
+            algorithm=self.name,
+            details={
+                "T": state.depth,
+                "matches": len(state.matched),
+                "candidates": len(candidates),
+                "i0": i0,
+                "g0": g0,
+            },
+        )

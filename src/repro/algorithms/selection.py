@@ -1,0 +1,142 @@
+"""Algorithm selection: which algorithm may answer which query.
+
+The paper establishes a small decision table:
+
+* standard fuzzy **disjunction** (max) — algorithm B0, cost m*k
+  (Theorem 4.5, Remark 6.1);
+* **median** aggregation, m >= 3 — the Remark 6.1 construction,
+  cost O(sqrt(N*k)) for m = 3;
+* standard fuzzy **conjunction** (min) — algorithm A0' (Theorem 4.4),
+  a constant factor cheaper than A0 in random accesses;
+* any other **monotone** query — algorithm A0 (Theorem 4.2);
+* anything else (negation, non-monotone aggregations) — only the naive
+  full scan is guaranteed correct (and for Q AND NOT Q, Theorem 7.1
+  shows nothing asymptotically better exists).
+
+:func:`choose_algorithm` encodes that table; the middleware planner
+consults it when compiling physical plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.access.cost import CostModel
+from repro.algorithms.base import TopKAlgorithm
+from repro.algorithms.disjunction import DisjunctionB0
+from repro.algorithms.fa import FaginA0
+from repro.algorithms.fa_min import FaginA0Min
+from repro.algorithms.median import MedianTopK
+from repro.algorithms.naive import NaiveAlgorithm
+from repro.algorithms.nra import NoRandomAccessAlgorithm
+from repro.core.aggregation import AggregationFunction
+from repro.core.means import Median
+from repro.core.tconorms import MaximumTConorm
+from repro.core.tnorms import MinimumTNorm
+
+__all__ = ["AlgorithmChoice", "choose_algorithm"]
+
+#: If random access costs at least this many times a sorted access
+#: (c2/c1), prefer the sorted-only NRA for monotone queries. The E16
+#: benchmark calibrates this heuristic: NRA's sorted phase runs a small
+#: constant factor deeper than A0's, but avoids ~c2 * (number of seen
+#: objects) of random-access spend.
+EXPENSIVE_RANDOM_ACCESS_RATIO = 10.0
+
+
+@dataclass(frozen=True)
+class AlgorithmChoice:
+    """A selected algorithm plus the justification for the choice."""
+
+    algorithm: TopKAlgorithm
+    reason: str
+
+    @property
+    def name(self) -> str:
+        return self.algorithm.name
+
+
+def choose_algorithm(
+    aggregation: AggregationFunction,
+    num_lists: int,
+    *,
+    random_access: bool = True,
+    cost_model: CostModel | None = None,
+) -> AlgorithmChoice:
+    """Select the best applicable algorithm for ``Ft(A1..Am)``.
+
+    Parameters
+    ----------
+    random_access:
+        Whether every involved subsystem supports random access
+        (Section 4's footnote 5 assumption). Without it, the table
+        restricts to sorted-only strategies: B0 for max, NRA for other
+        monotone queries, the naive scan otherwise.
+    cost_model:
+        Optional (c1, c2) weighting. When random access is much more
+        expensive than sorted access (c2/c1 >= 10), the sorted-only NRA
+        is preferred for monotone queries even though random access is
+        available.
+
+    >>> from repro.core.tnorms import MINIMUM
+    >>> choose_algorithm(MINIMUM, 2).name
+    'A0-prime'
+    >>> choose_algorithm(MINIMUM, 2, random_access=False).name
+    'NRA'
+    """
+    if num_lists < 1:
+        raise ValueError(f"need at least one list, got {num_lists}")
+    if isinstance(aggregation, MaximumTConorm):
+        return AlgorithmChoice(
+            DisjunctionB0(),
+            "standard fuzzy disjunction: B0 costs m*k with sorted access "
+            "only, independent of N (Theorem 4.5, Remark 6.1)",
+        )
+    if not random_access:
+        if aggregation.monotone:
+            return AlgorithmChoice(
+                NoRandomAccessAlgorithm(),
+                "a subsystem lacks random access: NRA evaluates monotone "
+                "queries from sorted streams alone (successor of "
+                "Section 4's footnote-5 assumption)",
+            )
+        return AlgorithmChoice(
+            NaiveAlgorithm(),
+            "non-monotone query without random access: full sorted scan",
+        )
+    if (
+        cost_model is not None
+        and aggregation.monotone
+        and cost_model.random_weight
+        >= EXPENSIVE_RANDOM_ACCESS_RATIO * cost_model.sorted_weight
+    ):
+        return AlgorithmChoice(
+            NoRandomAccessAlgorithm(),
+            f"random access costs c2/c1 = "
+            f"{cost_model.random_weight / cost_model.sorted_weight:.0f}x "
+            "a sorted access: the sorted-only NRA avoids that spend "
+            "(heuristic calibrated by benchmark E16)",
+        )
+    if isinstance(aggregation, Median) and num_lists >= 3:
+        return AlgorithmChoice(
+            MedianTopK(),
+            "median aggregation: the Remark 6.1 subset-min construction "
+            "beats the strict-query lower bound",
+        )
+    if isinstance(aggregation, MinimumTNorm):
+        return AlgorithmChoice(
+            FaginA0Min(),
+            "standard fuzzy conjunction: A0' restricts random access to "
+            "the candidates (Theorem 4.4)",
+        )
+    if aggregation.monotone:
+        return AlgorithmChoice(
+            FaginA0(),
+            "monotone query: A0 is correct (Theorem 4.2) and optimal when "
+            "also strict (Theorem 6.5)",
+        )
+    return AlgorithmChoice(
+        NaiveAlgorithm(),
+        "non-monotone aggregation: only the naive full scan is guaranteed "
+        "correct (cf. the Theta(N) hard query of Theorem 7.1)",
+    )

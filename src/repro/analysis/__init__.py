@@ -1,0 +1,59 @@
+"""Analysis utilities: bounds, experiment running, fitting, tables.
+
+The quantitative side of the reproduction — closed-form envelopes from
+Sections 5-7, the trial runner behind every benchmark, log-log exponent
+fitting for the Theta claims, and table rendering for EXPERIMENTS.md.
+"""
+
+from repro.analysis.adversary import (
+    AdversaryOutcome,
+    TouchRecorder,
+    run_lemma62_adversary,
+)
+from repro.analysis.bounds import (
+    WIMMERS_EXAMPLES,
+    a0_cost_bound,
+    chernoff_at_most,
+    expected_intersection,
+    expected_prefix_intersection,
+    fagin_tail_bound,
+    hard_query_lower_bound,
+    lemma51_bound,
+    lower_bound_probability,
+    wimmers_tail_bound,
+)
+from repro.analysis.experiments import (
+    CostSummary,
+    measure_costs,
+    run_trials,
+    summarise,
+)
+from repro.analysis.fitting import PowerLawFit, fit_power_law
+from repro.analysis.report import ReportSection, generate_report
+from repro.analysis.tables import format_table, print_table
+
+__all__ = [
+    "AdversaryOutcome",
+    "TouchRecorder",
+    "run_lemma62_adversary",
+    "ReportSection",
+    "generate_report",
+    "a0_cost_bound",
+    "expected_intersection",
+    "expected_prefix_intersection",
+    "lemma51_bound",
+    "chernoff_at_most",
+    "fagin_tail_bound",
+    "wimmers_tail_bound",
+    "lower_bound_probability",
+    "hard_query_lower_bound",
+    "WIMMERS_EXAMPLES",
+    "CostSummary",
+    "run_trials",
+    "summarise",
+    "measure_costs",
+    "PowerLawFit",
+    "fit_power_law",
+    "format_table",
+    "print_table",
+]

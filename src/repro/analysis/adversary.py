@@ -1,0 +1,178 @@
+"""The Lemma 6.2 adversary, made executable.
+
+The paper's lower bound works by a fooling argument:
+
+    "We first define a scoring database D … for each list i, the grades
+    in list i of members of X^i_T are all 1, and the grades … of the
+    remaining members … are all 0. … Since by assumption
+    sumcost(A, S) < N, there is some object x0 that is untouched.
+    Define scoring database D' to be the same as … D, except that in
+    D', the grade of x0 is 1 in every list. Since t is strict, x0 and
+    the members of ∩ X^i_T all have grade 1 … [if the algorithm's
+    prefix intersection holds fewer than k objects it] gives the wrong
+    answer."
+
+This module runs an arbitrary top-k algorithm against exactly that
+construction and, when the algorithm under-reads (its prefix
+intersection has < k members and it left an object untouched), produces
+the concrete fooling database D' on which the algorithm's answer is
+wrong — a runnable witness of Theorem 6.4's necessity. Algorithms that
+satisfy the lemma's access obligations (like A0) survive: either they
+touch everything or their intersection already has k members, so D'
+cannot contradict their answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.access.scoring_database import ScoringDatabase, Skeleton
+from repro.access.session import MiddlewareSession
+from repro.access.source import MaterializedSource, SortedRandomSource
+from repro.access.types import GradedItem, ObjectId
+from repro.algorithms.base import TopKAlgorithm, TopKResult, is_valid_top_k
+from repro.core.aggregation import AggregationFunction
+
+__all__ = ["AdversaryOutcome", "TouchRecorder", "run_lemma62_adversary"]
+
+
+class TouchRecorder(SortedRandomSource):
+    """Source wrapper recording which objects an algorithm touched."""
+
+    def __init__(self, inner: SortedRandomSource, touched: set[ObjectId]) -> None:
+        self._inner = inner
+        self._touched = touched
+        self.name = inner.name
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    @property
+    def position(self) -> int:
+        return self._inner.position
+
+    def next_sorted(self) -> GradedItem:
+        item = self._inner.next_sorted()
+        self._touched.add(item.obj)
+        return item
+
+    def random_access(self, obj: ObjectId) -> float:
+        grade = self._inner.random_access(obj)
+        self._touched.add(obj)
+        return grade
+
+    def restart(self) -> None:
+        self._inner.restart()
+
+
+@dataclass(frozen=True)
+class AdversaryOutcome:
+    """What the adversary established about one algorithm run."""
+
+    #: The Lemma 6.2 database D the algorithm actually ran against.
+    database: ScoringDatabase
+    #: The algorithm's answer on D.
+    answer: TopKResult
+    #: An object the algorithm never saw in any list, if one exists.
+    untouched: ObjectId | None
+    #: The fooling database D' (untouched object promoted to all-1s),
+    #: or None when the algorithm touched every object.
+    fooling_database: ScoringDatabase | None
+    #: Whether the answer (unchanged, since the algorithm cannot
+    #: distinguish D from D') is valid on D'. False = caught cheating.
+    fooled: bool
+
+    @property
+    def survived(self) -> bool:
+        """True iff the adversary failed to refute the algorithm."""
+        return not self.fooled
+
+
+def _lemma_database(
+    skeleton: Skeleton, prefix_depth: int
+) -> ScoringDatabase:
+    """D: grade 1 on each list's top ``prefix_depth``, 0 elsewhere."""
+    lists = []
+    for perm in skeleton.permutations:
+        lists.append(
+            {
+                obj: 1.0 if rank < prefix_depth else 0.0
+                for rank, obj in enumerate(perm)
+            }
+        )
+    return ScoringDatabase(lists)
+
+
+def run_lemma62_adversary(
+    algorithm: TopKAlgorithm,
+    aggregation: AggregationFunction,
+    skeleton: Skeleton,
+    k: int,
+    prefix_depth: int | None = None,
+) -> AdversaryOutcome:
+    """Run the Lemma 6.2 construction against ``algorithm``.
+
+    ``prefix_depth`` is the T of the construction (default: the depth
+    at which the skeleton's prefix intersection first reaches k — the
+    tightest interesting choice). The aggregation must be strict for
+    the argument to bite; the function does not check (passing max is
+    a good way to *see* why strictness is needed: B0 survives).
+    """
+    if prefix_depth is None:
+        prefix_depth = max(1, skeleton.match_depth(k) - 1)
+    database = _lemma_database(skeleton, prefix_depth)
+
+    touched: set[ObjectId] = set()
+    sources = [
+        TouchRecorder(
+            MaterializedSource(
+                f"list-{i}",
+                # Rank exactly along the skeleton (ties are everywhere).
+                [
+                    GradedItem(obj, database.grade(i, obj))
+                    for obj in skeleton.permutations[i]
+                ],
+            ),
+            touched,
+        )
+        for i in range(skeleton.num_lists)
+    ]
+    session = MiddlewareSession.over_sources(
+        sources, num_objects=skeleton.num_objects
+    )
+    answer = algorithm.top_k(session, aggregation, k)
+
+    # The fooling skeleton S' places x0 at position T+1 of every list
+    # ("we could let x0 be the (T+1)th member of each list"), so the
+    # two runs have identical transcripts only if the algorithm's
+    # sorted accesses never went past position T. If it read deeper, it
+    # would have *seen* x0 on D' — no fooling conclusion can be drawn
+    # (this is exactly how A0 survives: its sorted phase runs to the
+    # k-match depth, one past our T).
+    if answer.stats.max_sorted_depth() > prefix_depth:
+        return AdversaryOutcome(database, answer, None, None, fooled=False)
+
+    untouched = next(
+        (obj for obj in skeleton.permutations[0] if obj not in touched),
+        None,
+    )
+    if untouched is None:
+        return AdversaryOutcome(database, answer, None, None, fooled=False)
+
+    # D': promote the untouched object to grade 1 in every list. The
+    # algorithm saw identical information on D and D', so its answer
+    # on D' would be byte-identical — we simply re-validate it there.
+    fooling_lists = []
+    for i in range(skeleton.num_lists):
+        grades = {
+            obj: database.grade(i, obj) for obj in skeleton.objects
+        }
+        grades[untouched] = 1.0
+        fooling_lists.append(grades)
+    fooling = ScoringDatabase(fooling_lists)
+    still_valid = is_valid_top_k(
+        answer.items, fooling.overall_grades(aggregation), k
+    )
+    return AdversaryOutcome(
+        database, answer, untouched, fooling, fooled=not still_valid
+    )

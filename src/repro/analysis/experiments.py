@@ -1,0 +1,97 @@
+"""The experiment runner behind the benchmark harness.
+
+Runs a top-k algorithm over freshly generated scoring databases (the
+Section 5 probability model is over random skeletons, so every trial
+draws a new database), collects per-trial access statistics, and
+aggregates them into the rows the benchmarks print and EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.access.scoring_database import ScoringDatabase
+from repro.algorithms.base import TopKAlgorithm, TopKResult
+from repro.core.aggregation import AggregationFunction
+
+__all__ = ["CostSummary", "run_trials", "summarise", "measure_costs"]
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Aggregated access costs over repeated trials."""
+
+    trials: int
+    mean_sorted: float
+    mean_random: float
+    mean_sum: float
+    max_sum: int
+    mean_depth: float
+    max_depth: int
+
+    @classmethod
+    def from_results(cls, results: Sequence[TopKResult]) -> "CostSummary":
+        if not results:
+            raise ValueError("no results to summarise")
+        sums = [r.stats.sum_cost for r in results]
+        depths = [r.stats.max_sorted_depth() for r in results]
+        return cls(
+            trials=len(results),
+            mean_sorted=statistics.fmean(r.stats.sorted_cost for r in results),
+            mean_random=statistics.fmean(r.stats.random_cost for r in results),
+            mean_sum=statistics.fmean(sums),
+            max_sum=max(sums),
+            mean_depth=statistics.fmean(depths),
+            max_depth=max(depths),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CostSummary(trials={self.trials}, S+R={self.mean_sum:.1f} "
+            f"mean / {self.max_sum} max)"
+        )
+
+
+def run_trials(
+    make_database: Callable[[int], ScoringDatabase],
+    algorithm: TopKAlgorithm,
+    aggregation: AggregationFunction,
+    k: int,
+    trials: int,
+    base_seed: int = 0,
+) -> list[TopKResult]:
+    """Run ``algorithm`` over ``trials`` independently drawn databases.
+
+    ``make_database(seed)`` builds the trial's scoring database; seeds
+    are ``base_seed, base_seed + 1, ...`` so runs are reproducible and
+    trials independent.
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    results: list[TopKResult] = []
+    for trial in range(trials):
+        database = make_database(base_seed + trial)
+        results.append(algorithm.top_k(database.session(), aggregation, k))
+    return results
+
+
+def summarise(results: Sequence[TopKResult]) -> CostSummary:
+    """Aggregate trial results into a cost summary row."""
+    return CostSummary.from_results(results)
+
+
+def measure_costs(
+    make_database: Callable[[int], ScoringDatabase],
+    algorithm: TopKAlgorithm,
+    aggregation: AggregationFunction,
+    k: int,
+    trials: int,
+    base_seed: int = 0,
+) -> CostSummary:
+    """run_trials + summarise in one call (the common benchmark shape)."""
+    return summarise(
+        run_trials(make_database, algorithm, aggregation, k, trials, base_seed)
+    )

@@ -1,0 +1,67 @@
+"""Growth-exponent estimation for the scaling experiments.
+
+The paper's headline claims are *exponents*: A0 costs
+Theta(N^((m-1)/m) k^(1/m)); the naive algorithm and the hard query cost
+Theta(N); B0 costs Theta(1) in N. The benchmarks estimate exponents by
+least-squares on log-log data and compare against the predicted values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """y ~ coefficient * x^exponent, with goodness of fit."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+    def __repr__(self) -> str:
+        return (
+            f"PowerLawFit(y ~ {self.coefficient:.3g} * x^{self.exponent:.3f}, "
+            f"R^2={self.r_squared:.4f})"
+        )
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of log y on log x.
+
+    Requires at least two distinct positive x values and positive ys
+    (costs are positive counts, so this always holds in practice).
+
+    >>> fit = fit_power_law([1e2, 1e3, 1e4], [10.0, 31.62, 100.0])
+    >>> round(fit.exponent, 2)
+    0.5
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"{len(xs)} xs but {len(ys)} ys")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fitting needs positive data")
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    if np.allclose(log_x, log_x[0]):
+        raise ValueError("need at least two distinct x values")
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = float(((log_y - predicted) ** 2).sum())
+    total = float(((log_y - log_y.mean()) ** 2).sum())
+    r_squared = 1.0 if total == 0.0 else 1.0 - residual / total
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(math.exp(intercept)),
+        r_squared=r_squared,
+    )

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmarks print the rows EXPERIMENTS.md records; this keeps the
+formatting in one place, aligned and stable enough to diff.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_cell", "format_table", "print_table"]
+
+
+def format_cell(value: object, precision: int = 4) -> str:
+    """Render one cell: floats get ``precision`` significant digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """An aligned ASCII table with a header rule.
+
+    >>> print(format_table(("N", "cost"), [(100, 45.2), (1000, 141.0)]))
+       N  cost
+    ----  ----
+     100  45.2
+    1000   141
+    """
+    rendered = [[format_cell(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> None:
+    """Print :func:`format_table` with a leading blank line."""
+    print()
+    print(format_table(headers, rows, title=title, precision=precision))

@@ -1,0 +1,155 @@
+"""Logical equivalence of queries: the substance of Theorem 3.1.
+
+    "The standard conjunction and disjunction rules of fuzzy logic have
+    the nice property that if Q1 and Q2 are logically equivalent
+    queries involving only conjunction and disjunction (not negation),
+    then mu_Q1(x) = mu_Q2(x) for every object x. … This is desirable,
+    since then an optimizer can replace a query by a logically
+    equivalent query and be guaranteed of getting the same answer."
+
+Theorem 3.1 (Yager; Dubois-Prade): **min and max are the unique
+monotone aggregation functions that preserve logical equivalence** of
+∧/∨-queries. This module provides:
+
+* :func:`crisp_equivalent` — decide propositional equivalence of two
+  negation-free queries by exhaustive 0/1 valuation (the ground truth);
+* :func:`fuzzy_equivalent` — check whether a semantics gives two
+  queries identical grades over a sampled set of fuzzy valuations;
+* :func:`preserves_equivalence` — test a semantics against the
+  canonical ∧/∨ identities (idempotence, absorption, distributivity);
+  min/max pass, every other t-norm/co-norm pair fails (the registry of
+  witnesses is what the planner uses to know when rewrites are safe).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.query import And, AtomicQuery, Not, Or, Query, atom
+from repro.core.semantics import FuzzySemantics
+
+__all__ = [
+    "crisp_equivalent",
+    "fuzzy_equivalent",
+    "CANONICAL_IDENTITIES",
+    "preserves_equivalence",
+]
+
+
+def _check_connectives_only(query: Query) -> None:
+    for node in query.walk():
+        if isinstance(node, Not):
+            raise ValueError(
+                "equivalence preservation is defined for queries "
+                "'involving only conjunction and disjunction (not negation)'"
+            )
+        if not isinstance(node, (And, Or, AtomicQuery)):
+            raise ValueError(
+                f"equivalence checking supports And/Or/atomic nodes only, "
+                f"found {type(node).__name__}"
+            )
+
+
+def crisp_equivalent(q1: Query, q2: Query) -> bool:
+    """Propositional equivalence by exhaustive Boolean valuation.
+
+    Exponential in the number of distinct atoms; intended for the small
+    hand-written queries an optimizer rewrites, not arbitrary formulas.
+    """
+    _check_connectives_only(q1)
+    _check_connectives_only(q2)
+    atoms = tuple(dict.fromkeys(q1.atoms() + q2.atoms()))
+    crisp = FuzzySemantics()  # min/max agree with Boolean logic on {0,1}
+    for bits in itertools.product((0.0, 1.0), repeat=len(atoms)):
+        valuation = dict(zip(atoms, bits))
+        if crisp.evaluate(q1, valuation) != crisp.evaluate(q2, valuation):
+            return False
+    return True
+
+
+def fuzzy_equivalent(
+    q1: Query,
+    q2: Query,
+    semantics: FuzzySemantics,
+    *,
+    samples: int = 200,
+    seed: int = 17,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Do ``q1`` and ``q2`` receive identical grades under ``semantics``?
+
+    Checks ``samples`` random fuzzy valuations plus all crisp
+    valuations. Random sampling is sound for refutation (one
+    counterexample suffices) and, for the piecewise-rational connectives
+    in this library, reliable for confirmation at the default sample
+    count (violations are open sets — see the tests, which confirm the
+    checker separates min/max from all other pairs).
+    """
+    _check_connectives_only(q1)
+    _check_connectives_only(q2)
+    atoms = tuple(dict.fromkeys(q1.atoms() + q2.atoms()))
+    rng = random.Random(seed)
+
+    def agree(valuation: Mapping[AtomicQuery, float]) -> bool:
+        return (
+            abs(semantics.evaluate(q1, valuation) - semantics.evaluate(q2, valuation))
+            <= tolerance
+        )
+
+    for bits in itertools.product((0.0, 1.0), repeat=len(atoms)):
+        if not agree(dict(zip(atoms, bits))):
+            return False
+    for _ in range(samples):
+        valuation = {a: rng.random() for a in atoms}
+        if not agree(valuation):
+            return False
+    return True
+
+
+def _canonical_identities() -> tuple[tuple[str, Query, Query], ...]:
+    a, b, c = atom("A"), atom("B"), atom("C")
+    return (
+        ("and-idempotence: A∧A ≡ A", And((a, a)), a),
+        ("or-idempotence: A∨A ≡ A", Or((a, a)), a),
+        ("absorption: A∧(A∨B) ≡ A", And((a, Or((a, b)))), a),
+        ("absorption: A∨(A∧B) ≡ A", Or((a, And((a, b)))), a),
+        (
+            "distributivity: A∧(B∨C) ≡ (A∧B)∨(A∧C)",
+            And((a, Or((b, c)))),
+            Or((And((a, b)), And((a, c)))),
+        ),
+        (
+            "distributivity: A∨(B∧C) ≡ (A∨B)∧(A∨C)",
+            Or((a, And((b, c)))),
+            And((Or((a, b)), Or((a, c)))),
+        ),
+    )
+
+
+#: The equivalences the paper cites ("For example, mu_{A∧A}(x) = mu_A(x).
+#: As another example, mu_{A∧(B∨C)}(x) = mu_{(A∧B)∨(A∧C)}(x).") plus the
+#: standard absorption laws. Each pair is crisp-equivalent by
+#: construction (verified in tests).
+CANONICAL_IDENTITIES: tuple[tuple[str, Query, Query], ...] = _canonical_identities()
+
+
+def preserves_equivalence(
+    semantics: FuzzySemantics,
+    identities: Iterable[tuple[str, Query, Query]] = CANONICAL_IDENTITIES,
+    *,
+    samples: int = 200,
+    seed: int = 17,
+) -> tuple[bool, list[str]]:
+    """Does ``semantics`` preserve the given logical equivalences?
+
+    Returns ``(all_preserved, failed_identity_names)``. Per Theorem 3.1
+    only min/max preserve all of them; the failures list is a compact
+    witness of *why* a non-standard semantics blocks optimizer rewrites.
+    """
+    failures: list[str] = []
+    for name, q1, q2 in identities:
+        if not fuzzy_equivalent(q1, q2, semantics, samples=samples, seed=seed):
+            failures.append(name)
+    return (not failures, failures)

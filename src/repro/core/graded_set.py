@@ -1,0 +1,307 @@
+"""Graded sets: the paper's unifying answer representation (Section 2).
+
+    "Our solution is in terms of graded sets. A graded set is a set of
+    pairs (x, g), where x is an object (such as a tuple), and g (the
+    grade) is a real number in the interval [0, 1]. It is sometimes
+    convenient to think of a graded set as corresponding to a sorted
+    list, where the objects are sorted by their grades. Thus, a graded
+    set is a generalization of both a set and a sorted list."
+
+A :class:`GradedSet` maps hashable objects to grades. Objects that are
+not explicitly present have the implicit grade 0 (the standard fuzzy-set
+support convention), which is exactly how a crisp relational answer
+embeds: members get grade 1, everything else grade 0.
+
+The class is immutable: set operations return new graded sets. This
+keeps answers safe to share between middleware layers and makes the
+algebraic laws tested in ``tests/core/test_graded_set.py`` meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.grades import (
+    FALSE_GRADE,
+    TRUE_GRADE,
+    grades_close,
+    standard_negation,
+    validate_grade,
+)
+from repro.exceptions import InsufficientObjectsError
+
+ObjectId = Hashable
+GradedPair = Tuple[ObjectId, float]
+
+
+def _sort_key(pair: GradedPair) -> tuple[float, str]:
+    """Descending by grade; ties broken by the repr of the object.
+
+    The tie-break keeps iteration deterministic (important for
+    reproducible benchmarks) without constraining the semantics: the
+    paper explicitly allows ties to be "broken arbitrarily" (Section 4).
+    """
+    obj, grade = pair
+    return (-grade, repr(obj))
+
+
+class GradedSet:
+    """An immutable set of (object, grade) pairs.
+
+    Parameters
+    ----------
+    pairs:
+        A mapping from objects to grades, or an iterable of
+        ``(object, grade)`` pairs. Duplicate objects are rejected.
+
+    Examples
+    --------
+    >>> gs = GradedSet({"a": 1.0, "b": 0.25})
+    >>> gs.grade("a")
+    1.0
+    >>> gs.grade("missing")
+    0.0
+    >>> [obj for obj, grade in gs]
+    ['a', 'b']
+    """
+
+    __slots__ = ("_grades",)
+
+    def __init__(
+        self, pairs: Mapping[ObjectId, float] | Iterable[GradedPair] = ()
+    ) -> None:
+        items: Iterable[GradedPair]
+        if isinstance(pairs, Mapping):
+            items = pairs.items()
+        else:
+            items = pairs
+        grades: dict[ObjectId, float] = {}
+        for obj, grade in items:
+            if obj in grades:
+                raise ValueError(f"duplicate object {obj!r} in graded set")
+            grades[obj] = validate_grade(grade, context=f"object {obj!r}")
+        self._grades = grades
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_crisp(
+        cls, members: Iterable[ObjectId], universe: Iterable[ObjectId] | None = None
+    ) -> "GradedSet":
+        """Embed a crisp set: members get grade 1.
+
+        If ``universe`` is given, non-members are stored explicitly with
+        grade 0 (useful when a total grade assignment is needed, e.g.
+        before negation); otherwise non-members stay implicit.
+        """
+        grades = {obj: TRUE_GRADE for obj in members}
+        if universe is not None:
+            for obj in universe:
+                grades.setdefault(obj, FALSE_GRADE)
+        return cls(grades)
+
+    @classmethod
+    def from_ranked(
+        cls, objects: Sequence[ObjectId], grades: Sequence[float]
+    ) -> "GradedSet":
+        """Build from parallel sequences of objects and grades."""
+        if len(objects) != len(grades):
+            raise ValueError(
+                f"{len(objects)} objects but {len(grades)} grades"
+            )
+        return cls(zip(objects, grades))
+
+    # ------------------------------------------------------------------
+    # Mapping behaviour
+    # ------------------------------------------------------------------
+
+    def grade(self, obj: ObjectId) -> float:
+        """The grade of ``obj``; objects not present have grade 0."""
+        return self._grades.get(obj, FALSE_GRADE)
+
+    def __contains__(self, obj: ObjectId) -> bool:
+        return obj in self._grades
+
+    def __len__(self) -> int:
+        return len(self._grades)
+
+    def __iter__(self) -> Iterator[GradedPair]:
+        """Iterate pairs in descending grade order (the "sorted list" view)."""
+        return iter(sorted(self._grades.items(), key=_sort_key))
+
+    def objects(self) -> frozenset[ObjectId]:
+        """The set of objects explicitly present."""
+        return frozenset(self._grades)
+
+    def as_dict(self) -> dict[ObjectId, float]:
+        """A fresh dict of the explicit (object, grade) pairs."""
+        return dict(self._grades)
+
+    def to_sorted_list(self) -> list[GradedPair]:
+        """The sorted-list view: pairs in descending grade order."""
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def top(self, k: int) -> "GradedSet":
+        """The top ``k`` answers: ``k`` pairs with the highest grades.
+
+        Ties are broken deterministically (by object repr), which is one
+        of the arbitrary tie-breaks Section 4 permits. Raises
+        :class:`InsufficientObjectsError` if fewer than ``k`` objects
+        are present, matching A0's standing assumption.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if k > len(self._grades):
+            raise InsufficientObjectsError(k, len(self._grades))
+        return GradedSet(self.to_sorted_list()[:k])
+
+    def support(self) -> "GradedSet":
+        """The sub-graded-set of objects with non-zero grade."""
+        return GradedSet(
+            {obj: g for obj, g in self._grades.items() if g > FALSE_GRADE}
+        )
+
+    def cut(self, alpha: float) -> frozenset[ObjectId]:
+        """The (weak) alpha-cut: objects with grade >= ``alpha``."""
+        alpha = validate_grade(alpha, context="alpha-cut level")
+        return frozenset(obj for obj, g in self._grades.items() if g >= alpha)
+
+    def is_crisp(self) -> bool:
+        """True iff every explicit grade is exactly 0 or 1."""
+        return all(g in (FALSE_GRADE, TRUE_GRADE) for g in self._grades.values())
+
+    def restrict(self, objects: Iterable[ObjectId]) -> "GradedSet":
+        """Keep only the given objects (missing ones are dropped)."""
+        keep = set(objects)
+        return GradedSet({o: g for o, g in self._grades.items() if o in keep})
+
+    # ------------------------------------------------------------------
+    # Connective-parameterised set algebra (Section 3)
+    # ------------------------------------------------------------------
+
+    def combine(
+        self,
+        other: "GradedSet",
+        connective: Callable[[float, float], float],
+    ) -> "GradedSet":
+        """Pointwise combination over the union of both objects' domains.
+
+        Missing objects contribute their implicit grade 0, so e.g.
+        ``a.combine(b, min)`` is the standard fuzzy intersection and
+        ``a.combine(b, max)`` the standard fuzzy union.
+        """
+        domain = set(self._grades) | set(other._grades)
+        return GradedSet(
+            {obj: connective(self.grade(obj), other.grade(obj)) for obj in domain}
+        )
+
+    def intersect(
+        self,
+        other: "GradedSet",
+        tnorm: Callable[[float, float], float] = min,
+    ) -> "GradedSet":
+        """Fuzzy intersection under ``tnorm`` (default: the min rule)."""
+        return self.combine(other, tnorm)
+
+    def union(
+        self,
+        other: "GradedSet",
+        conorm: Callable[[float, float], float] = max,
+    ) -> "GradedSet":
+        """Fuzzy union under ``conorm`` (default: the max rule)."""
+        return self.combine(other, conorm)
+
+    def negate(
+        self,
+        universe: Iterable[ObjectId],
+        negation: Callable[[float], float] = standard_negation,
+    ) -> "GradedSet":
+        """Fuzzy complement over an explicit ``universe`` of objects.
+
+        The universe must be explicit because objects absent from the
+        graded set have grade 0, hence negated grade 1: negation is only
+        meaningful relative to a known object population (Section 7 uses
+        this to build the reversed list for ¬Q).
+        """
+        return GradedSet({obj: negation(self.grade(obj)) for obj in universe})
+
+    def scale(self, factor: float) -> "GradedSet":
+        """Multiply all grades by ``factor`` in [0, 1] (importance damping)."""
+        factor = validate_grade(factor, context="scale factor")
+        return GradedSet({o: g * factor for o, g in self._grades.items()})
+
+    # ------------------------------------------------------------------
+    # Alpha-cut decomposition (classical fuzzy-set structure theory)
+    # ------------------------------------------------------------------
+
+    def decompose(self) -> dict[float, frozenset[ObjectId]]:
+        """The level-set decomposition: each distinct positive grade
+        mapped to its (weak) alpha-cut.
+
+        The resolution identity of fuzzy set theory [Za65]: a fuzzy set
+        is fully determined by its alpha-cuts, and
+        ``GradedSet.from_cuts(gs.decompose()) == gs.support()``.
+        Nested by construction: higher levels are subsets of lower.
+        """
+        levels = sorted(
+            {g for g in self._grades.values() if g > FALSE_GRADE}
+        )
+        return {alpha: self.cut(alpha) for alpha in levels}
+
+    @classmethod
+    def from_cuts(
+        cls, cuts: Mapping[float, Iterable[ObjectId]]
+    ) -> "GradedSet":
+        """Reconstruct a graded set from alpha-cuts.
+
+        Each object's grade is the highest level whose cut contains it
+        (the supremum of the resolution identity). Inverse of
+        :meth:`decompose` on supports.
+        """
+        grades: dict[ObjectId, float] = {}
+        for alpha, members in cuts.items():
+            alpha = validate_grade(alpha, context="cut level")
+            for obj in members:
+                if alpha > grades.get(obj, FALSE_GRADE):
+                    grades[obj] = alpha
+        return cls(grades)
+
+    # ------------------------------------------------------------------
+    # Equality / representation
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GradedSet):
+            return NotImplemented
+        return self._grades == other._grades
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._grades.items()))
+
+    def approx_equal(self, other: "GradedSet", tolerance: float = 1e-9) -> bool:
+        """Equality of domains and grades up to ``tolerance``."""
+        if self.objects() != other.objects():
+            return False
+        return all(
+            grades_close(g, other.grade(obj), tolerance)
+            for obj, g in self._grades.items()
+        )
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{obj!r}: {g:.4g}" for obj, g in list(self)[:4])
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"GradedSet({{{preview}{suffix}}}, n={len(self)})"

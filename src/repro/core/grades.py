@@ -1,0 +1,98 @@
+"""The grade domain: real numbers in the unit interval [0, 1].
+
+Section 2 of the paper: "a grade is a real number in the interval
+[0, 1] … a grade of 1 represents a perfect match", and for traditional
+(crisp) database queries "the grade for each object is either 0 or 1".
+
+This module centralises validation and the handful of numeric helpers
+the rest of the library needs, so every other module can assume grades
+are already well-formed floats.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.exceptions import GradeRangeError
+
+#: The grade meaning "the query is false about the object".
+FALSE_GRADE: float = 0.0
+
+#: The grade meaning "a perfect match".
+TRUE_GRADE: float = 1.0
+
+#: Default tolerance for grade comparisons where floating-point rounding
+#: may occur (e.g. after aggregation-function arithmetic).
+GRADE_TOLERANCE: float = 1e-12
+
+
+def validate_grade(value: object, context: str = "") -> float:
+    """Return ``value`` as a float grade, or raise :class:`GradeRangeError`.
+
+    Accepts ints, floats and numpy floating scalars; rejects bools are
+    *accepted* (they are ints 0/1, the crisp grades), but NaN, infinities
+    and out-of-range reals are rejected.
+    """
+    try:
+        grade = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise GradeRangeError(value, context) from None
+    if math.isnan(grade) or not (FALSE_GRADE <= grade <= TRUE_GRADE):
+        raise GradeRangeError(value, context)
+    return grade
+
+
+def validate_grades(values: Iterable[object], context: str = "") -> list[float]:
+    """Validate every grade in ``values``; return them as a list of floats."""
+    return [validate_grade(v, context) for v in values]
+
+
+def is_valid_grade(value: object) -> bool:
+    """Return True iff ``value`` is a real number in [0, 1]."""
+    try:
+        validate_grade(value)
+    except GradeRangeError:
+        return False
+    return True
+
+
+def is_crisp(grade: float, tolerance: float = 0.0) -> bool:
+    """Return True iff ``grade`` is (within ``tolerance`` of) 0 or 1.
+
+    Crisp grades are what traditional database queries produce
+    (Section 2): 0 for "false about the object", 1 for "true".
+    """
+    return (
+        abs(grade - FALSE_GRADE) <= tolerance or abs(grade - TRUE_GRADE) <= tolerance
+    )
+
+
+def crisp_grade(truth: bool) -> float:
+    """Map a Boolean truth value to its crisp grade (True -> 1.0)."""
+    return TRUE_GRADE if truth else FALSE_GRADE
+
+
+def clamp_grade(value: float) -> float:
+    """Clamp a real number into [0, 1].
+
+    Used only to absorb floating-point overshoot from aggregation
+    arithmetic (e.g. Einstein/Hamacher products can land a hair outside
+    the interval); genuinely out-of-range data should be rejected with
+    :func:`validate_grade` instead.
+    """
+    if value < FALSE_GRADE:
+        return FALSE_GRADE
+    if value > TRUE_GRADE:
+        return TRUE_GRADE
+    return value
+
+
+def grades_close(a: float, b: float, tolerance: float = GRADE_TOLERANCE) -> bool:
+    """Return True iff two grades are equal up to ``tolerance``."""
+    return abs(a - b) <= tolerance
+
+
+def standard_negation(grade: float) -> float:
+    """The standard fuzzy negation rule of Section 3: 1 - grade."""
+    return TRUE_GRADE - grade

@@ -1,0 +1,229 @@
+"""Mean-type aggregation functions (Section 3 and Remark 6.1).
+
+The paper points out that aggregation functions outside the t-norm
+family matter in practice:
+
+    "Thole et al. [TZZ79] found various weighted and unweighted
+    arithmetic and geometric means to perform empirically quite well.
+    Such aggregation functions are not triangular norms … These
+    functions do satisfy monotonicity and strictness, and so our upper
+    and lower bounds hold even in this case."
+
+and Remark 6.1 discusses two *non-strict* monotone aggregations for
+which the lower bound fails — the **median** and the **gymnastics
+trimmed mean** ("the top and bottom scores are eliminated, and the
+remaining scores are averaged") — both implemented here with their
+property classifications.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.aggregation import AggregationFunction
+from repro.core.grades import validate_grade
+
+__all__ = [
+    "ArithmeticMean",
+    "GeometricMean",
+    "HarmonicMean",
+    "WeightedArithmeticMean",
+    "WeightedGeometricMean",
+    "Median",
+    "GymnasticsTrimmedMean",
+    "ARITHMETIC_MEAN",
+    "GEOMETRIC_MEAN",
+    "MEDIAN",
+    "median3",
+]
+
+
+class ArithmeticMean(AggregationFunction):
+    """The unweighted arithmetic mean.
+
+    Monotone and strict, but not a t-norm: "the arithmetic mean does
+    not conserve the standard propositional semantics, since with
+    arguments 0 and 1 it takes the value 1/2, rather than 0"
+    (Section 3). A0's upper bound and the lower bound both apply.
+    """
+
+    name = "arithmetic-mean"
+    strict = True
+
+    def aggregate(self, grades: Sequence[float]) -> float:
+        return sum(grades) / len(grades)
+
+
+class GeometricMean(AggregationFunction):
+    """The unweighted geometric mean — monotone and strict ([TZZ79])."""
+
+    name = "geometric-mean"
+    strict = True
+
+    def aggregate(self, grades: Sequence[float]) -> float:
+        product = 1.0
+        for g in grades:
+            product *= g
+        return product ** (1.0 / len(grades))
+
+
+class HarmonicMean(AggregationFunction):
+    """The harmonic mean, with the continuous extension h(...,0,...) = 0.
+
+    Monotone and strict; included because it is the most pessimistic of
+    the classical Pythagorean means and a common text-retrieval fusion
+    rule (it is the F-measure for two arguments).
+    """
+
+    name = "harmonic-mean"
+    strict = True
+
+    def aggregate(self, grades: Sequence[float]) -> float:
+        if any(g == 0.0 for g in grades):
+            return 0.0
+        return len(grades) / sum(1.0 / g for g in grades)
+
+
+class WeightedArithmeticMean(AggregationFunction):
+    """A weighted arithmetic mean with fixed non-negative weights.
+
+    Weights are normalised to sum to 1. Monotone always; strict iff
+    every weight is positive (a zero-weight argument can be below 1
+    while the mean is 1).
+    """
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        if any(w < 0 for w in weights):
+            raise ValueError(f"weights must be non-negative, got {list(weights)}")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        self.weights = [w / total for w in weights]
+        self.arity = len(self.weights)
+        self.strict = all(w > 0 for w in self.weights)
+        self.name = f"weighted-arithmetic-mean({self.arity})"
+
+    def aggregate(self, grades: Sequence[float]) -> float:
+        return sum(w * g for w, g in zip(self.weights, grades))
+
+
+class WeightedGeometricMean(AggregationFunction):
+    """A weighted geometric mean: prod(g_i ** w_i) with weights summing to 1."""
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        if any(w < 0 for w in weights):
+            raise ValueError(f"weights must be non-negative, got {list(weights)}")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        self.weights = [w / total for w in weights]
+        self.arity = len(self.weights)
+        self.strict = all(w > 0 for w in self.weights)
+        self.name = f"weighted-geometric-mean({self.arity})"
+
+    def aggregate(self, grades: Sequence[float]) -> float:
+        result = 1.0
+        for w, g in zip(self.weights, grades):
+            if w == 0.0:
+                continue
+            if g == 0.0:
+                return 0.0
+            result *= g**w
+        return result
+
+
+class Median(AggregationFunction):
+    """The median — monotone but **not strict** (Remark 6.1).
+
+    For an even number of arguments we take the lower median, which
+    keeps the function monotone and idempotent. Remark 6.1 shows the
+    paper's lower bound fails for the 3-ary median: it is solvable in
+    O(sqrt(N*k)) via the identity
+
+        median(a1, a2, a3)
+            = max(min(a1, a2), min(a1, a3), min(a2, a3)),      (13)
+
+    implemented by :mod:`repro.algorithms.median`.
+    """
+
+    name = "median"
+    strict = False
+
+    def aggregate(self, grades: Sequence[float]) -> float:
+        ordered = sorted(grades)
+        return ordered[(len(ordered) - 1) // 2]
+
+
+class GymnasticsTrimmedMean(AggregationFunction):
+    """Remark 6.1's "real life" non-strict aggregation.
+
+        "There are a number of judges, each of whom assigns a score;
+        the top and bottom scores are eliminated, and the remaining
+        scores are averaged. The corresponding aggregation function is
+        not strict. If there are three judges, then this aggregation
+        function is simply the median."
+
+    Requires at least 3 arguments (otherwise nothing remains after
+    trimming). Monotone, not strict.
+    """
+
+    name = "gymnastics-trimmed-mean"
+    strict = False
+
+    def __init__(self, judges: int = 3) -> None:
+        if judges < 3:
+            raise ValueError(f"need at least 3 judges, got {judges}")
+        self.arity = judges
+        self.name = f"gymnastics-trimmed-mean({judges})"
+
+    def aggregate(self, grades: Sequence[float]) -> float:
+        ordered = sorted(grades)
+        trimmed = ordered[1:-1]
+        return sum(trimmed) / len(trimmed)
+
+
+def median3(a1: float, a2: float, a3: float) -> float:
+    """The 3-ary median via the paper's identity (13).
+
+    >>> median3(0.2, 0.9, 0.5)
+    0.5
+
+    Kept as a standalone function because identity (13) is what makes
+    the Remark 6.1 algorithm work; tests check it against
+    :class:`Median` on random triples.
+    """
+    for g in (a1, a2, a3):
+        validate_grade(g, context="median3")
+    return max(min(a1, a2), min(a1, a3), min(a2, a3))
+
+
+def quasi_arithmetic_mean(
+    grades: Sequence[float],
+    transform,
+    inverse,
+) -> float:
+    """A generalised (Kolmogorov) mean: inverse(mean(transform(g))).
+
+    The arithmetic, geometric and harmonic means are all instances;
+    exposed for users exploring custom monotone aggregations with the
+    property checkers.
+    """
+    if not grades:
+        raise ValueError("quasi_arithmetic_mean needs at least one grade")
+    transformed = [transform(validate_grade(g)) for g in grades]
+    value = inverse(sum(transformed) / len(transformed))
+    if math.isnan(value):
+        raise ValueError("transform/inverse pair produced NaN")
+    return value
+
+
+#: Shared singletons for the unparameterised means.
+ARITHMETIC_MEAN = ArithmeticMean()
+GEOMETRIC_MEAN = GeometricMean()
+HARMONIC_MEAN = HarmonicMean()
+MEDIAN = Median()

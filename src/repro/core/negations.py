@@ -1,0 +1,93 @@
+"""Negation functions for the fuzzy semantics.
+
+Section 3 gives the standard rule ("Negation rule:
+mu_notA(x) = 1 - mu_A(x)") and notes that [BD86] established De Morgan
+duality "for suitable negation aggregation functions n (such as the
+standard n(x) = 1 - x)". Besides the standard negation we provide the
+two classical parametric families (Sugeno and Yager), which are useful
+when modelling a subsystem whose internal semantics differs from
+Garlic's (Section 8).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.grades import clamp_grade, validate_grade
+
+__all__ = [
+    "Negation",
+    "StandardNegation",
+    "SugenoNegation",
+    "YagerNegation",
+    "STANDARD_NEGATION",
+]
+
+
+class Negation(ABC):
+    """A fuzzy negation: decreasing, with n(0) = 1 and n(1) = 0."""
+
+    name: str = "negation"
+
+    @abstractmethod
+    def apply(self, grade: float) -> float:
+        """Negate an already-validated grade."""
+
+    def __call__(self, grade: float) -> float:
+        return clamp_grade(self.apply(validate_grade(grade, context=self.name)))
+
+    def is_involutive(self, samples: int = 101, tolerance: float = 1e-9) -> bool:
+        """Check n(n(x)) = x on an even grid of ``samples`` points."""
+        for i in range(samples):
+            x = i / (samples - 1)
+            if abs(self(self(x)) - x) > tolerance:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class StandardNegation(Negation):
+    """n(x) = 1 - x — the paper's negation rule (Section 3)."""
+
+    name = "standard"
+
+    def apply(self, grade: float) -> float:
+        return 1.0 - grade
+
+
+class SugenoNegation(Negation):
+    """Sugeno's family: n(x) = (1 - x) / (1 + lam * x), lam > -1.
+
+    lam = 0 recovers the standard negation. Involutive for every lam.
+    """
+
+    def __init__(self, lam: float) -> None:
+        if lam <= -1.0:
+            raise ValueError(f"Sugeno parameter must be > -1, got {lam}")
+        self.lam = lam
+        self.name = f"sugeno({lam:g})"
+
+    def apply(self, grade: float) -> float:
+        return (1.0 - grade) / (1.0 + self.lam * grade)
+
+
+class YagerNegation(Negation):
+    """Yager's family: n(x) = (1 - x**w) ** (1/w), w > 0.
+
+    w = 1 recovers the standard negation. Involutive for every w.
+    """
+
+    def __init__(self, w: float) -> None:
+        if w <= 0.0:
+            raise ValueError(f"Yager parameter must be > 0, got {w}")
+        self.w = w
+        self.name = f"yager({w:g})"
+
+    def apply(self, grade: float) -> float:
+        return (1.0 - grade**self.w) ** (1.0 / self.w)
+
+
+#: Shared singleton for the standard rule.
+STANDARD_NEGATION = StandardNegation()

@@ -1,0 +1,79 @@
+"""Parametric t-norm families (the wider Section 3 literature).
+
+Section 3 samples six fixed t-norms from the literature it cites
+([SS63, DP80, BD86, Mi89]); that literature actually organises them
+into *parametric families* that sweep continuously between the paper's
+examples. Two classical families are provided:
+
+* **Hamacher family** ``t_g(x, y) = x*y / (g + (1-g)*(x+y-x*y))``,
+  g >= 0: g = 0 is the paper's Hamacher product, g = 1 the algebraic
+  product, and g -> infinity approaches the drastic product.
+* **Yager family** ``t_p(x, y) = max(0, 1 - ((1-x)^p + (1-y)^p)^(1/p))``,
+  p > 0: p = 1 is the paper's bounded difference and p -> infinity
+  approaches min.
+
+Every member is a genuine t-norm (verified by the property checkers in
+the tests), hence monotone and strict — so Theorem 6.5's matching
+bounds apply across the whole family, which experiment E12 exercises
+pointwise.
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregation import DualTConorm, TConorm, TNorm
+
+__all__ = [
+    "HamacherFamily",
+    "YagerFamily",
+    "hamacher_conorm",
+    "yager_conorm",
+]
+
+
+class HamacherFamily(TNorm):
+    """The Hamacher t-norm with parameter ``gamma`` >= 0.
+
+    >>> HamacherFamily(1.0)(0.5, 0.4)   # gamma=1 is the algebraic product
+    0.2
+    """
+
+    def __init__(self, gamma: float) -> None:
+        if gamma < 0:
+            raise ValueError(f"Hamacher parameter must be >= 0, got {gamma}")
+        self.gamma = gamma
+        self.name = f"hamacher[{gamma:g}]"
+
+    def pair(self, x: float, y: float) -> float:
+        denominator = self.gamma + (1.0 - self.gamma) * (x + y - x * y)
+        if denominator == 0.0:
+            # Only reachable at gamma = 0 with x = y = 0.
+            return 0.0
+        return (x * y) / denominator
+
+
+class YagerFamily(TNorm):
+    """The Yager t-norm with parameter ``p`` > 0.
+
+    >>> round(YagerFamily(1.0)(0.7, 0.6), 9)   # p=1: bounded difference
+    0.3
+    """
+
+    def __init__(self, p: float) -> None:
+        if p <= 0:
+            raise ValueError(f"Yager parameter must be > 0, got {p}")
+        self.p = p
+        self.name = f"yager-tnorm[{p:g}]"
+
+    def pair(self, x: float, y: float) -> float:
+        inner = ((1.0 - x) ** self.p + (1.0 - y) ** self.p) ** (1.0 / self.p)
+        return max(0.0, 1.0 - inner)
+
+
+def hamacher_conorm(gamma: float) -> TConorm:
+    """The co-norm dual to :class:`HamacherFamily` under 1 - x."""
+    return DualTConorm(HamacherFamily(gamma))
+
+
+def yager_conorm(p: float) -> TConorm:
+    """The co-norm dual to :class:`YagerFamily` under 1 - x."""
+    return DualTConorm(YagerFamily(p))

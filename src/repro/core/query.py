@@ -1,0 +1,272 @@
+"""The query model of Sections 2-3.
+
+    "We take atomic queries to be of the form X = t, where X is the name
+    of an attribute and t is a target. Queries are Boolean combinations
+    of atomic queries."
+
+The AST distinguishes crisp equality atoms (``Artist = "Beatles"``,
+grades in {0, 1}) from graded match atoms (``AlbumColor ~ "red"``,
+grades anywhere in [0, 1]) — the mismatch the paper's semantics
+resolves. On top of the Boolean connectives we support the general
+combination ``Ft(A1, ..., Am)`` for an arbitrary m-ary aggregation
+function t, and weighted conjunctions per [FW97].
+
+All nodes are immutable and structurally hashable, so queries can be
+used as dictionary keys (the planner does this) and compared in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.aggregation import AggregationFunction
+from repro.core.weights import FaginWimmersWeighting
+
+__all__ = [
+    "Query",
+    "AtomicQuery",
+    "And",
+    "Or",
+    "Not",
+    "Ft",
+    "Weighted",
+    "atom",
+]
+
+
+class Query:
+    """Base class for query AST nodes."""
+
+    def atoms(self) -> tuple["AtomicQuery", ...]:
+        """All distinct atomic subqueries, in first-appearance order."""
+        seen: dict[AtomicQuery, None] = {}
+        for node in self.walk():
+            if isinstance(node, AtomicQuery):
+                seen.setdefault(node)
+        return tuple(seen)
+
+    def walk(self) -> Iterator["Query"]:
+        """Depth-first pre-order traversal of the AST."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> tuple["Query", ...]:
+        return ()
+
+    def uses_negation(self) -> bool:
+        """True iff any ``Not`` occurs — negation breaks monotonicity,
+        so A0's correctness guarantee (Theorem 4.2) no longer applies."""
+        return any(isinstance(node, Not) for node in self.walk())
+
+    # Connective sugar -------------------------------------------------
+
+    def __and__(self, other: "Query") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Query") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    # Structural equality ----------------------------------------------
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+
+class AtomicQuery(Query):
+    """An atomic query ``attribute op target``.
+
+    ``op`` is ``"="`` for crisp equality (traditional database
+    predicate; grades 0 or 1) or ``"~"`` for a graded match (QBIC-style
+    similarity; grades in [0, 1]). ``target`` may be ``None`` for the
+    abstract atoms A1, ..., Am of the formal model, where only the
+    identity of the atom matters.
+    """
+
+    def __init__(self, attribute: str, target: object = None, op: str = "~") -> None:
+        if op not in ("=", "~"):
+            raise ValueError(f"atomic query op must be '=' or '~', got {op!r}")
+        if not attribute:
+            raise ValueError("atomic query needs a non-empty attribute name")
+        self.attribute = attribute
+        self.target = target
+        self.op = op
+
+    @property
+    def crisp(self) -> bool:
+        """True iff this is a traditional (0/1-graded) predicate."""
+        return self.op == "="
+
+    def _key(self) -> tuple:
+        return (self.attribute, self.op, self.target)
+
+    def __repr__(self) -> str:
+        if self.target is None:
+            return f"Atom({self.attribute})"
+        return f"({self.attribute} {self.op} {self.target!r})"
+
+
+def atom(name: str) -> AtomicQuery:
+    """An abstract atom for the formal model (A1, A2, ... of Section 4).
+
+    >>> a1, a2 = atom("A1"), atom("A2")
+    >>> (a1 & a2).atoms()
+    (Atom(A1), Atom(A2))
+    """
+    return AtomicQuery(name, target=None, op="~")
+
+
+class _NAry(Query):
+    """Shared implementation for the n-ary connectives And / Or."""
+
+    symbol = "?"
+
+    def __init__(self, operands: Sequence[Query]) -> None:
+        flattened: list[Query] = []
+        for op in operands:
+            # Flatten nested same-type connectives: And(And(a,b),c) ->
+            # And(a,b,c). Sound because every conjunction rule in the
+            # paper is associative (t-norm axiom), likewise disjunction.
+            if type(op) is type(self):
+                flattened.extend(op.children())
+            else:
+                flattened.append(op)
+        if len(flattened) < 2:
+            raise ValueError(
+                f"{type(self).__name__} needs at least 2 operands, "
+                f"got {len(flattened)}"
+            )
+        self.operands = tuple(flattened)
+
+    def children(self) -> tuple[Query, ...]:
+        return self.operands
+
+    def _key(self) -> tuple:
+        return self.operands
+
+    def __repr__(self) -> str:
+        inner = f" {self.symbol} ".join(map(repr, self.operands))
+        return f"({inner})"
+
+
+class And(_NAry):
+    """Fuzzy conjunction — evaluated by the semantics' t-norm."""
+
+    symbol = "AND"
+
+
+class Or(_NAry):
+    """Fuzzy disjunction — evaluated by the semantics' co-norm."""
+
+    symbol = "OR"
+
+
+class Not(Query):
+    """Fuzzy negation — evaluated by the semantics' negation rule."""
+
+    def __init__(self, operand: Query) -> None:
+        self.operand = operand
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.operand,)
+
+    def _key(self) -> tuple:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"NOT {self.operand!r}"
+
+
+class Ft(Query):
+    """The general m-ary combination ``Ft(A1, ..., Am)`` of Section 3.
+
+        "We define the m-ary query Ft(A1, ..., Am) by taking
+        mu_Ft(A1,...,Am)(x) = t(mu_A1(x), ..., mu_Am(x))."
+
+    The aggregation function carries the monotone/strict flags that
+    decide which theorems (and which algorithms) apply.
+    """
+
+    def __init__(
+        self, aggregation: AggregationFunction, operands: Sequence[Query]
+    ) -> None:
+        if not operands:
+            raise ValueError("Ft needs at least one operand")
+        if aggregation.arity is not None and aggregation.arity != len(operands):
+            raise ValueError(
+                f"aggregation {aggregation.name!r} has arity "
+                f"{aggregation.arity}, got {len(operands)} operands"
+            )
+        self.aggregation = aggregation
+        self.operands = tuple(operands)
+
+    def children(self) -> tuple[Query, ...]:
+        return self.operands
+
+    @property
+    def monotone(self) -> bool:
+        return self.aggregation.monotone
+
+    @property
+    def strict(self) -> bool:
+        return self.aggregation.strict
+
+    def _key(self) -> tuple:
+        return (self.aggregation.name, self.operands)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(map(repr, self.operands))
+        return f"F[{self.aggregation.name}]({inner})"
+
+
+class Weighted(Query):
+    """A weighted conjunction per [FW97].
+
+        "this algorithm applies also when the user can weight the
+        relative importance of the conjuncts (for example, where the
+        user decides that color is twice as important to him as shape),
+        since such 'weighted conjunctions' are also monotone."
+
+    The grade is computed by the Fagin-Wimmers formula
+    (:class:`repro.core.weights.FaginWimmersWeighting`) over the base
+    aggregation (default: the standard min rule is supplied by the
+    semantics at evaluation time).
+    """
+
+    def __init__(self, operands: Sequence[Query], weights: Sequence[float]) -> None:
+        if len(operands) != len(weights):
+            raise ValueError(
+                f"{len(operands)} operands but {len(weights)} weights"
+            )
+        if len(operands) < 1:
+            raise ValueError("Weighted needs at least one operand")
+        # Normalisation/validation lives in the weighting formula class.
+        self.weighting_spec = tuple(FaginWimmersWeighting.normalise(weights))
+        self.operands = tuple(operands)
+
+    @property
+    def weights(self) -> tuple[float, ...]:
+        return self.weighting_spec
+
+    def children(self) -> tuple[Query, ...]:
+        return self.operands
+
+    def _key(self) -> tuple:
+        return (self.weighting_spec, self.operands)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{w:g}*{q!r}" for w, q in zip(self.weighting_spec, self.operands)
+        )
+        return f"Weighted({parts})"

@@ -1,0 +1,140 @@
+"""The triangular co-norms catalogued in Section 3 of the paper.
+
+Each co-norm here is the dual of the t-norm of the same family under
+the standard negation n(x) = 1 - x ([Al85]; De Morgan laws per [BD86]):
+``s(x, y) = 1 - t(1 - x, 1 - y)``. The formulas below are the closed
+forms printed in the paper; the duality itself is property-tested in
+``tests/core/test_duality.py``.
+
+Co-norms model disjunction. They are monotone but *not* strict (max is
+1 whenever any argument is 1), which is why the paper's lower bound
+does not apply to them and algorithm B0 evaluates the standard fuzzy
+disjunction with only m*k accesses (Theorem 4.5, Remark 6.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregation import TConorm
+
+__all__ = [
+    "MaximumTConorm",
+    "DrasticSum",
+    "BoundedSum",
+    "EinsteinSum",
+    "AlgebraicSum",
+    "HamacherSum",
+    "MAXIMUM",
+    "DRASTIC_SUM",
+    "BOUNDED_SUM",
+    "EINSTEIN_SUM",
+    "ALGEBRAIC_SUM",
+    "HAMACHER_SUM",
+    "TCONORMS",
+    "get_tconorm",
+]
+
+
+class MaximumTConorm(TConorm):
+    """The standard fuzzy disjunction rule of Zadeh [Za65]: max."""
+
+    name = "max"
+
+    def pair(self, x: float, y: float) -> float:
+        return x if x >= y else y
+
+
+class DrasticSum(TConorm):
+    """s(x, y) = max(x, y) if min(x, y) = 0, else 1 — the largest co-norm."""
+
+    name = "drastic-sum"
+
+    def pair(self, x: float, y: float) -> float:
+        if x == 0.0 or y == 0.0:
+            return x if x >= y else y
+        return 1.0
+
+
+class BoundedSum(TConorm):
+    """s(x, y) = min(1, x + y) (the Lukasiewicz co-norm)."""
+
+    name = "bounded-sum"
+
+    def pair(self, x: float, y: float) -> float:
+        return min(1.0, x + y)
+
+
+class EinsteinSum(TConorm):
+    """s(x, y) = (x + y) / (1 + x*y)."""
+
+    name = "einstein-sum"
+
+    def pair(self, x: float, y: float) -> float:
+        return (x + y) / (1.0 + x * y)
+
+
+class AlgebraicSum(TConorm):
+    """s(x, y) = x + y - x*y (the probabilistic sum)."""
+
+    name = "algebraic-sum"
+
+    def pair(self, x: float, y: float) -> float:
+        return x + y - x * y
+
+
+class HamacherSum(TConorm):
+    """s(x, y) = (x + y - 2*x*y) / (1 - x*y), with s(1, 1) = 1.
+
+    Evaluated via the algebraically equivalent form
+    1 - (1-x)*(1-y)/(1-x*y), which avoids the catastrophic
+    cancellation of the textbook numerator when x*y approaches 1
+    (the naive form loses ~7 digits at x = y = 1 - 1e-9, enough to
+    break monotonicity in floating point).
+    """
+
+    name = "hamacher-sum"
+
+    def pair(self, x: float, y: float) -> float:
+        if x == 1.0 or y == 1.0:
+            return 1.0
+        return 1.0 - ((1.0 - x) * (1.0 - y)) / (1.0 - x * y)
+
+
+#: Shared singleton instances (co-norms are stateless).
+MAXIMUM = MaximumTConorm()
+DRASTIC_SUM = DrasticSum()
+BOUNDED_SUM = BoundedSum()
+EINSTEIN_SUM = EinsteinSum()
+ALGEBRAIC_SUM = AlgebraicSum()
+HAMACHER_SUM = HamacherSum()
+
+#: Registry of all co-norms from the paper, by name.
+TCONORMS: dict[str, TConorm] = {
+    sc.name: sc
+    for sc in (
+        MAXIMUM,
+        DRASTIC_SUM,
+        BOUNDED_SUM,
+        EINSTEIN_SUM,
+        ALGEBRAIC_SUM,
+        HAMACHER_SUM,
+    )
+}
+
+#: The duality pairing used by the De Morgan tests: t-norm name -> co-norm name.
+DUAL_PAIRS: dict[str, str] = {
+    "min": "max",
+    "drastic-product": "drastic-sum",
+    "bounded-difference": "bounded-sum",
+    "einstein-product": "einstein-sum",
+    "algebraic-product": "algebraic-sum",
+    "hamacher-product": "hamacher-sum",
+}
+
+
+def get_tconorm(name: str) -> TConorm:
+    """Look up a co-norm by its registry name."""
+    try:
+        return TCONORMS[name]
+    except KeyError:
+        known = ", ".join(sorted(TCONORMS))
+        raise KeyError(f"unknown t-conorm {name!r}; known: {known}") from None

@@ -1,0 +1,135 @@
+"""The triangular norms catalogued in Section 3 of the paper.
+
+    "Below are some examples of triangular norms and their corresponding
+    co-norms [BD86, Mi89]: Minimum … Drastic product … Bounded
+    difference … Einstein product … Algebraic product … Hamacher
+    product."
+
+Every t-norm here is monotone and strict (Section 3: strictness
+"follows from the fact [DP80] that every triangular norm is bounded
+below by the drastic product and above by the min"), so the paper's
+matching upper and lower bounds — and hence algorithm A0's optimality —
+apply to each of them (Theorem 6.5).
+
+All formulas are written exactly as printed in the paper; degenerate
+0/0 cases (Hamacher at (0, 0)) follow the standard convention t(0,0)=0.
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregation import TNorm
+
+__all__ = [
+    "MinimumTNorm",
+    "DrasticProduct",
+    "BoundedDifference",
+    "EinsteinProduct",
+    "AlgebraicProduct",
+    "HamacherProduct",
+    "MINIMUM",
+    "DRASTIC_PRODUCT",
+    "BOUNDED_DIFFERENCE",
+    "EINSTEIN_PRODUCT",
+    "ALGEBRAIC_PRODUCT",
+    "HAMACHER_PRODUCT",
+    "TNORMS",
+    "get_tnorm",
+]
+
+
+class MinimumTNorm(TNorm):
+    """The standard fuzzy conjunction rule of Zadeh [Za65]: min.
+
+    By Theorem 3.1 (Yager / Dubois-Prade, after Bellman-Giertz), min is
+    the *unique* monotone conjunction that preserves logical equivalence
+    of ∧/∨-queries. It is the largest t-norm.
+    """
+
+    name = "min"
+
+    def pair(self, x: float, y: float) -> float:
+        return x if x <= y else y
+
+
+class DrasticProduct(TNorm):
+    """t(x, y) = min(x, y) if max(x, y) = 1, else 0 — the smallest t-norm."""
+
+    name = "drastic-product"
+
+    def pair(self, x: float, y: float) -> float:
+        if x == 1.0 or y == 1.0:
+            return x if x <= y else y
+        return 0.0
+
+
+class BoundedDifference(TNorm):
+    """t(x, y) = max(0, x + y - 1) (the Lukasiewicz t-norm)."""
+
+    name = "bounded-difference"
+
+    def pair(self, x: float, y: float) -> float:
+        return max(0.0, x + y - 1.0)
+
+
+class EinsteinProduct(TNorm):
+    """t(x, y) = x*y / (2 - (x + y - x*y))."""
+
+    name = "einstein-product"
+
+    def pair(self, x: float, y: float) -> float:
+        return (x * y) / (2.0 - (x + y - x * y))
+
+
+class AlgebraicProduct(TNorm):
+    """t(x, y) = x*y (the probabilistic product)."""
+
+    name = "algebraic-product"
+
+    def pair(self, x: float, y: float) -> float:
+        return x * y
+
+
+class HamacherProduct(TNorm):
+    """t(x, y) = x*y / (x + y - x*y), with t(0, 0) = 0."""
+
+    name = "hamacher-product"
+
+    def pair(self, x: float, y: float) -> float:
+        if x == 0.0 and y == 0.0:
+            return 0.0
+        return (x * y) / (x + y - x * y)
+
+
+#: Shared singleton instances (t-norms are stateless).
+MINIMUM = MinimumTNorm()
+DRASTIC_PRODUCT = DrasticProduct()
+BOUNDED_DIFFERENCE = BoundedDifference()
+EINSTEIN_PRODUCT = EinsteinProduct()
+ALGEBRAIC_PRODUCT = AlgebraicProduct()
+HAMACHER_PRODUCT = HamacherProduct()
+
+#: Registry of all t-norms from the paper, by name.
+TNORMS: dict[str, TNorm] = {
+    tn.name: tn
+    for tn in (
+        MINIMUM,
+        DRASTIC_PRODUCT,
+        BOUNDED_DIFFERENCE,
+        EINSTEIN_PRODUCT,
+        ALGEBRAIC_PRODUCT,
+        HAMACHER_PRODUCT,
+    )
+}
+
+
+def get_tnorm(name: str) -> TNorm:
+    """Look up a t-norm by its registry name.
+
+    >>> get_tnorm("min").pair(0.3, 0.8)
+    0.3
+    """
+    try:
+        return TNORMS[name]
+    except KeyError:
+        known = ", ".join(sorted(TNORMS))
+        raise KeyError(f"unknown t-norm {name!r}; known: {known}") from None

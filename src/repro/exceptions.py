@@ -1,0 +1,105 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the failure mode through the concrete subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GradeRangeError(ReproError, ValueError):
+    """A grade fell outside the unit interval [0, 1].
+
+    The paper defines a grade as "a real number in the interval [0, 1]"
+    (Section 2); every public entry point validates grades eagerly so
+    that malformed data fails at the boundary rather than deep inside an
+    algorithm.
+    """
+
+    def __init__(self, grade: object, context: str = "") -> None:
+        where = f" ({context})" if context else ""
+        super().__init__(f"grade {grade!r} is not a real number in [0, 1]{where}")
+        self.grade = grade
+        self.context = context
+
+
+class UnknownObjectError(ReproError, KeyError):
+    """A random access named an object the source does not contain."""
+
+    def __init__(self, obj: object, source: str = "") -> None:
+        where = f" in source {source!r}" if source else ""
+        super().__init__(f"unknown object {obj!r}{where}")
+        self.obj = obj
+        self.source = source
+
+
+class ExhaustedSourceError(ReproError):
+    """A sorted access was attempted on a fully-consumed source."""
+
+    def __init__(self, source: str = "") -> None:
+        which = source or "<anonymous>"
+        super().__init__(f"sorted access past the end of source {which!r}")
+        self.source = source
+
+
+class InsufficientObjectsError(ReproError, ValueError):
+    """``k`` exceeded the number of objects in the database.
+
+    Algorithm A0 "assumes that there are at least k objects, so that
+    'the top k answers' makes sense" (Section 4).
+    """
+
+    def __init__(self, k: int, available: int) -> None:
+        super().__init__(
+            f"requested top k={k} answers but only {available} objects exist"
+        )
+        self.k = k
+        self.available = available
+
+
+class AggregationArityError(ReproError, ValueError):
+    """An aggregation function was applied to the wrong number of grades."""
+
+    def __init__(self, name: str, expected: object, received: int) -> None:
+        super().__init__(
+            f"aggregation {name!r} expected {expected} argument(s), got {received}"
+        )
+        self.name = name
+        self.expected = expected
+        self.received = received
+
+
+class InconsistentSkeletonError(ReproError, ValueError):
+    """A scoring database was paired with a skeleton it is not consistent with.
+
+    Section 5: "A scoring database D is consistent with skeleton S if for
+    each i, the ith permutation in S gives a sorting of the ith graded
+    set of D (in descending order of grade)."
+    """
+
+
+class ParseError(ReproError, ValueError):
+    """The middleware query language text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(ReproError, LookupError):
+    """An attribute referenced by a query is not registered in the catalog."""
+
+
+class PlanningError(ReproError):
+    """The planner could not produce a physical plan for a query."""
+
+
+class SubsystemCapabilityError(ReproError):
+    """A plan required a capability (e.g. random access) a subsystem lacks."""

@@ -1,0 +1,114 @@
+"""The attribute catalog: which subsystem answers which atomic query.
+
+Garlic is a federator: "a single Garlic query can access data in a
+number of different subsystems" (Section 1). The catalog maps attribute
+names to registered subsystems, validates that all subsystems grade the
+same object population (the Section 5 model: "all of the data in all of
+the subsystems that we are considering … deal with the attributes of a
+specific set of objects of some fixed type"), and surfaces the
+selectivity statistics the planner uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.access.types import ObjectId
+from repro.core.query import AtomicQuery
+from repro.exceptions import CatalogError
+from repro.subsystems.base import Subsystem
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Registry of subsystems keyed by the attributes they serve."""
+
+    def __init__(self) -> None:
+        self._by_attribute: dict[str, Subsystem] = {}
+        self._subsystems: list[Subsystem] = []
+        self._objects: frozenset[ObjectId] | None = None
+
+    def register(self, subsystem: Subsystem) -> None:
+        """Add a subsystem; its attributes become queryable.
+
+        Rejects attribute clashes (two subsystems claiming the same
+        attribute) and population mismatches (a subsystem grading a
+        different object set than the ones already registered).
+        """
+        attrs = subsystem.attributes()
+        for attr in attrs:
+            existing = self._by_attribute.get(attr)
+            if existing is not None:
+                raise CatalogError(
+                    f"attribute {attr!r} already served by "
+                    f"{existing.name!r}; cannot also register "
+                    f"{subsystem.name!r}"
+                )
+        population = subsystem.object_ids()
+        if self._objects is not None and population != self._objects:
+            raise CatalogError(
+                f"subsystem {subsystem.name!r} grades {len(population)} "
+                f"objects but the catalog's population has "
+                f"{len(self._objects)}; all subsystems must grade the "
+                "same objects (Section 5 model)"
+            )
+        self._objects = population
+        self._subsystems.append(subsystem)
+        for attr in attrs:
+            self._by_attribute[attr] = subsystem
+
+    @property
+    def subsystems(self) -> tuple[Subsystem, ...]:
+        return tuple(self._subsystems)
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        return frozenset(self._by_attribute)
+
+    @property
+    def objects(self) -> frozenset[ObjectId]:
+        if self._objects is None:
+            raise CatalogError("no subsystems registered")
+        return self._objects
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.objects)
+
+    def subsystem_for(self, query: AtomicQuery) -> Subsystem:
+        """The subsystem serving an atomic query's attribute."""
+        try:
+            return self._by_attribute[query.attribute]
+        except KeyError:
+            known = ", ".join(sorted(self._by_attribute)) or "<none>"
+            raise CatalogError(
+                f"no subsystem serves attribute {query.attribute!r} "
+                f"(known attributes: {known})"
+            ) from None
+
+    def selectivity(self, query: AtomicQuery) -> float | None:
+        """Selectivity estimate for an atomic query, if available."""
+        return self.subsystem_for(query).estimate_selectivity(query)
+
+    def is_crisp(self, query: AtomicQuery) -> bool:
+        """Is this atom a traditional (0/1) predicate?
+
+        True when the atom uses crisp equality *and* its subsystem is
+        declared crisp — the combination Section 4's filtered strategy
+        relies on (the grade of a non-match is exactly 0).
+        """
+        return query.crisp and self.subsystem_for(query).crisp
+
+    def same_subsystem(self, queries: Iterable[AtomicQuery]) -> Subsystem | None:
+        """The single subsystem serving all given atoms, or None."""
+        owners = {id(self.subsystem_for(q)): self.subsystem_for(q) for q in queries}
+        if len(owners) == 1:
+            return next(iter(owners.values()))
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Catalog({len(self._subsystems)} subsystems, "
+            f"{len(self._by_attribute)} attributes)"
+        )

@@ -1,0 +1,49 @@
+"""Compiling a query tree into an m-ary aggregation over its atoms.
+
+The algorithms of Section 4 are stated for ``Ft(A1, ..., Am)`` — one
+aggregation function applied to atomic grades. An arbitrary
+negation-free Boolean combination like ``A AND (B OR C)`` *is* such an
+``Ft``: the composite t(g_A, g_B, g_C) = tnorm(g_A, conorm(g_B, g_C))
+is itself an aggregation function, monotone whenever the connectives
+are (composition of monotone functions), which is exactly what
+Theorem 4.2 needs. :class:`CompiledQueryAggregation` performs that
+compilation, inheriting its monotone/strict flags from the semantics'
+conservative classification.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.aggregation import AggregationFunction
+from repro.core.query import AtomicQuery, Query
+from repro.core.semantics import FuzzySemantics
+
+__all__ = ["CompiledQueryAggregation"]
+
+
+class CompiledQueryAggregation(AggregationFunction):
+    """The query's grade as a function of its atoms' grades.
+
+    Argument order follows ``query.atoms()`` (first-appearance order);
+    the ``atoms`` attribute records it so callers can line sources up.
+    An atom appearing several times in the tree (e.g. ``A AND (A OR
+    B)``) is still a *single* argument — its grade is shared, exactly
+    as the semantics of Section 3 prescribe.
+    """
+
+    def __init__(self, query: Query, semantics: FuzzySemantics) -> None:
+        self.query = query
+        self.semantics = semantics
+        self.atoms: tuple[AtomicQuery, ...] = query.atoms()
+        if not self.atoms:
+            raise ValueError("query has no atomic subqueries")
+        self.arity = len(self.atoms)
+        classification = semantics.classify(query)
+        self.monotone = classification.monotone
+        self.strict = classification.strict
+        self.name = f"compiled({query!r})"
+
+    def aggregate(self, grades: Sequence[float]) -> float:
+        valuation = dict(zip(self.atoms, grades))
+        return self.semantics.evaluate(self.query, valuation)

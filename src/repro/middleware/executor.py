@@ -1,0 +1,194 @@
+"""The executor: runs physical plans against registered subsystems.
+
+Every access a strategy makes flows through instrumented sources, so a
+:class:`QueryAnswer` carries the true middleware cost of the execution
+— the same accounting the paper's Section 5 analysis is about, now at
+the federated level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.access.cost import CostTracker
+from repro.access.session import MiddlewareSession
+from repro.access.source import InstrumentedSource
+from repro.access.types import GradedItem
+from repro.algorithms.base import TopKResult, top_k_of
+from repro.algorithms.naive import NaiveAlgorithm
+from repro.core.graded_set import GradedSet
+from repro.core.query import Query
+from repro.core.semantics import FuzzySemantics
+from repro.exceptions import PlanningError
+from repro.middleware.catalog import Catalog
+from repro.middleware.plan import (
+    AlgorithmPlan,
+    FilteredConjunctPlan,
+    FullScanPlan,
+    InternalConjunctionPlan,
+    PhysicalPlan,
+)
+
+__all__ = ["QueryAnswer", "Executor"]
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """A top-k answer with its provenance: plan, query, and cost."""
+
+    query: Query
+    plan: PhysicalPlan
+    result: TopKResult
+
+    @property
+    def items(self) -> tuple[GradedItem, ...]:
+        return self.result.items
+
+    def as_graded_set(self) -> GradedSet:
+        return self.result.as_graded_set()
+
+    def explain(self) -> str:
+        stats = self.result.stats
+        return (
+            f"{self.plan.explain()}\n"
+            f"cost: S={stats.sorted_cost} sorted + R={stats.random_cost} "
+            f"random = {stats.sum_cost} accesses"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryAnswer(k={self.result.k}, "
+            f"plan={type(self.plan).__name__}, "
+            f"cost={self.result.stats.sum_cost})"
+        )
+
+
+class Executor:
+    """Executes physical plans over a catalog of subsystems."""
+
+    def __init__(self, catalog: Catalog, semantics: FuzzySemantics) -> None:
+        self._catalog = catalog
+        self._semantics = semantics
+
+    def execute(self, plan: PhysicalPlan, k: int) -> QueryAnswer:
+        """Run ``plan`` and return the top-k answer with cost accounting."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        if isinstance(plan, AlgorithmPlan):
+            result = self._run_algorithm(plan, k)
+        elif isinstance(plan, FilteredConjunctPlan):
+            result = self._run_filtered(plan, k)
+        elif isinstance(plan, InternalConjunctionPlan):
+            result = self._run_internal(plan, k)
+        elif isinstance(plan, FullScanPlan):
+            result = self._run_full_scan(plan, k)
+        else:
+            raise PlanningError(f"unknown plan type {type(plan).__name__}")
+        return QueryAnswer(query=plan.query, plan=plan, result=result)
+
+    # ------------------------------------------------------------------
+    # Strategies
+    # ------------------------------------------------------------------
+
+    def _session_for(self, atoms) -> MiddlewareSession:
+        raw = [
+            self._catalog.subsystem_for(atom).evaluate(atom) for atom in atoms
+        ]
+        return MiddlewareSession.over_sources(
+            raw, num_objects=self._catalog.num_objects
+        )
+
+    def _run_algorithm(self, plan: AlgorithmPlan, k: int) -> TopKResult:
+        assert plan.algorithm is not None and plan.aggregation is not None
+        session = self._session_for(plan.atoms)
+        return plan.algorithm.top_k(session, plan.aggregation, k)
+
+    def _run_full_scan(self, plan: FullScanPlan, k: int) -> TopKResult:
+        assert plan.aggregation is not None
+        session = self._session_for(plan.atoms)
+        return NaiveAlgorithm().top_k(session, plan.aggregation, k)
+
+    def _run_internal(self, plan: InternalConjunctionPlan, k: int) -> TopKResult:
+        assert plan.subsystem is not None
+        tracker = CostTracker(1)
+        source = InstrumentedSource(
+            plan.subsystem.evaluate_conjunction(list(plan.atoms)), tracker, 0
+        )
+        items = []
+        for _ in range(min(k, len(source))):
+            items.append(source.next_sorted())
+        return TopKResult(
+            items=tuple(items),
+            stats=tracker.snapshot(),
+            algorithm="internal-conjunction",
+            details={"subsystem": plan.subsystem.name},
+        )
+
+    def _run_filtered(self, plan: FilteredConjunctPlan, k: int) -> TopKResult:
+        """The Section 4 filtered-conjunct strategy.
+
+        1. For each crisp filter atom, read its sorted stream just past
+           the grade-1 block; intersect the match sets to get S.
+        2. For each object in S, random-access the graded conjuncts.
+        3. Grade S's members with the compiled aggregation (filter
+           atoms contribute 1). Objects outside S provably have grade
+           0 (some crisp conjunct is 0 and every t-norm annihilates at
+           0), so if |S| < k the answer is padded with grade-0 objects
+           — no further accesses needed.
+        """
+        assert plan.aggregation is not None
+        compiled = plan.aggregation
+        all_atoms = compiled.atoms  # argument order of the aggregation
+        tracker = CostTracker(len(plan.filter_atoms) + len(plan.graded_atoms))
+
+        sources = {}
+        index = 0
+        for atom in plan.filter_atoms + plan.graded_atoms:
+            raw = self._catalog.subsystem_for(atom).evaluate(atom)
+            sources[atom] = InstrumentedSource(raw, tracker, index)
+            index += 1
+
+        # Phase 1: crisp match sets off the top of each filter stream.
+        survivors: set | None = None
+        for atom in plan.filter_atoms:
+            source = sources[atom]
+            matches = set()
+            while not source.exhausted:
+                item = source.next_sorted()
+                if item.grade >= 1.0:
+                    matches.add(item.obj)
+                else:
+                    break  # crisp stream: everything after is graded 0
+            survivors = matches if survivors is None else (survivors & matches)
+            if not survivors:
+                break
+        assert survivors is not None
+
+        # Phase 2: random access the graded conjuncts for S's members.
+        scored: dict[object, float] = {}
+        for obj in survivors:
+            grades = []
+            for atom in all_atoms:
+                if atom in plan.filter_atoms:
+                    grades.append(1.0)
+                else:
+                    grades.append(sources[atom].random_access(obj))
+            scored[obj] = compiled(*grades)
+
+        items = list(top_k_of(scored, min(k, len(scored))))
+
+        # Phase 3: pad with certified grade-0 objects if needed.
+        if len(items) < k:
+            padding = sorted(
+                (obj for obj in self._catalog.objects if obj not in survivors),
+                key=repr,
+            )
+            for obj in padding[: k - len(items)]:
+                items.append(GradedItem(obj, 0.0))
+
+        return TopKResult(
+            items=tuple(items),
+            stats=tracker.snapshot(),
+            algorithm="filtered-conjunct",
+            details={"filter_set_size": len(survivors)},
+        )

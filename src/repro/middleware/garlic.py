@@ -1,0 +1,146 @@
+"""The Garlic facade: register subsystems, ask queries, get graded sets.
+
+End-to-end usage mirroring the paper's running example:
+
+    >>> from repro.middleware.garlic import Garlic
+    >>> from repro.subsystems import RelationalSubsystem, QbicSubsystem
+    >>> from repro.workloads import cd_store
+    >>> albums = cd_store(60, seed=1)
+    >>> garlic = Garlic()
+    >>> garlic.register(RelationalSubsystem("store-db", {
+    ...     a.album_id: {"Artist": a.artist, "Year": a.year, "Genre": a.genre}
+    ...     for a in albums}))
+    >>> garlic.register(QbicSubsystem("qbic", {
+    ...     "AlbumColor": {a.album_id: a.cover_rgb for a in albums}}))
+    >>> answer = garlic.query(
+    ...     '(Artist = "Beatles") AND (AlbumColor ~ "red")', k=3)
+    >>> len(answer.items)
+    3
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.query import Query
+from repro.core.semantics import STANDARD_FUZZY, FuzzySemantics
+from repro.middleware.catalog import Catalog
+from repro.middleware.executor import Executor, QueryAnswer
+from repro.middleware.parser import parse_query
+from repro.middleware.plan import PhysicalPlan
+from repro.middleware.planner import Planner, PlannerOptions
+from repro.subsystems.base import Subsystem
+
+__all__ = ["Garlic"]
+
+
+class Garlic:
+    """A multimedia middleware instance (Sections 1-2).
+
+    Parameters
+    ----------
+    semantics:
+        The fuzzy evaluation rules; defaults to the standard min/max/
+        (1 - x) rules that Theorem 3.1 singles out.
+    options:
+        Planner tuning (filtered-conjunct threshold, internal-
+        conjunction opt-in).
+    """
+
+    def __init__(
+        self,
+        semantics: FuzzySemantics = STANDARD_FUZZY,
+        options: PlannerOptions | None = None,
+    ) -> None:
+        self.semantics = semantics
+        self.catalog = Catalog()
+        self._options = options or PlannerOptions()
+        self._executor = Executor(self.catalog, semantics)
+
+    def register(self, subsystem: Subsystem) -> "Garlic":
+        """Register a data server; returns self for chaining."""
+        self.catalog.register(subsystem)
+        return self
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def _parse(self, query: str | Query) -> Query:
+        return parse_query(query) if isinstance(query, str) else query
+
+    def _planner(self, conjunction: str) -> Planner:
+        if conjunction not in ("external", "internal"):
+            raise ValueError(
+                f"conjunction must be 'external' or 'internal', "
+                f"got {conjunction!r}"
+            )
+        options = self._options
+        if conjunction == "internal":
+            options = replace(options, allow_internal_conjunction=True)
+        return Planner(self.catalog, self.semantics, options)
+
+    def plan(
+        self, query: str | Query, conjunction: str = "external"
+    ) -> PhysicalPlan:
+        """Plan a query without executing it."""
+        return self._planner(conjunction).plan(self._parse(query))
+
+    def query(
+        self,
+        query: str | Query,
+        k: int = 10,
+        conjunction: str = "external",
+    ) -> QueryAnswer:
+        """Evaluate a query and return its top-k graded answer.
+
+        ``conjunction="internal"`` opts into Section 8 pushdown when a
+        conjunction's atoms all live in one capable subsystem — with
+        that subsystem's own semantics, which may differ from Garlic's.
+        """
+        physical = self.plan(query, conjunction)
+        return self._executor.execute(physical, k)
+
+    def explain(
+        self,
+        query: str | Query,
+        k: int = 10,
+        conjunction: str = "external",
+    ) -> str:
+        """The plan's human-readable strategy description."""
+        return self.plan(query, conjunction).explain()
+
+    def open_cursor(self, query: str | Query) -> "QueryCursor":
+        """Open a pageable cursor over a monotone query's answers.
+
+        Implements Section 4's "continue where we left off" at the
+        middleware level: each :meth:`QueryCursor.next_page` call
+        reuses all prior sorted-access progress. Only queries that
+        plan to an algorithm strategy (not filtered/internal/full-scan)
+        support cursors.
+        """
+        from repro.access.session import MiddlewareSession
+        from repro.middleware.cursor import QueryCursor
+
+        parsed = self._parse(query)
+        physical = self.plan(parsed)
+        from repro.middleware.plan import AlgorithmPlan
+
+        if not isinstance(physical, AlgorithmPlan):
+            from repro.exceptions import PlanningError
+
+            raise PlanningError(
+                f"query plans to {type(physical).__name__}, which does "
+                "not support cursors; re-issue with a larger k instead"
+            )
+        raw = [
+            self.catalog.subsystem_for(atom).evaluate(atom)
+            for atom in physical.atoms
+        ]
+        session = MiddlewareSession.over_sources(
+            raw, num_objects=self.catalog.num_objects
+        )
+        return QueryCursor(parsed, physical, session)
+
+    def __repr__(self) -> str:
+        return f"Garlic({self.catalog!r})"

@@ -1,0 +1,236 @@
+"""The middleware query language.
+
+A small concrete syntax for the paper's queries, so examples read like
+the text:
+
+    (Artist = "Beatles") AND (AlbumColor ~ "red")
+    (Color ~ "red") AND (Shape ~ "round")
+    NOT (Genre = "rock") OR (Blurb ~ "raw soul")
+    WEIGHTED(2: Color ~ "red", 1: Shape ~ "round")
+
+Grammar (precedence: NOT > AND > OR, AND/OR n-ary and left-grouping):
+
+    query    := or_expr
+    or_expr  := and_expr ("OR" and_expr)*
+    and_expr := unary ("AND" unary)*
+    unary    := "NOT" unary | primary
+    primary  := "(" query ")" | weighted | atom
+    weighted := "WEIGHTED" "(" NUMBER ":" query ("," NUMBER ":" query)* ")"
+    atom     := IDENT ("=" | "~") literal
+    literal  := STRING | NUMBER | IDENT
+
+``=`` builds a crisp atom (traditional predicate), ``~`` a graded one
+(similarity match) — the two query species Section 2 reconciles.
+Keywords are case-insensitive; identifiers are case-sensitive.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.query import And, AtomicQuery, Not, Or, Query, Weighted
+from repro.exceptions import ParseError
+
+__all__ = ["parse_query", "render_query"]
+
+_TOKEN_SPEC = (
+    ("WS", r"\s+"),
+    ("NUMBER", r"\d+(\.\d+)?"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"'),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_.]*"),
+    ("OP", r"[=~(),:]"),
+)
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pat})" for name, pat in _TOKEN_SPEC))
+
+_KEYWORDS = {"and", "or", "not", "weighted"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # NUMBER | STRING | IDENT | OP | KEYWORD
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "WS":
+            if kind == "IDENT" and value.lower() in _KEYWORDS:
+                tokens.append(_Token("KEYWORD", value.lower(), pos))
+            else:
+                tokens.append(_Token(kind, value, pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    # -- token helpers --------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query", len(self._text))
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text!r}", token.position
+            )
+        return token
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "KEYWORD" and token.text == word
+
+    def _at_op(self, op: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "OP" and token.text == op
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> Query:
+        query = self._or_expr()
+        trailing = self._peek()
+        if trailing is not None:
+            raise ParseError(
+                f"unexpected trailing input {trailing.text!r}", trailing.position
+            )
+        return query
+
+    def _or_expr(self) -> Query:
+        operands = [self._and_expr()]
+        while self._at_keyword("or"):
+            self._advance()
+            operands.append(self._and_expr())
+        return operands[0] if len(operands) == 1 else Or(operands)
+
+    def _and_expr(self) -> Query:
+        operands = [self._unary()]
+        while self._at_keyword("and"):
+            self._advance()
+            operands.append(self._unary())
+        return operands[0] if len(operands) == 1 else And(operands)
+
+    def _unary(self) -> Query:
+        if self._at_keyword("not"):
+            self._advance()
+            return Not(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Query:
+        if self._at_op("("):
+            self._advance()
+            inner = self._or_expr()
+            self._expect("OP", ")")
+            return inner
+        if self._at_keyword("weighted"):
+            return self._weighted()
+        return self._atom()
+
+    def _weighted(self) -> Query:
+        self._advance()  # WEIGHTED
+        self._expect("OP", "(")
+        weights: list[float] = []
+        operands: list[Query] = []
+        while True:
+            number = self._expect("NUMBER")
+            weights.append(float(number.text))
+            self._expect("OP", ":")
+            operands.append(self._or_expr())
+            if self._at_op(","):
+                self._advance()
+                continue
+            break
+        self._expect("OP", ")")
+        return Weighted(operands, weights)
+
+    def _atom(self) -> AtomicQuery:
+        ident = self._expect("IDENT")
+        op_token = self._advance()
+        if op_token.kind != "OP" or op_token.text not in ("=", "~"):
+            raise ParseError(
+                f"expected '=' or '~' after attribute {ident.text!r}, "
+                f"found {op_token.text!r}",
+                op_token.position,
+            )
+        target = self._literal()
+        return AtomicQuery(ident.text, target=target, op=op_token.text)
+
+    def _literal(self) -> object:
+        token = self._advance()
+        if token.kind == "STRING":
+            body = token.text[1:-1]
+            return body.replace('\\"', '"').replace("\\\\", "\\")
+        if token.kind == "NUMBER":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "IDENT":
+            return token.text
+        raise ParseError(f"expected a literal, found {token.text!r}", token.position)
+
+
+def parse_query(text: str) -> Query:
+    """Parse query-language text into a :class:`~repro.core.query.Query`.
+
+    >>> q = parse_query('(Artist = "Beatles") AND (AlbumColor ~ "red")')
+    >>> len(q.atoms())
+    2
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty query", 0)
+    return _Parser(tokens, text).parse()
+
+
+def _render_literal(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(value)
+
+
+def render_query(query: Query) -> str:
+    """Render a query AST back into parseable text (round-trips).
+
+    >>> text = '(Artist = "Beatles") AND (AlbumColor ~ "red")'
+    >>> parse_query(render_query(parse_query(text))) == parse_query(text)
+    True
+    """
+    if isinstance(query, AtomicQuery):
+        return f"{query.attribute} {query.op} {_render_literal(query.target)}"
+    if isinstance(query, Not):
+        return f"NOT ({render_query(query.operand)})"
+    if isinstance(query, And):
+        return " AND ".join(f"({render_query(q)})" for q in query.operands)
+    if isinstance(query, Or):
+        return " OR ".join(f"({render_query(q)})" for q in query.operands)
+    if isinstance(query, Weighted):
+        # repr() round-trips floats exactly, so re-parsing yields the
+        # same normalised weights bit for bit.
+        parts = ", ".join(
+            f"{w!r}: {render_query(q)}"
+            for w, q in zip(query.weights, query.operands)
+        )
+        return f"WEIGHTED({parts})"
+    raise TypeError(f"cannot render query node {type(query).__name__}")

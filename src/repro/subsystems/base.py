@@ -1,0 +1,129 @@
+"""Subsystem abstraction: what Garlic sits on top of (Sections 1-2, 8).
+
+    "Garlic … is designed to be capable of integrating data that
+    resides in different database systems as well as a variety of
+    non-database data servers. A single Garlic query can access data in
+    a number of different subsystems."
+
+A :class:`Subsystem` owns some attributes of the common object
+population and evaluates atomic queries over them, returning a
+:class:`~repro.access.source.SortedRandomSource` — the only interface
+the middleware may use (Section 4's sorted/random access model).
+Capability flags record what each subsystem can do:
+
+* ``supports_random_access`` — Section 4 footnote 5 assumes QBIC can
+  ("which, in fact, it can"); a subsystem without it restricts the
+  planner to sorted-only strategies.
+* ``supports_internal_conjunction`` — Section 8: a subsystem may be
+  able to evaluate a conjunction itself, under *its own* semantics,
+  which may differ from Garlic's.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.access.source import SortedRandomSource
+from repro.access.types import ObjectId
+from repro.core.query import AtomicQuery
+from repro.exceptions import SubsystemCapabilityError
+
+__all__ = ["Subsystem"]
+
+
+class Subsystem(ABC):
+    """A data server owning some attributes of the object population."""
+
+    name: str = "subsystem"
+
+    #: Can the middleware ask for the grade of a specific object?
+    supports_random_access: bool = True
+
+    #: Can this subsystem evaluate conjunctions internally (Section 8)?
+    supports_internal_conjunction: bool = False
+
+    #: Are this subsystem's grades always crisp (0/1)?
+    crisp: bool = False
+
+    @abstractmethod
+    def attributes(self) -> frozenset[str]:
+        """The attribute names this subsystem can evaluate."""
+
+    @abstractmethod
+    def object_ids(self) -> frozenset[ObjectId]:
+        """The objects this subsystem grades (the shared population)."""
+
+    @abstractmethod
+    def evaluate(self, query: AtomicQuery) -> SortedRandomSource:
+        """The graded result of one atomic query, as a fresh source.
+
+        Every object in :meth:`object_ids` is graded (Section 5 model);
+        each call returns an independent source with its own cursor.
+        """
+
+    def evaluate_conjunction(
+        self, queries: Sequence[AtomicQuery]
+    ) -> SortedRandomSource:
+        """Internal conjunction under this subsystem's own semantics.
+
+        Default: not supported. Subsystems that override this must
+        document their internal semantics — the whole point of
+        Section 8 is that it may differ from Garlic's.
+        """
+        raise SubsystemCapabilityError(
+            f"subsystem {self.name!r} cannot evaluate conjunctions internally"
+        )
+
+    def estimate_selectivity(self, query: AtomicQuery) -> float | None:
+        """Optional statistics hook: the expected fraction of objects
+        with a non-zero grade under ``query``.
+
+        Used by the planner to pick the filtered-conjunct strategy of
+        Section 4 ("Under the reasonable assumption that there are not
+        many objects that satisfy the first conjunct …"). ``None``
+        means no estimate is available. This models a catalogue-
+        statistics lookup, so it is not charged as an access.
+        """
+        return None
+
+    def validate_query(self, query: AtomicQuery) -> None:
+        """Raise if this subsystem cannot evaluate ``query``."""
+        if query.attribute not in self.attributes():
+            raise SubsystemCapabilityError(
+                f"subsystem {self.name!r} does not serve attribute "
+                f"{query.attribute!r} (serves: {sorted(self.attributes())})"
+            )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class StreamOnlySubsystem(Subsystem):
+    """Wraps a subsystem, removing its random-access capability.
+
+    Useful both for modelling genuinely stream-only data servers and
+    for testing the planner's no-random-access strategy selection (the
+    NRA path) against a known-good graded source.
+    """
+
+    supports_random_access = False
+
+    def __init__(self, inner: Subsystem) -> None:
+        self._inner = inner
+        self.name = f"{inner.name} (stream-only)"
+        self.crisp = inner.crisp
+
+    def attributes(self) -> frozenset[str]:
+        return self._inner.attributes()
+
+    def object_ids(self):
+        return self._inner.object_ids()
+
+    def evaluate(self, query: AtomicQuery) -> SortedRandomSource:
+        from repro.access.source import StreamOnlySource
+
+        return StreamOnlySource(self._inner.evaluate(query))
+
+    def estimate_selectivity(self, query: AtomicQuery) -> float | None:
+        return self._inner.estimate_selectivity(query)

@@ -1,0 +1,95 @@
+"""A crisp relational subsystem (the traditional half of Section 2).
+
+    "A typical traditional database query might ask for the names of
+    all albums where the artist is the Beatles. The result is a set …
+    For traditional database queries, such as Artist = 'Beatles', the
+    grade for each object is either 0 or 1."
+
+Records are flat attribute/value mappings; atomic queries use crisp
+equality (``Artist = "Beatles"``) and grade every object 0 or 1. The
+sorted stream delivers all grade-1 objects first — which is what makes
+the filtered-conjunct strategy of Section 4 work: read the matches off
+the top, stop at the first 0.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.access.source import MaterializedSource, SortedRandomSource
+from repro.access.types import ObjectId
+from repro.core.query import AtomicQuery
+from repro.subsystems.base import Subsystem
+
+__all__ = ["RelationalSubsystem"]
+
+
+class RelationalSubsystem(Subsystem):
+    """An in-memory relation with equality predicates.
+
+    Parameters
+    ----------
+    name:
+        Subsystem label.
+    records:
+        object id -> {attribute: value}. All records must have the
+        same attribute set (a single relation schema).
+    """
+
+    crisp = True
+
+    def __init__(
+        self, name: str, records: Mapping[ObjectId, Mapping[str, object]]
+    ) -> None:
+        if not records:
+            raise ValueError("a relational subsystem needs at least one record")
+        self.name = name
+        self._records = {obj: dict(attrs) for obj, attrs in records.items()}
+        schemas = {frozenset(attrs) for attrs in self._records.values()}
+        if len(schemas) != 1:
+            raise ValueError(
+                f"records of {name!r} do not share a single schema: "
+                f"{sorted(len(s) for s in schemas)} distinct attribute sets"
+            )
+        self._schema = next(iter(schemas))
+
+    def attributes(self) -> frozenset[str]:
+        return self._schema
+
+    def object_ids(self) -> frozenset[ObjectId]:
+        return frozenset(self._records)
+
+    def evaluate(self, query: AtomicQuery) -> SortedRandomSource:
+        self.validate_query(query)
+        if query.op != "=":
+            raise ValueError(
+                f"relational subsystem {self.name!r} evaluates crisp "
+                f"equality only; got op {query.op!r}"
+            )
+        grades = {
+            obj: 1.0 if attrs[query.attribute] == query.target else 0.0
+            for obj, attrs in self._records.items()
+        }
+        return MaterializedSource(
+            f"{self.name}:{query.attribute}={query.target!r}", grades
+        )
+
+    def estimate_selectivity(self, query: AtomicQuery) -> float | None:
+        """Exact selectivity from the relation's statistics."""
+        if query.attribute not in self._schema or query.op != "=":
+            return None
+        matches = sum(
+            1
+            for attrs in self._records.values()
+            if attrs[query.attribute] == query.target
+        )
+        return matches / len(self._records)
+
+    def matching_set(self, query: AtomicQuery) -> frozenset[ObjectId]:
+        """The crisp answer set (for tests and ground truth)."""
+        self.validate_query(query)
+        return frozenset(
+            obj
+            for obj, attrs in self._records.items()
+            if attrs[query.attribute] == query.target
+        )

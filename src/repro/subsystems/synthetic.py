@@ -1,0 +1,102 @@
+"""Synthetic graded subsystems — the benchmark substrate.
+
+Wraps a :class:`~repro.access.scoring_database.ScoringDatabase` list or
+a grade distribution behind the :class:`~repro.subsystems.base.Subsystem`
+interface, so middleware-level experiments can run against exactly the
+probabilistic model of Section 5 while exercising the same federation
+code paths as the "real" subsystems.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.access.source import MaterializedSource, SortedRandomSource
+from repro.access.types import ObjectId
+from repro.core.query import AtomicQuery
+from repro.subsystems.base import Subsystem
+from repro.workloads.distributions import GradeDistribution, Uniform
+
+__all__ = ["SyntheticSubsystem"]
+
+
+class SyntheticSubsystem(Subsystem):
+    """Serves attributes whose grades are fixed tables or random draws.
+
+    Parameters
+    ----------
+    name:
+        Subsystem label.
+    tables:
+        attribute -> {object -> grade}: explicit grade assignments.
+    generated:
+        attribute -> distribution: grades drawn once per (attribute,
+        target) pair, lazily, from the seeded rng — so repeated
+        evaluation of the same atomic query sees the same graded set,
+        but different targets give fresh independent lists (the
+        Section 5 independence model at the subsystem level).
+    objects:
+        The object population for generated attributes (required if
+        only ``generated`` is given).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tables: Mapping[str, Mapping[ObjectId, float]] | None = None,
+        generated: Mapping[str, GradeDistribution] | None = None,
+        objects: Sequence[ObjectId] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self._tables = {
+            attr: dict(grades) for attr, grades in (tables or {}).items()
+        }
+        self._generated = dict(generated or {})
+        if not self._tables and not self._generated:
+            raise ValueError(
+                f"synthetic subsystem {name!r} needs tables or generators"
+            )
+        populations = {frozenset(t) for t in self._tables.values()}
+        if objects is not None:
+            populations.add(frozenset(objects))
+        if not populations:
+            raise ValueError(
+                f"synthetic subsystem {name!r} has generated attributes "
+                "but no object population; pass objects="
+            )
+        if len(populations) != 1:
+            raise ValueError(
+                f"attribute tables of {name!r} cover different object "
+                "populations"
+            )
+        self._objects = next(iter(populations))
+        self._rng = random.Random(seed)
+        self._cache: dict[tuple[str, object], dict[ObjectId, float]] = {}
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset(self._tables) | frozenset(self._generated)
+
+    def object_ids(self) -> frozenset[ObjectId]:
+        return frozenset(self._objects)
+
+    def _grades_for(self, query: AtomicQuery) -> dict[ObjectId, float]:
+        if query.attribute in self._tables:
+            return self._tables[query.attribute]
+        key = (query.attribute, query.target)
+        if key not in self._cache:
+            dist = self._generated.get(query.attribute, Uniform())
+            self._cache[key] = {
+                obj: dist.sample(self._rng) for obj in sorted(
+                    self._objects, key=repr
+                )
+            }
+        return self._cache[key]
+
+    def evaluate(self, query: AtomicQuery) -> SortedRandomSource:
+        self.validate_query(query)
+        return MaterializedSource(
+            f"{self.name}:{query.attribute}{query.op}{query.target!r}",
+            self._grades_for(query),
+        )

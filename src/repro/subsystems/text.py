@@ -1,0 +1,127 @@
+"""A text-retrieval subsystem ("many text retrieval systems", Section 1).
+
+    "In other data servers, such as a system with queries based on
+    image content, or many text retrieval systems, the result of a
+    query is a sorted list."
+
+**Substitution note (DESIGN.md):** stands in for whatever text engine
+Garlic federated. Documents are tokenised, weighted with TF-IDF, and
+queries are scored by cosine similarity — the classical vector-space
+model, normalised into [0, 1] grades. The middleware only sees
+sorted/random access, so any scoring text engine exercises the same
+code paths.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from typing import Mapping
+
+from repro.access.source import MaterializedSource, SortedRandomSource
+from repro.access.types import ObjectId
+from repro.core.query import AtomicQuery
+from repro.subsystems.base import Subsystem
+
+__all__ = ["TextSubsystem", "tokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9']+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens (alphanumerics and apostrophes).
+
+    >>> tokenize("A Hard Day's Night!")
+    ['a', 'hard', "day's", 'night']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+class TextSubsystem(Subsystem):
+    """TF-IDF / cosine retrieval over a fixed document collection.
+
+    Parameters
+    ----------
+    name:
+        Subsystem label.
+    documents:
+        object id -> document text. One attribute (default ``"text"``)
+        is served; its graded queries are free-text strings.
+    attribute:
+        The attribute name queries address, e.g. ``Blurb ~ "raw soul"``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        documents: Mapping[ObjectId, str],
+        attribute: str = "text",
+    ) -> None:
+        if not documents:
+            raise ValueError("a text subsystem needs at least one document")
+        self.name = name
+        self._attribute = attribute
+        self._docs = dict(documents)
+        self._doc_tokens = {obj: tokenize(t) for obj, t in self._docs.items()}
+        # Document frequencies for IDF weighting.
+        df: Counter[str] = Counter()
+        for tokens in self._doc_tokens.values():
+            df.update(set(tokens))
+        n_docs = len(self._docs)
+        # Smoothed IDF keeps weights positive even for ubiquitous terms.
+        self._idf = {
+            term: math.log(1.0 + n_docs / (1.0 + count)) + 1.0
+            for term, count in df.items()
+        }
+        self._doc_vectors = {
+            obj: self._vectorise(tokens)
+            for obj, tokens in self._doc_tokens.items()
+        }
+
+    def _vectorise(self, tokens: list[str]) -> dict[str, float]:
+        counts = Counter(tokens)
+        total = sum(counts.values()) or 1
+        vec = {
+            term: (count / total) * self._idf.get(term, 1.0)
+            for term, count in counts.items()
+        }
+        norm = math.sqrt(sum(w * w for w in vec.values()))
+        if norm > 0:
+            vec = {term: w / norm for term, w in vec.items()}
+        return vec
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self._attribute})
+
+    def object_ids(self) -> frozenset[ObjectId]:
+        return frozenset(self._docs)
+
+    def evaluate(self, query: AtomicQuery) -> SortedRandomSource:
+        self.validate_query(query)
+        if query.op != "~":
+            raise ValueError(
+                f"text subsystem {self.name!r} evaluates graded matches "
+                f"('~') only; got op {query.op!r}"
+            )
+        if not isinstance(query.target, str):
+            raise ValueError(
+                f"text queries take a string target, got {query.target!r}"
+            )
+        query_vec = self._vectorise(tokenize(query.target))
+        grades = {
+            obj: self._cosine(query_vec, doc_vec)
+            for obj, doc_vec in self._doc_vectors.items()
+        }
+        return MaterializedSource(
+            f"{self.name}:{self._attribute}~{query.target!r}", grades
+        )
+
+    @staticmethod
+    def _cosine(a: dict[str, float], b: dict[str, float]) -> float:
+        if len(b) < len(a):
+            a, b = b, a
+        score = sum(w * b.get(term, 0.0) for term, w in a.items())
+        # Both vectors are unit-normalised, so the dot product is the
+        # cosine; clamp floating-point overshoot into the grade domain.
+        return min(1.0, max(0.0, score))

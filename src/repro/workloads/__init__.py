@@ -1,0 +1,48 @@
+"""Workload generation: the paper's probabilistic model plus datasets.
+
+Independent random skeletons (Section 5), grade distributions for the
+Section 9 regimes, correlated lists for the Section 7 questions, and
+the CD-store running example of Section 2.
+"""
+
+from repro.workloads.correlated import (
+    correlated_database,
+    correlated_skeleton,
+    hard_query_database,
+    min_equicorrelation,
+    spearman_rho,
+)
+from repro.workloads.datasets import NAMED_COLORS, Album, cd_store
+from repro.workloads.distributions import (
+    Beta,
+    Capped,
+    Crisp,
+    GradeDistribution,
+    PowerLaw,
+    Uniform,
+)
+from repro.workloads.skeletons import (
+    grades_for_skeleton,
+    independent_database,
+    random_skeleton,
+)
+
+__all__ = [
+    "random_skeleton",
+    "independent_database",
+    "grades_for_skeleton",
+    "GradeDistribution",
+    "Uniform",
+    "Capped",
+    "Crisp",
+    "Beta",
+    "PowerLaw",
+    "correlated_skeleton",
+    "correlated_database",
+    "hard_query_database",
+    "min_equicorrelation",
+    "spearman_rho",
+    "Album",
+    "cd_store",
+    "NAMED_COLORS",
+]

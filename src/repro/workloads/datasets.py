@@ -1,0 +1,184 @@
+"""The compact-disk store: the paper's running example (Section 2).
+
+    "let us consider an application of a store that sells compact
+    disks. A typical traditional database query might ask for the names
+    of all albums where the artist is the Beatles. The result is a set
+    of names of albums. A multimedia query might ask for all album
+    covers with a particular shade of red. Here the result is a sorted
+    list of album covers."
+
+:func:`cd_store` synthesises a catalogue of albums with both crisp
+attributes (artist, year, genre — handled by the relational subsystem)
+and multimedia features (cover colour, cover texture, shape roundness —
+handled by the QBIC stand-in; a blurb handled by the text subsystem).
+The examples and middleware integration tests run the paper's queries
+
+    (Artist = "Beatles") AND (AlbumColor ~ "red")
+    (Color = "red") AND (Shape = "round")
+
+against this dataset end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["Album", "cd_store", "NAMED_COLORS"]
+
+#: Reference colours for colour-target queries, as RGB in [0, 1]^3.
+NAMED_COLORS: dict[str, tuple[float, float, float]] = {
+    "red": (0.90, 0.10, 0.10),
+    "green": (0.10, 0.75, 0.20),
+    "blue": (0.15, 0.20, 0.85),
+    "yellow": (0.95, 0.90, 0.15),
+    "pink": (0.95, 0.60, 0.70),
+    "white": (0.97, 0.97, 0.97),
+    "black": (0.05, 0.05, 0.05),
+    "orange": (0.95, 0.55, 0.10),
+}
+
+_ARTISTS = (
+    "Beatles",
+    "Miles Davis",
+    "Aretha Franklin",
+    "Glenn Gould",
+    "Nina Simone",
+    "Kraftwerk",
+    "Fela Kuti",
+    "Bjork",
+    "Johnny Cash",
+    "Mercedes Sosa",
+)
+
+_GENRES = ("rock", "jazz", "soul", "classical", "electronic", "folk", "afrobeat")
+
+_TITLE_HEADS = (
+    "Midnight",
+    "Electric",
+    "Blue",
+    "Golden",
+    "Silent",
+    "Crimson",
+    "Velvet",
+    "Distant",
+    "Broken",
+    "Endless",
+)
+
+_TITLE_TAILS = (
+    "Sessions",
+    "Horizon",
+    "Letters",
+    "Mirrors",
+    "Garden",
+    "Parade",
+    "Echoes",
+    "Standards",
+    "Travelogue",
+    "Variations",
+)
+
+#: A few canonical Beatles records pinned into every catalogue so the
+#: running example always has crisp matches, two of them red-covered.
+_BEATLES_SEED_ALBUMS: tuple[tuple[str, int, tuple[float, float, float]], ...] = (
+    ("Please Please Me", 1963, (0.75, 0.15, 0.20)),   # reddish cover
+    ("A Hard Day's Night", 1964, (0.25, 0.30, 0.55)),
+    ("Rubber Soul", 1965, (0.45, 0.35, 0.20)),
+    ("Revolver", 1966, (0.92, 0.92, 0.92)),
+    ("Sgt. Pepper", 1967, (0.85, 0.20, 0.15)),        # reddish cover
+    ("Abbey Road", 1969, (0.40, 0.55, 0.75)),
+)
+
+
+@dataclass(frozen=True)
+class Album:
+    """One catalogue entry with crisp attributes and multimedia features."""
+
+    album_id: str
+    title: str
+    artist: str
+    year: int
+    genre: str
+    #: Mean cover colour as RGB in [0, 1]^3 (queried via the QBIC stand-in).
+    cover_rgb: tuple[float, float, float]
+    #: Cover texture descriptor (coarseness, contrast, directionality).
+    cover_texture: tuple[float, float, float]
+    #: How round the dominant cover shape is, in [0, 1].
+    shape_roundness: float
+    #: Free-text blurb for the text-retrieval subsystem.
+    blurb: str = field(default="")
+
+    def __post_init__(self) -> None:
+        for channel in self.cover_rgb:
+            if not 0.0 <= channel <= 1.0:
+                raise ValueError(f"RGB channel {channel} outside [0, 1]")
+        if not 0.0 <= self.shape_roundness <= 1.0:
+            raise ValueError(
+                f"shape roundness {self.shape_roundness} outside [0, 1]"
+            )
+
+
+def _blurb(rng: random.Random, artist: str, genre: str, title: str) -> str:
+    moods = ("wistful", "driving", "luminous", "raw", "meticulous", "playful")
+    verbs = ("revisits", "reinvents", "distils", "celebrates", "dismantles")
+    return (
+        f"{artist} {rng.choice(verbs)} {genre} on {title}, "
+        f"a {rng.choice(moods)} record with {rng.choice(moods)} arrangements."
+    )
+
+
+def cd_store(num_albums: int = 200, seed: int = 7) -> list[Album]:
+    """Synthesise a CD-store catalogue of ``num_albums`` records.
+
+    Deterministic for a given seed. Always contains the pinned Beatles
+    records (so the running example's crisp conjunct has matches), then
+    fills up with generated albums across the artist pool.
+
+    >>> albums = cd_store(50, seed=1)
+    >>> sum(a.artist == "Beatles" for a in albums) >= 6
+    True
+    """
+    if num_albums < len(_BEATLES_SEED_ALBUMS):
+        raise ValueError(
+            f"catalogue needs at least {len(_BEATLES_SEED_ALBUMS)} albums "
+            f"to hold the running example, got {num_albums}"
+        )
+    rng = random.Random(seed)
+    albums: list[Album] = []
+    for idx, (title, year, rgb) in enumerate(_BEATLES_SEED_ALBUMS):
+        albums.append(
+            Album(
+                album_id=f"cd-{idx:04d}",
+                title=title,
+                artist="Beatles",
+                year=year,
+                genre="rock",
+                cover_rgb=rgb,
+                cover_texture=(
+                    rng.uniform(0.2, 0.8),
+                    rng.uniform(0.2, 0.8),
+                    rng.uniform(0.2, 0.8),
+                ),
+                shape_roundness=rng.uniform(0.1, 0.9),
+                blurb=_blurb(rng, "Beatles", "rock", title),
+            )
+        )
+    for idx in range(len(_BEATLES_SEED_ALBUMS), num_albums):
+        artist = rng.choice(_ARTISTS)
+        genre = rng.choice(_GENRES)
+        title = f"{rng.choice(_TITLE_HEADS)} {rng.choice(_TITLE_TAILS)}"
+        albums.append(
+            Album(
+                album_id=f"cd-{idx:04d}",
+                title=title,
+                artist=artist,
+                year=rng.randint(1955, 2005),
+                genre=genre,
+                cover_rgb=(rng.random(), rng.random(), rng.random()),
+                cover_texture=(rng.random(), rng.random(), rng.random()),
+                shape_roundness=rng.random(),
+                blurb=_blurb(rng, artist, genre, title),
+            )
+        )
+    return albums

@@ -1,0 +1,128 @@
+"""Grade distributions for workload generation.
+
+The paper's analyses reference several grade regimes:
+
+* **uniform** grades in [0, 1] — the Section 9 model for both the
+  Landau Theta(sqrt(N)) result and the uniform second list in Ullman's
+  constant-cost regime;
+* **capped** grades ("the maximum value of the grades of the objects
+  under the query A1 is, say, 0.9") — the regime where Ullman's
+  algorithm stops after an expected <= 10 objects;
+* **crisp** grades in {0, 1} with a selectivity p — traditional
+  database predicates like Artist = "Beatles" (Section 2), used by the
+  filtered-conjunct strategy of Section 4's first example.
+
+Each distribution is a small seeded-sampling object so workloads can
+mix regimes per list.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.core.grades import validate_grade
+
+__all__ = ["GradeDistribution", "Uniform", "Capped", "Crisp", "Beta", "PowerLaw"]
+
+
+class GradeDistribution(ABC):
+    """A sampler of grades in [0, 1]."""
+
+    name: str = "distribution"
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one grade."""
+
+    def sample_many(self, rng: random.Random, n: int) -> list[float]:
+        """Draw ``n`` grades."""
+        return [self.sample(rng) for _ in range(n)]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Uniform(GradeDistribution):
+    """Uniform grades on [low, high] (default the full unit interval)."""
+
+    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+        low = validate_grade(low, context="Uniform.low")
+        high = validate_grade(high, context="Uniform.high")
+        if low >= high:
+            raise ValueError(f"need low < high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self.name = f"uniform[{low:g},{high:g}]"
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class Capped(GradeDistribution):
+    """Uniform grades on [0, cap] — the bounded-away-from-1 regime of §9.
+
+    "the assumption that the grades of the objects under the query A1
+    are bounded above by a constant (such as 0.9) less than 1"
+    """
+
+    def __init__(self, cap: float = 0.9) -> None:
+        cap = validate_grade(cap, context="Capped.cap")
+        if cap <= 0:
+            raise ValueError(f"cap must be positive, got {cap}")
+        self.cap = cap
+        self.name = f"capped[{cap:g}]"
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(0.0, self.cap)
+
+
+class Crisp(GradeDistribution):
+    """Crisp {0, 1} grades with selectivity ``p`` (fraction graded 1).
+
+    Models a traditional database predicate: "For traditional database
+    queries, such as Artist = 'Beatles', the grade for each object is
+    either 0 or 1" (Section 2).
+    """
+
+    def __init__(self, selectivity: float) -> None:
+        if not 0.0 <= selectivity <= 1.0:
+            raise ValueError(
+                f"selectivity must be in [0, 1], got {selectivity}"
+            )
+        self.selectivity = selectivity
+        self.name = f"crisp[p={selectivity:g}]"
+
+    def sample(self, rng: random.Random) -> float:
+        return 1.0 if rng.random() < self.selectivity else 0.0
+
+
+class Beta(GradeDistribution):
+    """Beta(a, b) grades — smooth unimodal scores (e.g. similarity engines)."""
+
+    def __init__(self, a: float, b: float) -> None:
+        if a <= 0 or b <= 0:
+            raise ValueError(f"Beta parameters must be positive, got ({a}, {b})")
+        self.a = a
+        self.b = b
+        self.name = f"beta[{a:g},{b:g}]"
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.betavariate(self.a, self.b)
+
+
+class PowerLaw(GradeDistribution):
+    """Grades u**alpha for uniform u — skewed towards 0 for alpha > 1.
+
+    Models retrieval engines where only a few objects score well (a
+    long tail of near-zero relevance).
+    """
+
+    def __init__(self, alpha: float) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+        self.name = f"powerlaw[{alpha:g}]"
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.random() ** self.alpha

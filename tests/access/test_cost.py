@@ -1,0 +1,110 @@
+"""Tests for the Section 5 cost model (c1*S + c2*R)."""
+
+import pytest
+
+from repro.access.cost import AccessStats, CostModel, CostTracker, combine_stats
+
+
+class TestCostModel:
+    def test_positive_constants_required(self):
+        with pytest.raises(ValueError):
+            CostModel(sorted_weight=0.0)
+        with pytest.raises(ValueError):
+            CostModel(random_weight=-1.0)
+
+    def test_weighted_cost(self):
+        stats = AccessStats((100, 20), (5, 5))
+        model = CostModel(sorted_weight=1.0, random_weight=3.0)
+        assert model.cost(stats) == pytest.approx(120 + 3 * 10)
+
+    def test_sandwich_inequality(self):
+        """Inequality (1): min(c)*（S+R) <= c1*S+c2*R <= max(c)*(S+R)."""
+        stats = AccessStats((7, 13), (2, 8))
+        model = CostModel(sorted_weight=2.0, random_weight=5.0)
+        sum_cost = stats.sum_cost
+        assert 2.0 * sum_cost <= model.cost(stats) <= 5.0 * sum_cost
+
+
+class TestAccessStats:
+    def test_paper_example(self):
+        """'the top 100 objects from the first list and the top 20
+        objects from the second list … sorted access cost 120'."""
+        stats = AccessStats((100, 20), (0, 0))
+        assert stats.sorted_cost == 120
+        assert stats.random_cost == 0
+        assert stats.sum_cost == 120
+
+    def test_max_sorted_depth(self):
+        assert AccessStats((100, 20), (0, 0)).max_sorted_depth() == 100
+
+    def test_max_depth_empty_lists(self):
+        assert AccessStats((), ()).max_sorted_depth() == 0
+
+    def test_addition(self):
+        a = AccessStats((1, 2), (3, 4))
+        b = AccessStats((10, 20), (30, 40))
+        total = a + b
+        assert total.sorted_by_list == (11, 22)
+        assert total.random_by_list == (33, 44)
+
+    def test_addition_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            AccessStats((1,), (1,)) + AccessStats((1, 2), (1, 2))
+
+    def test_default_middleware_cost_is_unweighted(self):
+        stats = AccessStats((5, 5), (3, 3))
+        assert stats.middleware_cost() == stats.sum_cost
+
+    def test_repr(self):
+        assert "S=3" in repr(AccessStats((3,), (0,)))
+
+
+class TestCostTracker:
+    def test_charging(self):
+        tracker = CostTracker(2)
+        tracker.charge_sorted(0)
+        tracker.charge_sorted(0)
+        tracker.charge_random(1, amount=3)
+        stats = tracker.snapshot()
+        assert stats.sorted_by_list == (2, 0)
+        assert stats.random_by_list == (0, 3)
+
+    def test_snapshot_is_immutable_copy(self):
+        tracker = CostTracker(1)
+        before = tracker.snapshot()
+        tracker.charge_sorted(0)
+        assert before.sorted_cost == 0
+        assert tracker.snapshot().sorted_cost == 1
+
+    def test_reset(self):
+        tracker = CostTracker(1)
+        tracker.charge_random(0)
+        tracker.reset()
+        assert tracker.snapshot().sum_cost == 0
+
+    def test_needs_a_list(self):
+        with pytest.raises(ValueError):
+            CostTracker(0)
+
+    def test_negative_charge_rejected(self):
+        tracker = CostTracker(1)
+        with pytest.raises(ValueError):
+            tracker.charge_sorted(0, amount=-1)
+
+    def test_out_of_range_list_index(self):
+        tracker = CostTracker(1)
+        with pytest.raises(IndexError):
+            tracker.charge_sorted(5)
+
+
+class TestCombineStats:
+    def test_combines(self):
+        total = combine_stats(
+            [AccessStats((1,), (0,)), AccessStats((2,), (3,))]
+        )
+        assert total.sorted_cost == 3
+        assert total.random_cost == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_stats([])

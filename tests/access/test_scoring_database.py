@@ -1,0 +1,187 @@
+"""Tests for the Section 5 formal model: scoring databases & skeletons."""
+
+import random
+
+import pytest
+
+from repro.access.scoring_database import (
+    ScoringDatabase,
+    Skeleton,
+    prefix_intersection_size,
+)
+from repro.core.graded_set import GradedSet
+from repro.core.tnorms import MINIMUM
+from repro.exceptions import InconsistentSkeletonError
+
+
+class TestSkeleton:
+    def test_valid_construction(self):
+        sk = Skeleton(((1, 2, 3), (3, 1, 2)))
+        assert sk.num_lists == 2
+        assert sk.num_objects == 3
+        assert sk.objects == {1, 2, 3}
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Skeleton(((1, 2, 3), (1, 2, 4)))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Skeleton(((1, 1, 2),))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Skeleton(())
+
+    def test_random_is_permutation(self):
+        sk = Skeleton.random(3, 50, random.Random(0))
+        assert sk.num_lists == 3
+        for perm in sk.permutations:
+            assert sorted(perm) == list(range(1, 51))
+
+    def test_random_reproducible(self):
+        a = Skeleton.random(2, 30, random.Random(7))
+        b = Skeleton.random(2, 30, random.Random(7))
+        assert a == b
+
+    def test_prefix(self):
+        sk = Skeleton(((1, 2, 3), (3, 2, 1)))
+        assert sk.prefix(0, 2) == (1, 2)
+        assert sk.prefix(1, 1) == (3,)
+
+    def test_match_depth_identical_lists(self):
+        sk = Skeleton(((1, 2, 3, 4), (1, 2, 3, 4)))
+        assert sk.match_depth(1) == 1
+        assert sk.match_depth(3) == 3
+
+    def test_match_depth_reversed_lists(self):
+        """The Section 7 extreme: T = ceil((N + k) / 2)."""
+        n = 10
+        forward = tuple(range(1, n + 1))
+        sk = Skeleton((forward, tuple(reversed(forward))))
+        assert sk.match_depth(1) == (n + 1 + 1) // 2
+
+    def test_match_depth_k_too_large(self):
+        sk = Skeleton(((1, 2), (2, 1)))
+        with pytest.raises(ValueError):
+            sk.match_depth(3)
+
+    def test_reversed_pair(self):
+        sk = Skeleton(((3, 1, 2),))
+        pair = sk.reversed_pair()
+        assert pair.permutations == ((3, 1, 2), (2, 1, 3))
+
+    def test_reversed_pair_needs_single_list(self):
+        with pytest.raises(ValueError):
+            Skeleton(((1, 2), (2, 1))).reversed_pair()
+
+
+class TestScoringDatabase:
+    def test_construction_from_mappings(self, tiny_db):
+        assert tiny_db.num_lists == 2
+        assert tiny_db.num_objects == 5
+        assert tiny_db.grade(0, "a") == 0.9
+
+    def test_construction_from_graded_sets(self):
+        db = ScoringDatabase(
+            [GradedSet({"x": 0.5, "y": 0.2}), GradedSet({"x": 0.1, "y": 0.9})]
+        )
+        assert db.num_objects == 2
+
+    def test_rejects_mismatched_domains(self):
+        with pytest.raises(ValueError, match="different object set"):
+            ScoringDatabase([{"x": 0.5}, {"y": 0.5}])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ScoringDatabase([])
+        with pytest.raises(ValueError):
+            ScoringDatabase([{}])
+
+    def test_ranking_descending(self, tiny_db):
+        ranking = tiny_db.ranking(0)
+        grades = [it.grade for it in ranking]
+        assert grades == sorted(grades, reverse=True)
+
+    def test_skeleton_consistency_round_trip(self, tiny_db):
+        assert tiny_db.consistent_with(tiny_db.skeleton())
+
+    def test_inconsistent_skeleton_detected(self, tiny_db):
+        # Reverse one permutation: grades become increasing -> inconsistent.
+        sk = tiny_db.skeleton()
+        bad = Skeleton((tuple(reversed(sk.permutations[0])), sk.permutations[1]))
+        assert not tiny_db.consistent_with(bad)
+
+    def test_consistency_with_wrong_population(self, tiny_db):
+        other = Skeleton(((1, 2, 3, 4, 5), (5, 4, 3, 2, 1)))
+        assert not tiny_db.consistent_with(other)
+
+    def test_has_ties(self):
+        assert ScoringDatabase([{"a": 0.5, "b": 0.5}]).has_ties()
+        assert not ScoringDatabase([{"a": 0.5, "b": 0.4}]).has_ties()
+
+    def test_from_skeleton(self):
+        sk = Skeleton(((2, 1, 3),))
+        db = ScoringDatabase.from_skeleton(sk, [[0.9, 0.5, 0.1]])
+        assert db.grade(0, 2) == 0.9
+        assert db.grade(0, 3) == 0.1
+        assert db.consistent_with(sk)
+
+    def test_from_skeleton_rejects_increasing_rows(self):
+        sk = Skeleton(((1, 2),))
+        with pytest.raises(InconsistentSkeletonError):
+            ScoringDatabase.from_skeleton(sk, [[0.1, 0.9]])
+
+    def test_from_skeleton_length_checks(self):
+        sk = Skeleton(((1, 2),))
+        with pytest.raises(ValueError):
+            ScoringDatabase.from_skeleton(sk, [[0.5]])
+        with pytest.raises(ValueError):
+            ScoringDatabase.from_skeleton(sk, [[0.5, 0.4], [0.5, 0.4]])
+
+    def test_overall_grades(self, tiny_db):
+        overall = tiny_db.overall_grades(MINIMUM)
+        assert overall.grade("a") == 0.5
+        assert overall.grade("e") == pytest.approx(0.1)
+
+    def test_true_top_k(self, tiny_db):
+        top2 = tiny_db.true_top_k(MINIMUM, 2)
+        assert [it.obj for it in top2] == ["b", "a"]
+
+    def test_session_sources_share_tracker(self, tiny_db):
+        session = tiny_db.session()
+        session.sources[0].next_sorted()
+        session.sources[1].next_sorted()
+        assert session.tracker.snapshot().sorted_by_list == (1, 1)
+
+    def test_sessions_are_independent(self, tiny_db):
+        s1 = tiny_db.session()
+        s1.sources[0].next_sorted()
+        s2 = tiny_db.session()
+        assert s2.sources[0].position == 0
+        assert s2.tracker.snapshot().sum_cost == 0
+
+    def test_repr(self, tiny_db):
+        assert "m=2" in repr(tiny_db)
+
+
+class TestPrefixIntersection:
+    def test_identical_lists(self):
+        sk = Skeleton(((1, 2, 3), (1, 2, 3)))
+        assert prefix_intersection_size(sk, 2) == 2
+
+    def test_disjoint_prefixes(self):
+        sk = Skeleton(((1, 2, 3, 4), (4, 3, 2, 1)))
+        assert prefix_intersection_size(sk, 1) == 0
+        assert prefix_intersection_size(sk, 2) == 0
+        assert prefix_intersection_size(sk, 3) == 2
+        assert prefix_intersection_size(sk, 4) == 4
+
+    def test_depth_zero(self):
+        sk = Skeleton(((1, 2),))
+        assert prefix_intersection_size(sk, 0) == 0
+
+    def test_negative_depth_rejected(self):
+        sk = Skeleton(((1, 2),))
+        with pytest.raises(ValueError):
+            prefix_intersection_size(sk, -1)

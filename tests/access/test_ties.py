@@ -1,0 +1,87 @@
+"""Tests for tie handling (the Section 5 / Remark 6.3 subtleties)."""
+
+import pytest
+
+from repro.access.scoring_database import ScoringDatabase
+from repro.access.ties import (
+    consistent_skeletons,
+    count_consistent_skeletons,
+    tie_groups,
+)
+
+
+@pytest.fixture
+def tied_db():
+    # List 0 ties b and c; list 1 ties a and b and c.
+    return ScoringDatabase(
+        [
+            {"a": 0.9, "b": 0.5, "c": 0.5},
+            {"a": 0.4, "b": 0.4, "c": 0.4},
+        ]
+    )
+
+
+class TestTieGroups:
+    def test_groups_descending(self, tied_db):
+        groups = tie_groups(tied_db, 0)
+        assert [g for g, _ in groups] == [0.9, 0.5]
+        assert set(groups[1][1]) == {"b", "c"}
+
+    def test_no_ties_all_singletons(self):
+        db = ScoringDatabase([{"a": 0.9, "b": 0.5}])
+        groups = tie_groups(db, 0)
+        assert all(len(members) == 1 for _, members in groups)
+
+
+class TestConsistentSkeletons:
+    def test_count(self, tied_db):
+        # list 0: 2! for the {b,c} tie; list 1: 3! -> 12 total.
+        assert count_consistent_skeletons(tied_db) == 12
+
+    def test_enumeration_matches_count(self, tied_db):
+        skeletons = list(consistent_skeletons(tied_db))
+        assert len(skeletons) == 12
+        assert len(set(skeletons)) == 12
+
+    def test_all_enumerated_are_consistent(self, tied_db):
+        for sk in consistent_skeletons(tied_db):
+            assert tied_db.consistent_with(sk)
+
+    def test_no_ties_single_skeleton(self):
+        db = ScoringDatabase([{"a": 0.9, "b": 0.5}])
+        assert count_consistent_skeletons(db) == 1
+        assert list(consistent_skeletons(db)) == [db.skeleton()]
+
+    def test_limit_guard(self, tied_db):
+        with pytest.raises(ValueError, match="more than"):
+            list(consistent_skeletons(tied_db, limit=5))
+
+    def test_limit_none_unbounded(self, tied_db):
+        assert len(list(consistent_skeletons(tied_db, limit=None))) == 12
+
+
+class TestAlgorithmsUnderTies:
+    def test_a0_correct_under_every_consistent_skeleton(self, tied_db):
+        """Section 4: any tie-break must still yield a valid top-k."""
+        from repro.access.session import MiddlewareSession
+        from repro.access.source import MaterializedSource
+        from repro.access.types import GradedItem
+        from repro.algorithms.base import is_valid_top_k
+        from repro.algorithms.fa import FaginA0
+        from repro.core.tnorms import MINIMUM
+
+        truth = tied_db.overall_grades(MINIMUM)
+        for sk in consistent_skeletons(tied_db):
+            sources = [
+                MaterializedSource(
+                    f"l{i}",
+                    # Materialise the ranking in this skeleton's order.
+                    [GradedItem(obj, tied_db.grade(i, obj)) for obj in perm],
+                )
+                for i, perm in enumerate(sk.permutations)
+            ]
+            session = MiddlewareSession.over_sources(
+                sources, num_objects=tied_db.num_objects
+            )
+            result = FaginA0().top_k(session, MINIMUM, 2)
+            assert is_valid_top_k(result.items, truth, 2)

@@ -1,0 +1,119 @@
+"""Cross-algorithm correctness matrix.
+
+Every (algorithm, applicable aggregation, m, k) combination is checked
+against the naive oracle on freshly drawn random databases — the
+library-wide safety net that any change to an algorithm's bookkeeping
+must pass.
+"""
+
+import pytest
+
+from repro.algorithms.base import is_valid_top_k
+from repro.algorithms.disjunction import DisjunctionB0
+from repro.algorithms.fa import FaginA0
+from repro.algorithms.fa_min import FaginA0Min
+from repro.algorithms.fa_variants import EarlyStopFagin, ShrunkenFagin
+from repro.algorithms.median import MedianTopK
+from repro.algorithms.naive import NaiveAlgorithm
+from repro.algorithms.threshold import ThresholdAlgorithm
+from repro.algorithms.ullman import UllmanAlgorithm
+from repro.core.means import ARITHMETIC_MEAN, GEOMETRIC_MEAN, MEDIAN
+from repro.core.tconorms import MAXIMUM
+from repro.core.tnorms import (
+    ALGEBRAIC_PRODUCT,
+    BOUNDED_DIFFERENCE,
+    EINSTEIN_PRODUCT,
+    HAMACHER_PRODUCT,
+    MINIMUM,
+)
+from repro.workloads.distributions import Beta, Crisp, PowerLaw, Uniform
+from repro.workloads.skeletons import independent_database
+
+# (algorithm factory, aggregations it must handle)
+MATRIX = [
+    (NaiveAlgorithm, [MINIMUM, MAXIMUM, MEDIAN, ARITHMETIC_MEAN]),
+    (
+        FaginA0,
+        [
+            MINIMUM,
+            ALGEBRAIC_PRODUCT,
+            BOUNDED_DIFFERENCE,
+            EINSTEIN_PRODUCT,
+            HAMACHER_PRODUCT,
+            ARITHMETIC_MEAN,
+            GEOMETRIC_MEAN,
+            MAXIMUM,  # monotone, so A0 applies (just not optimal)
+            MEDIAN,
+        ],
+    ),
+    (FaginA0Min, [MINIMUM]),
+    (EarlyStopFagin, [MINIMUM, ALGEBRAIC_PRODUCT, ARITHMETIC_MEAN]),
+    (ShrunkenFagin, [MINIMUM, ALGEBRAIC_PRODUCT, ARITHMETIC_MEAN]),
+    (DisjunctionB0, [MAXIMUM]),
+    (ThresholdAlgorithm, [MINIMUM, ALGEBRAIC_PRODUCT, ARITHMETIC_MEAN]),
+    (UllmanAlgorithm, [MINIMUM, ALGEBRAIC_PRODUCT]),
+]
+
+CASES = [
+    pytest.param(factory, agg, id=f"{factory().name}-{agg.name}")
+    for factory, aggs in MATRIX
+    for agg in aggs
+]
+
+
+@pytest.mark.parametrize("factory,aggregation", CASES)
+@pytest.mark.parametrize("m,k", [(2, 1), (2, 5), (3, 3)])
+def test_algorithm_matches_oracle(factory, aggregation, m, k):
+    for seed in range(5):
+        db = independent_database(m, 64, seed=1000 * m + 10 * k + seed)
+        truth = db.overall_grades(aggregation)
+        result = factory().top_k(db.session(), aggregation, k)
+        assert is_valid_top_k(result.items, truth, k), (
+            f"{factory().name} / {aggregation.name} wrong at "
+            f"m={m}, k={k}, seed={seed}"
+        )
+
+
+def test_median_algorithm_against_oracle():
+    for m in (3, 4):
+        for seed in range(5):
+            db = independent_database(m, 48, seed=seed)
+            truth = db.overall_grades(MEDIAN)
+            result = MedianTopK().top_k(db.session(), MEDIAN, 4)
+            assert is_valid_top_k(result.items, truth, 4)
+
+
+@pytest.mark.parametrize(
+    "distribution",
+    [Uniform(), Beta(2, 5), PowerLaw(3.0), Crisp(0.3)],
+    ids=lambda d: d.name,
+)
+def test_fa_under_varied_grade_distributions(distribution):
+    """Ties (Crisp) and skew (PowerLaw/Beta) must not break A0."""
+    for seed in range(5):
+        db = independent_database(2, 64, seed=seed, distribution=distribution)
+        truth = db.overall_grades(MINIMUM)
+        result = FaginA0().top_k(db.session(), MINIMUM, 5)
+        assert is_valid_top_k(result.items, truth, 5)
+
+
+def test_all_algorithms_same_grades_different_tiebreaks():
+    """All applicable algorithms agree on the top-k grade multiset."""
+    db = independent_database(2, 128, seed=9)
+    k = 7
+    grades = None
+    for alg in (
+        NaiveAlgorithm(),
+        FaginA0(),
+        FaginA0Min(),
+        EarlyStopFagin(),
+        ShrunkenFagin(),
+        ThresholdAlgorithm(),
+        UllmanAlgorithm(),
+    ):
+        result = alg.top_k(db.session(), MINIMUM, k)
+        got = sorted(result.grades())
+        if grades is None:
+            grades = got
+        else:
+            assert got == pytest.approx(grades), alg.name

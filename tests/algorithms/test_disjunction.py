@@ -1,0 +1,72 @@
+"""Tests for algorithm B0 (Theorem 4.5, Remark 6.1)."""
+
+import pytest
+
+from repro.algorithms.base import is_valid_top_k
+from repro.algorithms.disjunction import DisjunctionB0
+from repro.core.tconorms import ALGEBRAIC_SUM, MAXIMUM
+from repro.workloads.skeletons import independent_database
+
+
+class TestCorrectness:
+    def test_tiny_known_answers(self, tiny_db):
+        # max grades: a=0.9, b=0.7, c=0.4, d=0.8, e=0.95 -> top2: e, a
+        result = DisjunctionB0().top_k(tiny_db.session(), MAXIMUM, 2)
+        assert result.objects() == ("e", "a")
+        assert result.grades() == (0.95, 0.9)
+
+    def test_matches_ground_truth(self, db2):
+        truth = db2.overall_grades(MAXIMUM)
+        result = DisjunctionB0().top_k(db2.session(), MAXIMUM, 10)
+        assert is_valid_top_k(result.items, truth, 10)
+
+    def test_three_lists(self, db3):
+        truth = db3.overall_grades(MAXIMUM)
+        result = DisjunctionB0().top_k(db3.session(), MAXIMUM, 8)
+        assert is_valid_top_k(result.items, truth, 8)
+
+    def test_many_seeds(self):
+        for seed in range(20):
+            db = independent_database(2, 60, seed=seed)
+            truth = db.overall_grades(MAXIMUM)
+            result = DisjunctionB0().top_k(db.session(), MAXIMUM, 5)
+            assert is_valid_top_k(result.items, truth, 5), f"seed {seed}"
+
+    def test_returned_grades_are_exact(self, db2):
+        """h(y) = mu(y) for every returned object (the docstring claim)."""
+        truth = db2.overall_grades(MAXIMUM)
+        result = DisjunctionB0().top_k(db2.session(), MAXIMUM, 10)
+        for item in result.items:
+            assert item.grade == pytest.approx(truth.grade(item.obj))
+
+    def test_rejects_non_max(self, tiny_db):
+        with pytest.raises(ValueError, match="max"):
+            DisjunctionB0().top_k(tiny_db.session(), ALGEBRAIC_SUM, 1)
+
+
+class TestCost:
+    def test_exactly_mk_sorted_accesses(self):
+        """Remark 6.1: 'middleware cost only mk, independent of N!'"""
+        for n in (100, 1000, 5000):
+            db = independent_database(2, n, seed=1)
+            result = DisjunctionB0().top_k(db.session(), MAXIMUM, 10)
+            assert result.stats.sorted_cost == 2 * 10
+            assert result.stats.random_cost == 0
+
+    def test_cost_scales_with_k_not_n(self):
+        db = independent_database(3, 500, seed=2)
+        r5 = DisjunctionB0().top_k(db.session(), MAXIMUM, 5)
+        r20 = DisjunctionB0().top_k(db.session(), MAXIMUM, 20)
+        assert r5.stats.sum_cost == 15
+        assert r20.stats.sum_cost == 60
+
+    def test_k_equals_n_caps_at_list_length(self, tiny_db):
+        result = DisjunctionB0().top_k(tiny_db.session(), MAXIMUM, 5)
+        assert result.stats.sorted_cost == 10  # 2 lists * 5 objects
+        assert is_valid_top_k(
+            result.items, tiny_db.overall_grades(MAXIMUM), 5
+        )
+
+    def test_union_size_detail(self, db2):
+        result = DisjunctionB0().top_k(db2.session(), MAXIMUM, 10)
+        assert 10 <= result.details["union_size"] <= 20

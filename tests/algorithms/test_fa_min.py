@@ -1,0 +1,83 @@
+"""Tests for algorithm A0' (Theorem 4.4, Proposition 4.3)."""
+
+import pytest
+
+from repro.algorithms.base import is_valid_top_k
+from repro.algorithms.fa import FaginA0
+from repro.algorithms.fa_min import FaginA0Min
+from repro.core.tnorms import ALGEBRAIC_PRODUCT, MINIMUM
+from repro.workloads.skeletons import independent_database
+
+
+class TestCorrectness:
+    def test_tiny_known_answers(self, tiny_db):
+        result = FaginA0Min().top_k(tiny_db.session(), MINIMUM, 2)
+        assert result.objects() == ("b", "a")
+
+    def test_matches_ground_truth(self, db2):
+        truth = db2.overall_grades(MINIMUM)
+        result = FaginA0Min().top_k(db2.session(), MINIMUM, 10)
+        assert is_valid_top_k(result.items, truth, 10)
+
+    def test_three_lists(self, db3):
+        truth = db3.overall_grades(MINIMUM)
+        result = FaginA0Min().top_k(db3.session(), MINIMUM, 6)
+        assert is_valid_top_k(result.items, truth, 6)
+
+    def test_many_seeds(self):
+        for seed in range(20):
+            db = independent_database(2, 60, seed=seed)
+            truth = db.overall_grades(MINIMUM)
+            result = FaginA0Min().top_k(db.session(), MINIMUM, 3)
+            assert is_valid_top_k(result.items, truth, 3), f"seed {seed}"
+
+    def test_rejects_non_min_aggregation(self, tiny_db):
+        """A0' is only stated for the standard fuzzy conjunction."""
+        with pytest.raises(ValueError, match="min"):
+            FaginA0Min().top_k(tiny_db.session(), ALGEBRAIC_PRODUCT, 1)
+
+    def test_k_equals_n(self, tiny_db):
+        result = FaginA0Min().top_k(tiny_db.session(), MINIMUM, 5)
+        assert is_valid_top_k(
+            result.items, tiny_db.overall_grades(MINIMUM), 5
+        )
+
+
+class TestCandidates:
+    def test_candidates_subset_of_one_list_prefix(self, db2):
+        result = FaginA0Min().top_k(db2.session(), MINIMUM, 5)
+        assert result.details["candidates"] <= result.details["T"]
+
+    def test_candidates_at_least_k(self, db2):
+        """L is a subset of the candidates, so there are >= k of them."""
+        result = FaginA0Min().top_k(db2.session(), MINIMUM, 5)
+        assert result.details["candidates"] >= 5
+
+    def test_g0_is_a_real_overall_grade(self, db2):
+        result = FaginA0Min().top_k(db2.session(), MINIMUM, 5)
+        g0 = result.details["g0"]
+        overall = db2.overall_grades(MINIMUM)
+        assert any(
+            abs(overall.grade(obj) - g0) < 1e-12 for obj in db2.objects
+        )
+
+
+class TestCostComparison:
+    def test_same_sorted_cost_as_a0(self, db2):
+        """The sorted phase is identical — only random access shrinks."""
+        a0 = FaginA0().top_k(db2.session(), MINIMUM, 10)
+        a0p = FaginA0Min().top_k(db2.session(), MINIMUM, 10)
+        assert a0p.stats.sorted_cost == a0.stats.sorted_cost
+
+    def test_never_more_random_accesses_than_a0(self):
+        for seed in range(10):
+            db = independent_database(2, 400, seed=seed)
+            a0 = FaginA0().top_k(db.session(), MINIMUM, 10)
+            a0p = FaginA0Min().top_k(db.session(), MINIMUM, 10)
+            assert a0p.stats.random_cost <= a0.stats.random_cost
+
+    def test_strictly_fewer_random_accesses_typically(self):
+        db = independent_database(2, 1000, seed=5)
+        a0 = FaginA0().top_k(db.session(), MINIMUM, 10)
+        a0p = FaginA0Min().top_k(db.session(), MINIMUM, 10)
+        assert a0p.stats.random_cost < a0.stats.random_cost

@@ -1,0 +1,86 @@
+"""Tests for the A0 variants (Section 4's minor improvements)."""
+
+import pytest
+
+from repro.algorithms.base import is_valid_top_k
+from repro.algorithms.fa import FaginA0
+from repro.algorithms.fa_variants import EarlyStopFagin, ShrunkenFagin
+from repro.core.aggregation import FunctionAggregation
+from repro.core.means import ARITHMETIC_MEAN
+from repro.core.tnorms import MINIMUM
+from repro.workloads.skeletons import independent_database
+
+ALGORITHMS = [EarlyStopFagin(), ShrunkenFagin()]
+
+
+@pytest.mark.parametrize("alg", ALGORITHMS, ids=lambda a: a.name)
+class TestCorrectness:
+    def test_tiny_known_answers(self, alg, tiny_db):
+        result = alg.top_k(tiny_db.session(), MINIMUM, 2)
+        assert result.objects() == ("b", "a")
+
+    def test_matches_ground_truth_min(self, alg, db2):
+        truth = db2.overall_grades(MINIMUM)
+        result = alg.top_k(db2.session(), MINIMUM, 10)
+        assert is_valid_top_k(result.items, truth, 10)
+
+    def test_matches_ground_truth_mean(self, alg, db3):
+        truth = db3.overall_grades(ARITHMETIC_MEAN)
+        result = alg.top_k(db3.session(), ARITHMETIC_MEAN, 6)
+        assert is_valid_top_k(result.items, truth, 6)
+
+    def test_many_seeds(self, alg):
+        for seed in range(15):
+            db = independent_database(3, 50, seed=seed)
+            truth = db.overall_grades(MINIMUM)
+            result = alg.top_k(db.session(), MINIMUM, 4)
+            assert is_valid_top_k(result.items, truth, 4), f"seed {seed}"
+
+    def test_rejects_non_monotone(self, alg, tiny_db):
+        bad = FunctionAggregation(lambda *g: 0.5, "flat", monotone=False)
+        with pytest.raises(ValueError, match="monotone"):
+            alg.top_k(tiny_db.session(), bad, 1)
+
+
+class TestEarlyStopSavings:
+    def test_never_more_sorted_accesses(self):
+        for seed in range(10):
+            db = independent_database(3, 300, seed=seed)
+            full = FaginA0().top_k(db.session(), MINIMUM, 5)
+            early = EarlyStopFagin().top_k(db.session(), MINIMUM, 5)
+            assert early.stats.sorted_cost <= full.stats.sorted_cost
+
+    def test_saves_at_most_m_minus_one(self):
+        for seed in range(10):
+            db = independent_database(3, 300, seed=seed)
+            full = FaginA0().top_k(db.session(), MINIMUM, 5)
+            early = EarlyStopFagin().top_k(db.session(), MINIMUM, 5)
+            assert full.stats.sorted_cost - early.stats.sorted_cost <= 2
+
+
+class TestShrunkenSavings:
+    def test_same_sorted_cost_as_a0(self, db2):
+        """The shrink happens after the sorted phase is paid for."""
+        full = FaginA0().top_k(db2.session(), MINIMUM, 10)
+        shrunk = ShrunkenFagin().top_k(db2.session(), MINIMUM, 10)
+        assert shrunk.stats.sorted_cost == full.stats.sorted_cost
+
+    def test_never_more_random_accesses(self):
+        for seed in range(10):
+            db = independent_database(2, 400, seed=seed)
+            full = FaginA0().top_k(db.session(), MINIMUM, 10)
+            shrunk = ShrunkenFagin().top_k(db.session(), MINIMUM, 10)
+            assert shrunk.stats.random_cost <= full.stats.random_cost
+
+    def test_depths_bounded_by_t(self, db2):
+        result = ShrunkenFagin().top_k(db2.session(), MINIMUM, 10)
+        assert all(ti <= result.details["T"] for ti in result.details["Ti"])
+
+    def test_shrunken_prefixes_still_intersect_in_k(self, db2):
+        """The correctness precondition: |∩ X^i_{Ti}| >= k."""
+        result = ShrunkenFagin().top_k(db2.session(), MINIMUM, 10)
+        depths = result.details["Ti"]
+        sk = db2.skeleton()
+        prefixes = [set(sk.prefix(i, d)) for i, d in enumerate(depths)]
+        common = set.intersection(*prefixes)
+        assert len(common) >= 10

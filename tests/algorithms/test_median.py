@@ -1,0 +1,85 @@
+"""Tests for the Remark 6.1 median algorithm."""
+
+import pytest
+
+from repro.algorithms.base import is_valid_top_k
+from repro.algorithms.fa import FaginA0
+from repro.algorithms.median import MedianTopK, median_subset_size
+from repro.core.means import MEDIAN
+from repro.core.tnorms import MINIMUM
+from repro.workloads.skeletons import independent_database
+
+
+class TestSubsetSize:
+    @pytest.mark.parametrize("m,r", [(3, 2), (4, 3), (5, 3), (7, 4)])
+    def test_values(self, m, r):
+        assert median_subset_size(m) == r
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            median_subset_size(0)
+
+
+class TestCorrectness:
+    def test_matches_ground_truth_m3(self, db3):
+        truth = db3.overall_grades(MEDIAN)
+        result = MedianTopK().top_k(db3.session(), MEDIAN, 8)
+        assert is_valid_top_k(result.items, truth, 8)
+
+    def test_many_seeds_m3(self):
+        for seed in range(15):
+            db = independent_database(3, 60, seed=seed)
+            truth = db.overall_grades(MEDIAN)
+            result = MedianTopK().top_k(db.session(), MEDIAN, 4)
+            assert is_valid_top_k(result.items, truth, 4), f"seed {seed}"
+
+    def test_m4_lower_median(self):
+        db = independent_database(4, 60, seed=3)
+        truth = db.overall_grades(MEDIAN)
+        result = MedianTopK().top_k(db.session(), MEDIAN, 5)
+        assert is_valid_top_k(result.items, truth, 5)
+
+    def test_m5(self):
+        db = independent_database(5, 40, seed=9)
+        truth = db.overall_grades(MEDIAN)
+        result = MedianTopK().top_k(db.session(), MEDIAN, 3)
+        assert is_valid_top_k(result.items, truth, 3)
+
+    def test_rejects_non_median_aggregation(self, db3):
+        with pytest.raises(ValueError, match="median"):
+            MedianTopK().top_k(db3.session(), MINIMUM, 3)
+
+    def test_rejects_two_lists(self, db2):
+        with pytest.raises(ValueError, match="3 lists"):
+            MedianTopK().top_k(db2.session(), MEDIAN, 3)
+
+
+class TestStructure:
+    def test_three_subset_runs_for_m3(self, db3):
+        result = MedianTopK().top_k(db3.session(), MEDIAN, 5)
+        assert result.details["subset_runs"] == 3  # C(3, 2)
+
+    def test_candidate_union_bounded_by_runs_times_k(self, db3):
+        result = MedianTopK().top_k(db3.session(), MEDIAN, 5)
+        assert result.details["candidates"] <= 3 * 5
+
+
+class TestCost:
+    def test_beats_generic_a0_on_median(self):
+        """Remark 6.1's point: O(sqrt(Nk)) beats A0's N^(2/3) shape.
+
+        (A0 is still *correct* for the median — it is monotone — just
+        slower; the remark's construction wins asymptotically.)
+        """
+        db = independent_database(3, 3000, seed=11)
+        med = MedianTopK().top_k(db.session(), MEDIAN, 5)
+        a0 = FaginA0().top_k(db.session(), MEDIAN, 5)
+        assert med.stats.sum_cost < a0.stats.sum_cost
+
+    def test_cost_grows_sublinearly(self):
+        costs = {}
+        for n in (500, 4500):
+            db = independent_database(3, n, seed=13)
+            costs[n] = MedianTopK().top_k(db.session(), MEDIAN, 4).stats.sum_cost
+        # sqrt scaling: 9x the objects ~ 3x the cost, certainly < 5x.
+        assert costs[4500] < 5 * costs[500]

@@ -1,0 +1,68 @@
+"""Tests for the naive linear baseline (Section 4)."""
+
+import pytest
+
+from repro.algorithms.base import is_valid_top_k
+from repro.algorithms.naive import NaiveAlgorithm
+from repro.core.means import MEDIAN
+from repro.core.tnorms import MINIMUM
+from repro.workloads.skeletons import independent_database
+
+
+class TestCorrectness:
+    def test_tiny_known_answers(self, tiny_db):
+        result = NaiveAlgorithm().top_k(tiny_db.session(), MINIMUM, 2)
+        assert result.objects() == ("b", "a")
+        assert result.grades() == (0.6, 0.5)
+
+    def test_matches_ground_truth(self, db2):
+        result = NaiveAlgorithm().top_k(db2.session(), MINIMUM, 10)
+        assert is_valid_top_k(result.items, db2.overall_grades(MINIMUM), 10)
+
+    def test_works_for_non_t_norm_aggregations(self, db3):
+        result = NaiveAlgorithm().top_k(db3.session(), MEDIAN, 5)
+        assert is_valid_top_k(result.items, db3.overall_grades(MEDIAN), 5)
+
+    def test_k_equals_n(self, tiny_db):
+        result = NaiveAlgorithm().top_k(tiny_db.session(), MINIMUM, 5)
+        assert result.k == 5
+
+
+class TestCost:
+    def test_exactly_m_times_n_sorted_accesses(self, db2):
+        """The headline linear cost: m*N sorted, 0 random."""
+        result = NaiveAlgorithm().top_k(db2.session(), MINIMUM, 1)
+        assert result.stats.sorted_cost == 2 * 300
+        assert result.stats.random_cost == 0
+
+    def test_cost_independent_of_k(self, db2):
+        r1 = NaiveAlgorithm().top_k(db2.session(), MINIMUM, 1)
+        r50 = NaiveAlgorithm().top_k(db2.session(), MINIMUM, 50)
+        assert r1.stats.sum_cost == r50.stats.sum_cost
+
+    def test_details_report_scan_size(self, tiny_db):
+        result = NaiveAlgorithm().top_k(tiny_db.session(), MINIMUM, 1)
+        assert result.details["objects_scanned"] == 5
+
+
+class TestModelViolation:
+    def test_missing_object_in_one_list_detected(self):
+        """Sources violating the every-list-grades-every-object model."""
+        from repro.access.session import MiddlewareSession
+        from repro.access.source import MaterializedSource
+
+        sources = [
+            MaterializedSource("l0", {"a": 0.5, "b": 0.4}),
+            MaterializedSource("l1", {"a": 0.5}),  # b missing
+        ]
+        session = MiddlewareSession.over_sources(sources, num_objects=2)
+        with pytest.raises(ValueError, match="missing from list"):
+            NaiveAlgorithm().top_k(session, MINIMUM, 1)
+
+
+class TestAsOracle:
+    def test_agrees_with_direct_computation(self):
+        db = independent_database(3, 80, seed=123)
+        result = NaiveAlgorithm().top_k(db.session(), MINIMUM, 8)
+        expected = db.true_top_k(MINIMUM, 8)
+        assert set(result.grades()) == {it.grade for it in expected}

@@ -1,0 +1,70 @@
+"""Edge case: m = 1 — a single atomic query.
+
+The formal model permits m = 1 (the query *is* one ranked list); every
+applicable algorithm must degrade gracefully to "read the top k".
+"""
+
+import pytest
+
+from repro.access.scoring_database import ScoringDatabase
+from repro.algorithms.base import is_valid_top_k
+from repro.algorithms.disjunction import DisjunctionB0
+from repro.algorithms.fa import FaginA0, IncrementalFagin
+from repro.algorithms.fa_min import FaginA0Min
+from repro.algorithms.naive import NaiveAlgorithm
+from repro.algorithms.nra import NoRandomAccessAlgorithm
+from repro.algorithms.threshold import ThresholdAlgorithm
+from repro.core.tconorms import MAXIMUM
+from repro.core.tnorms import MINIMUM
+
+
+@pytest.fixture
+def single_list_db():
+    return ScoringDatabase(
+        [{f"o{i}": (50 - i) / 50 for i in range(50)}]
+    )
+
+
+SINGLE_LIST_ALGORITHMS = (
+    NaiveAlgorithm(),
+    FaginA0(),
+    FaginA0Min(),
+    ThresholdAlgorithm(),
+    NoRandomAccessAlgorithm(),
+)
+
+
+@pytest.mark.parametrize(
+    "alg", SINGLE_LIST_ALGORITHMS, ids=lambda a: a.name
+)
+class TestSingleList:
+    def test_correct(self, alg, single_list_db):
+        truth = single_list_db.overall_grades(MINIMUM)
+        result = alg.top_k(single_list_db.session(), MINIMUM, 5)
+        assert is_valid_top_k(result.items, truth, 5)
+
+    def test_no_random_access_needed(self, alg, single_list_db):
+        """With one list, sorted access alone determines everything."""
+        result = alg.top_k(single_list_db.session(), MINIMUM, 5)
+        assert result.stats.random_cost == 0
+
+
+class TestSingleListCosts:
+    def test_fa_reads_exactly_k(self, single_list_db):
+        """m=1: a match is just an appearance, so T = k."""
+        result = FaginA0().top_k(single_list_db.session(), MINIMUM, 5)
+        assert result.stats.sorted_cost == 5
+
+    def test_b0_single_list(self, single_list_db):
+        truth = single_list_db.overall_grades(MAXIMUM)
+        result = DisjunctionB0().top_k(single_list_db.session(), MAXIMUM, 5)
+        assert is_valid_top_k(result.items, truth, 5)
+        assert result.stats.sorted_cost == 5
+
+    def test_incremental_single_list(self, single_list_db):
+        inc = IncrementalFagin(single_list_db.session(), MINIMUM)
+        first = inc.next_batch(3)
+        second = inc.next_batch(3)
+        grades = list(first.grades()) + list(second.grades())
+        assert grades == sorted(grades, reverse=True)
+        assert len(set(first.objects()) | set(second.objects())) == 6

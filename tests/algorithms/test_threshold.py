@@ -1,0 +1,84 @@
+"""Tests for the Threshold Algorithm extension (E15 ablation)."""
+
+import pytest
+
+from repro.algorithms.base import is_valid_top_k
+from repro.algorithms.fa import FaginA0
+from repro.algorithms.threshold import ThresholdAlgorithm
+from repro.core.aggregation import FunctionAggregation
+from repro.core.means import ARITHMETIC_MEAN
+from repro.core.tnorms import ALGEBRAIC_PRODUCT, MINIMUM
+from repro.workloads.skeletons import independent_database
+
+
+class TestCorrectness:
+    def test_tiny_known_answers(self, tiny_db):
+        result = ThresholdAlgorithm().top_k(tiny_db.session(), MINIMUM, 2)
+        assert result.objects() == ("b", "a")
+
+    @pytest.mark.parametrize(
+        "aggregation",
+        [MINIMUM, ALGEBRAIC_PRODUCT, ARITHMETIC_MEAN],
+        ids=lambda a: a.name,
+    )
+    def test_matches_ground_truth(self, db2, aggregation):
+        truth = db2.overall_grades(aggregation)
+        result = ThresholdAlgorithm().top_k(db2.session(), aggregation, 10)
+        assert is_valid_top_k(result.items, truth, 10)
+
+    def test_three_lists(self, db3):
+        truth = db3.overall_grades(MINIMUM)
+        result = ThresholdAlgorithm().top_k(db3.session(), MINIMUM, 6)
+        assert is_valid_top_k(result.items, truth, 6)
+
+    def test_many_seeds(self):
+        for seed in range(20):
+            db = independent_database(2, 70, seed=seed)
+            truth = db.overall_grades(MINIMUM)
+            result = ThresholdAlgorithm().top_k(db.session(), MINIMUM, 5)
+            assert is_valid_top_k(result.items, truth, 5), f"seed {seed}"
+
+    def test_k_equals_n(self, tiny_db):
+        result = ThresholdAlgorithm().top_k(tiny_db.session(), MINIMUM, 5)
+        assert is_valid_top_k(
+            result.items, tiny_db.overall_grades(MINIMUM), 5
+        )
+
+    def test_rejects_non_monotone(self, tiny_db):
+        bad = FunctionAggregation(lambda *g: 0.5, "flat", monotone=False)
+        with pytest.raises(ValueError, match="monotone"):
+            ThresholdAlgorithm().top_k(tiny_db.session(), bad, 1)
+
+
+class TestStoppingBehaviour:
+    def test_threshold_detail_is_sound(self, db2):
+        """At stop, k answers have grades >= the final threshold."""
+        result = ThresholdAlgorithm().top_k(db2.session(), MINIMUM, 10)
+        tau = result.details["threshold"]
+        assert all(item.grade >= tau - 1e-12 for item in result.items)
+
+    def test_depth_detail(self, db2):
+        result = ThresholdAlgorithm().top_k(db2.session(), MINIMUM, 5)
+        assert result.stats.max_sorted_depth() == result.details["rounds"]
+
+
+class TestAblationVsFA:
+    def test_never_dramatically_worse_than_a0(self):
+        """TA's adaptive stop: same order of magnitude as A0 or better."""
+        for seed in range(5):
+            db = independent_database(2, 1000, seed=seed)
+            fa = FaginA0().top_k(db.session(), MINIMUM, 10)
+            ta = ThresholdAlgorithm().top_k(db.session(), MINIMUM, 10)
+            assert ta.stats.sum_cost <= 3 * fa.stats.sum_cost
+
+    def test_wins_on_aligned_lists(self):
+        """When lists agree, TA stops almost immediately; FA must still
+        wait for k full matches (same here) — TA never needs more
+        sorted depth than FA on identical rankings."""
+        from repro.access.scoring_database import ScoringDatabase
+
+        grades = {i: (100 - i) / 100 for i in range(1, 101)}
+        db = ScoringDatabase([dict(grades), dict(grades)])
+        fa = FaginA0().top_k(db.session(), MINIMUM, 5)
+        ta = ThresholdAlgorithm().top_k(db.session(), MINIMUM, 5)
+        assert ta.stats.max_sorted_depth() <= fa.stats.max_sorted_depth()

@@ -1,0 +1,119 @@
+"""Tests for Ullman's algorithm (Section 9)."""
+
+import pytest
+
+from repro.algorithms.base import is_valid_top_k
+from repro.algorithms.ullman import UllmanAlgorithm
+from repro.core.aggregation import FunctionAggregation
+from repro.core.tnorms import ALGEBRAIC_PRODUCT, MINIMUM
+from repro.workloads.distributions import Capped, Uniform
+from repro.workloads.skeletons import independent_database
+
+
+class TestCorrectness:
+    def test_tiny_top1(self, tiny_db):
+        result = UllmanAlgorithm().top_k(tiny_db.session(), MINIMUM, 1)
+        assert result.objects() == ("b",)
+
+    def test_threshold_rule_top_k(self, db2):
+        truth = db2.overall_grades(MINIMUM)
+        result = UllmanAlgorithm().top_k(db2.session(), MINIMUM, 10)
+        assert is_valid_top_k(result.items, truth, 10)
+
+    def test_paper_rule_top1(self, db2):
+        truth = db2.overall_grades(MINIMUM)
+        result = UllmanAlgorithm(stop_rule="paper").top_k(
+            db2.session(), MINIMUM, 1
+        )
+        assert is_valid_top_k(result.items, truth, 1)
+
+    def test_paper_rule_many_seeds(self):
+        for seed in range(20):
+            db = independent_database(2, 80, seed=seed)
+            truth = db.overall_grades(MINIMUM)
+            result = UllmanAlgorithm(stop_rule="paper").top_k(
+                db.session(), MINIMUM, 1
+            )
+            assert is_valid_top_k(result.items, truth, 1), f"seed {seed}"
+
+    def test_paper_rule_requires_k1(self, db2):
+        with pytest.raises(ValueError, match="k = 1"):
+            UllmanAlgorithm(stop_rule="paper").top_k(db2.session(), MINIMUM, 5)
+
+    def test_three_lists_threshold(self, db3):
+        truth = db3.overall_grades(MINIMUM)
+        result = UllmanAlgorithm().top_k(db3.session(), MINIMUM, 5)
+        assert is_valid_top_k(result.items, truth, 5)
+
+    def test_other_tnorm(self, db2):
+        truth = db2.overall_grades(ALGEBRAIC_PRODUCT)
+        result = UllmanAlgorithm().top_k(db2.session(), ALGEBRAIC_PRODUCT, 5)
+        assert is_valid_top_k(result.items, truth, 5)
+
+    def test_sorted_list_choice(self, db2):
+        truth = db2.overall_grades(MINIMUM)
+        result = UllmanAlgorithm(sorted_list=1).top_k(db2.session(), MINIMUM, 5)
+        assert is_valid_top_k(result.items, truth, 5)
+
+    def test_invalid_configuration(self, db2):
+        with pytest.raises(ValueError):
+            UllmanAlgorithm(stop_rule="nonsense")
+        with pytest.raises(ValueError):
+            UllmanAlgorithm(sorted_list=9).top_k(db2.session(), MINIMUM, 1)
+
+    def test_rejects_non_monotone(self, db2):
+        bad = FunctionAggregation(lambda *g: 0.5, "flat", monotone=False)
+        with pytest.raises(ValueError, match="monotone"):
+            UllmanAlgorithm().top_k(db2.session(), bad, 1)
+
+
+class TestSection9Regimes:
+    def test_capped_lead_list_stops_fast(self):
+        """Grades of A1 capped at 0.9, A2 uniform: expected <= 10 seen."""
+        db = independent_database(
+            2, 5000, seed=21, distributions=[Capped(0.9), Uniform()]
+        )
+        result = UllmanAlgorithm(stop_rule="paper").top_k(
+            db.session(), MINIMUM, 1
+        )
+        # Expectation is <= 10; allow generous slack for a single draw.
+        assert result.details["objects_seen"] <= 120
+
+    def test_uniform_regime_is_not_constant(self):
+        """Landau: both uniform -> Theta(sqrt(N)) expected stopping."""
+        import statistics
+
+        seen = []
+        for seed in range(30):
+            db = independent_database(2, 2500, seed=seed)
+            result = UllmanAlgorithm(stop_rule="paper").top_k(
+                db.session(), MINIMUM, 1
+            )
+            seen.append(result.details["objects_seen"])
+        mean_seen = statistics.fmean(seen)
+        # sqrt(2500) = 50; the mean should be in the tens, far above the
+        # capped regime's handful and far below linear.
+        assert 10 <= mean_seen <= 250
+
+    def test_accesses_per_object_seen(self, db2):
+        """Each object seen costs 1 sorted + (m-1) random accesses."""
+        result = UllmanAlgorithm().top_k(db2.session(), MINIMUM, 5)
+        seen = result.details["objects_seen"]
+        assert result.stats.sorted_cost == seen
+        assert result.stats.random_cost == seen
+
+
+class TestExhaustion:
+    def test_degenerate_no_early_stop(self):
+        """If the stop never triggers, the scan completes and is correct."""
+        # List 0 all-1 grades: ceiling never drops below 1 until the end.
+        db_lists = [
+            {i: 1.0 for i in range(1, 21)},
+            {i: (21 - i) / 40 for i in range(1, 21)},
+        ]
+        from repro.access.scoring_database import ScoringDatabase
+
+        db = ScoringDatabase(db_lists)
+        truth = db.overall_grades(MINIMUM)
+        result = UllmanAlgorithm().top_k(db.session(), MINIMUM, 3)
+        assert is_valid_top_k(result.items, truth, 3)

@@ -1,0 +1,107 @@
+"""Tests for the closed-form bounds of Sections 5-7."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    WIMMERS_EXAMPLES,
+    a0_cost_bound,
+    chernoff_at_most,
+    expected_intersection,
+    expected_prefix_intersection,
+    fagin_tail_bound,
+    hard_query_lower_bound,
+    lemma51_bound,
+    lower_bound_probability,
+    wimmers_tail_bound,
+)
+
+
+class TestA0CostBound:
+    def test_m2_is_sqrt(self):
+        assert a0_cost_bound(10000, 2, 1) == pytest.approx(100.0)
+
+    def test_m2_k_scaling(self):
+        assert a0_cost_bound(10000, 2, 4) == pytest.approx(200.0)
+
+    def test_m3_exponent(self):
+        assert a0_cost_bound(1000, 3, 1) == pytest.approx(1000 ** (2 / 3))
+
+    def test_k_equals_n_degenerates_to_n(self):
+        """Remark 5.2: at k = N the bound is simply N."""
+        assert a0_cost_bound(500, 2, 500) == pytest.approx(500.0)
+        assert a0_cost_bound(500, 3, 500) == pytest.approx(500.0)
+
+    def test_m1_is_k(self):
+        """One list: the bound is k (read the top k directly)."""
+        assert a0_cost_bound(1000, 1, 7) == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            a0_cost_bound(0, 2, 1)
+
+
+class TestExpectedSizes:
+    def test_lemma_51_expectation(self):
+        assert expected_intersection(100, 50, 1000) == pytest.approx(5.0)
+
+    def test_prefix_intersection_m2(self):
+        # T^2/N for two lists
+        assert expected_prefix_intersection(100, 1000, 2) == pytest.approx(10.0)
+
+    def test_prefix_intersection_at_bound_is_theta_m_k(self):
+        """The Theorem 6.4 step: T = theta*bound gives E = theta^m * k."""
+        n, m, k, theta = 10000, 3, 5, 0.5
+        depth = theta * a0_cost_bound(n, m, k)
+        expected = expected_prefix_intersection(depth, n, m)
+        assert expected == pytest.approx(theta**m * k, rel=1e-9)
+
+
+class TestTailBounds:
+    def test_lemma51_shape(self):
+        assert lemma51_bound(10.0) == pytest.approx(math.exp(-1.0))
+        assert lemma51_bound(0.0) == 1.0
+
+    def test_chernoff(self):
+        assert chernoff_at_most(0.5, 100) == pytest.approx(
+            math.exp(-0.125 * 100)
+        )
+
+    def test_chernoff_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_at_most(1.5, 10)
+
+    def test_fagin_tail_decreases_in_c(self):
+        b2 = fagin_tail_bound(2, 10000, 2, 10)
+        b4 = fagin_tail_bound(4, 10000, 2, 10)
+        assert b4 < b2
+
+    def test_fagin_tail_dominant_term(self):
+        """For m = 2 the only term is e^(-c*k/5)."""
+        assert fagin_tail_bound(2, 10**8, 2, 10) == pytest.approx(
+            math.exp(-2 * 10 / 5), rel=1e-6
+        )
+
+    def test_fagin_tail_requires_c_at_least_2(self):
+        with pytest.raises(ValueError):
+            fagin_tail_bound(1.0, 1000, 2, 1)
+
+    def test_wimmers_dominant_term(self):
+        assert wimmers_tail_bound(2, 10) == pytest.approx(math.exp(-40))
+
+    def test_wimmers_examples_recorded(self):
+        assert WIMMERS_EXAMPLES[2] == 2e-8
+        assert WIMMERS_EXAMPLES[3] == 4e-27
+
+
+class TestLowerBound:
+    def test_probability_theta_m(self):
+        assert lower_bound_probability(0.5, 2) == 0.25
+        assert lower_bound_probability(0.5, 3) == 0.125
+
+    def test_capped_at_one(self):
+        assert lower_bound_probability(2.0, 2) == 1.0
+
+    def test_hard_query(self):
+        assert hard_query_lower_bound(100) == 50.0

@@ -1,0 +1,63 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.algorithms.fa import FaginA0
+from repro.algorithms.naive import NaiveAlgorithm
+from repro.analysis.experiments import CostSummary, measure_costs, run_trials
+from repro.core.tnorms import MINIMUM
+from repro.workloads.skeletons import independent_database
+
+
+def _make_db(seed):
+    return independent_database(2, 100, seed=seed)
+
+
+class TestRunTrials:
+    def test_returns_one_result_per_trial(self):
+        results = run_trials(_make_db, FaginA0(), MINIMUM, 5, trials=4)
+        assert len(results) == 4
+
+    def test_seeds_vary_across_trials(self):
+        results = run_trials(_make_db, FaginA0(), MINIMUM, 5, trials=6)
+        costs = {r.stats.sum_cost for r in results}
+        assert len(costs) > 1  # different databases, different costs
+
+    def test_reproducible_with_same_base_seed(self):
+        a = run_trials(_make_db, FaginA0(), MINIMUM, 5, trials=3, base_seed=9)
+        b = run_trials(_make_db, FaginA0(), MINIMUM, 5, trials=3, base_seed=9)
+        assert [r.stats for r in a] == [r.stats for r in b]
+
+    def test_needs_a_trial(self):
+        with pytest.raises(ValueError):
+            run_trials(_make_db, FaginA0(), MINIMUM, 5, trials=0)
+
+
+class TestCostSummary:
+    def test_aggregates(self):
+        results = run_trials(_make_db, NaiveAlgorithm(), MINIMUM, 1, trials=3)
+        summary = CostSummary.from_results(results)
+        assert summary.trials == 3
+        assert summary.mean_sorted == 200.0  # naive: m*N always
+        assert summary.mean_random == 0.0
+        assert summary.max_sum == 200
+
+    def test_depth_tracking(self):
+        results = run_trials(_make_db, FaginA0(), MINIMUM, 5, trials=5)
+        summary = CostSummary.from_results(results)
+        assert summary.max_depth >= summary.mean_depth
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CostSummary.from_results([])
+
+    def test_repr(self):
+        results = run_trials(_make_db, FaginA0(), MINIMUM, 5, trials=2)
+        assert "trials=2" in repr(CostSummary.from_results(results))
+
+
+class TestMeasureCosts:
+    def test_one_call_shape(self):
+        summary = measure_costs(_make_db, FaginA0(), MINIMUM, 5, trials=3)
+        assert summary.trials == 3
+        assert summary.mean_sum > 0

@@ -1,0 +1,54 @@
+"""Tests for power-law exponent fitting."""
+
+import pytest
+
+from repro.analysis.fitting import fit_power_law
+
+
+class TestFitPowerLaw:
+    def test_exact_sqrt_law(self):
+        xs = [100, 1000, 10000]
+        ys = [x**0.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5)
+        assert fit.coefficient == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_with_coefficient(self):
+        xs = [10, 100, 1000]
+        ys = [3.5 * x**0.66 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.66)
+        assert fit.coefficient == pytest.approx(3.5)
+
+    def test_noisy_data_good_r2(self):
+        import random
+
+        rng = random.Random(0)
+        xs = [10 * 2**i for i in range(10)]
+        ys = [x**0.5 * rng.uniform(0.9, 1.1) for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5, abs=0.05)
+        assert fit.r_squared > 0.98
+
+    def test_constant_data_zero_exponent(self):
+        fit = fit_power_law([10, 100, 1000], [5.0, 5.0, 5.0])
+        assert fit.exponent == pytest.approx(0.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 10, 100], [2, 20, 200])
+        assert fit.predict(1000) == pytest.approx(2000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([5, 5], [1, 2])
+
+    def test_repr(self):
+        fit = fit_power_law([1, 10], [1, 10])
+        assert "x^1.000" in repr(fit)

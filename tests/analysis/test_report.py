@@ -1,0 +1,48 @@
+"""Tests for the one-command experiment report."""
+
+import pytest
+
+from repro.analysis.report import ReportSection, generate_report, main
+
+
+class TestReportSection:
+    def test_markdown_rendering(self):
+        section = ReportSection("E1", "scaling", "N  cost\n1  2", "fine.")
+        md = section.to_markdown()
+        assert md.startswith("## E1 — scaling")
+        assert "```" in md
+        assert "**Verdict:** fine." in md
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(trials=2)
+
+    def test_contains_all_sections(self, report):
+        for section_id in ("E1", "E5", "E7", "E10", "E9/E11/E16"):
+            assert f"## {section_id}" in report
+
+    def test_no_unexpected_verdicts(self, report):
+        """Every compact experiment should confirm its claim."""
+        assert "UNEXPECTED" not in report
+
+    def test_mentions_theorems(self, report):
+        assert "Theorem 5.3" in report
+        assert "Theorem 7.1" in report
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            generate_report(trials=1)
+
+
+class TestCli:
+    def test_stdout(self, capsys):
+        assert main(["--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# repro experiment report" in out
+
+    def test_file_output(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["--trials", "2", "--output", str(target)]) == 0
+        assert target.read_text().startswith("# repro experiment report")

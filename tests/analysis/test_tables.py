@@ -1,0 +1,45 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_cell, format_table, print_table
+
+
+class TestFormatCell:
+    def test_floats_precision(self):
+        assert format_cell(3.14159, precision=3) == "3.14"
+
+    def test_ints_verbatim(self):
+        assert format_cell(1000) == "1000"
+
+    def test_bools(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_strings(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(("N", "cost"), [(100, 45.2), (1000, 141.0)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        table = format_table(("a",), [(1,)], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_header_rule(self):
+        table = format_table(("ab",), [(1,)])
+        assert "--" in table.splitlines()[1]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_print_table(self, capsys):
+        print_table(("x",), [(1,)])
+        out = capsys.readouterr().out
+        assert "x" in out and "1" in out

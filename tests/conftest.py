@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.access.scoring_database import ScoringDatabase
+from repro.workloads.datasets import cd_store
+from repro.workloads.skeletons import independent_database
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministically seeded RNG, fresh per test."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def tiny_db() -> ScoringDatabase:
+    """A fixed 2-list, 5-object database with hand-checkable answers.
+
+    Overall min grades: a=0.5, b=0.6, c=0.3, d=0.2, e=0.1 — so the
+    top-2 under min are b (0.6) then a (0.5).
+    """
+    return ScoringDatabase(
+        [
+            {"a": 0.9, "b": 0.6, "c": 0.3, "d": 0.8, "e": 0.1},
+            {"a": 0.5, "b": 0.7, "c": 0.4, "d": 0.2, "e": 0.95},
+        ]
+    )
+
+
+@pytest.fixture
+def db2() -> ScoringDatabase:
+    """An independent 2-list database of moderate size."""
+    return independent_database(2, 300, seed=99)
+
+
+@pytest.fixture
+def db3() -> ScoringDatabase:
+    """An independent 3-list database of moderate size."""
+    return independent_database(3, 200, seed=77)
+
+
+@pytest.fixture(scope="session")
+def albums():
+    """The CD-store catalogue used by middleware integration tests."""
+    return cd_store(100, seed=5)

@@ -1,0 +1,87 @@
+"""Tests for the aggregation-function base machinery (Section 3)."""
+
+import pytest
+
+from repro.core.aggregation import (
+    ConstantAggregation,
+    FunctionAggregation,
+    iterated,
+)
+from repro.core.tnorms import ALGEBRAIC_PRODUCT, MINIMUM
+from repro.exceptions import AggregationArityError, GradeRangeError
+
+
+class TestCallValidation:
+    def test_validates_grades(self):
+        with pytest.raises(GradeRangeError):
+            MINIMUM(0.5, 1.5)
+
+    def test_rejects_zero_arguments(self):
+        with pytest.raises(AggregationArityError):
+            MINIMUM()
+
+    def test_fixed_arity_enforced(self):
+        fixed = FunctionAggregation(lambda a, b: a * b, "pair-only", arity=2)
+        with pytest.raises(AggregationArityError):
+            fixed(0.1, 0.2, 0.3)
+        assert fixed(0.5, 0.5) == 0.25
+
+    def test_output_clamped(self):
+        overshoot = FunctionAggregation(
+            lambda *gs: 1.0 + 1e-15, "overshoot", monotone=True
+        )
+        assert overshoot(0.5) == 1.0
+
+    def test_on_sequence_mirror(self):
+        assert MINIMUM.on_sequence([0.4, 0.2, 0.9]) == 0.2
+
+    def test_repr(self):
+        assert "min" in repr(MINIMUM)
+
+
+class TestBinaryIteration:
+    """Section 3: m-ary by iterating the 2-ary function (a left fold)."""
+
+    def test_left_fold_matches_manual(self):
+        manual = ALGEBRAIC_PRODUCT.pair(
+            ALGEBRAIC_PRODUCT.pair(0.9, 0.8), 0.7
+        )
+        assert ALGEBRAIC_PRODUCT(0.9, 0.8, 0.7) == pytest.approx(manual)
+
+    def test_fold_order_immaterial_for_associative(self):
+        right = ALGEBRAIC_PRODUCT.pair(
+            0.9, ALGEBRAIC_PRODUCT.pair(0.8, 0.7)
+        )
+        assert ALGEBRAIC_PRODUCT(0.9, 0.8, 0.7) == pytest.approx(right)
+
+
+class TestConstantAggregation:
+    def test_always_returns_constant(self):
+        const = ConstantAggregation(0.4)
+        assert const(0.0) == 0.4
+        assert const(1.0, 1.0, 1.0) == 0.4
+
+    def test_monotone_not_strict(self):
+        const = ConstantAggregation(0.4)
+        assert const.monotone
+        assert not const.strict
+
+    def test_validates_constant(self):
+        with pytest.raises(GradeRangeError):
+            ConstantAggregation(1.4)
+
+    def test_name(self):
+        assert "0.4" in ConstantAggregation(0.4).name
+
+
+class TestFunctionAggregation:
+    def test_wraps_callable(self):
+        avg = FunctionAggregation(
+            lambda *gs: sum(gs) / len(gs), "my-mean", monotone=True, strict=True
+        )
+        assert avg(0.2, 0.8) == pytest.approx(0.5)
+        assert avg.monotone and avg.strict
+
+    def test_iterated_helper(self):
+        lukas = iterated(lambda x, y: max(0.0, x + y - 1.0), "lukasiewicz")
+        assert lukas(0.9, 0.9, 0.9) == pytest.approx(0.7)

@@ -1,0 +1,96 @@
+"""Tests for logical-equivalence preservation (Theorem 3.1).
+
+The empirical content of the theorem: the standard min/max semantics
+preserves every canonical ∧/∨ identity, while *every other* t-norm/
+co-norm pair from the paper's catalogue fails at least one — so an
+optimizer may rewrite only under the standard rules.
+"""
+
+import pytest
+
+from repro.core.equivalence import (
+    CANONICAL_IDENTITIES,
+    crisp_equivalent,
+    fuzzy_equivalent,
+    preserves_equivalence,
+)
+from repro.core.query import And, Not, Or, atom
+from repro.core.semantics import STANDARD_FUZZY, FuzzySemantics
+from repro.core.tconorms import TCONORMS
+from repro.core.tnorms import TNORMS
+
+A, B, C = atom("A"), atom("B"), atom("C")
+
+NON_STANDARD_PAIRS = [
+    (t_name, s_name)
+    for t_name, s_name in (
+        ("algebraic-product", "algebraic-sum"),
+        ("bounded-difference", "bounded-sum"),
+        ("einstein-product", "einstein-sum"),
+        ("hamacher-product", "hamacher-sum"),
+        ("drastic-product", "drastic-sum"),
+    )
+]
+
+
+class TestCrispEquivalence:
+    def test_idempotence(self):
+        assert crisp_equivalent(And((A, A)), A)
+
+    def test_distributivity(self):
+        lhs = And((A, Or((B, C))))
+        rhs = Or((And((A, B)), And((A, C))))
+        assert crisp_equivalent(lhs, rhs)
+
+    def test_non_equivalent(self):
+        assert not crisp_equivalent(And((A, B)), Or((A, B)))
+
+    def test_canonical_identities_are_crisp_equivalent(self):
+        for name, q1, q2 in CANONICAL_IDENTITIES:
+            assert crisp_equivalent(q1, q2), name
+
+    def test_rejects_negation(self):
+        with pytest.raises(ValueError, match="negation"):
+            crisp_equivalent(Not(A), A)
+
+
+class TestFuzzyEquivalence:
+    def test_min_max_preserve_idempotence(self):
+        assert fuzzy_equivalent(And((A, A)), A, STANDARD_FUZZY)
+
+    def test_min_max_preserve_distributivity(self):
+        lhs = And((A, Or((B, C))))
+        rhs = Or((And((A, B)), And((A, C))))
+        assert fuzzy_equivalent(lhs, rhs, STANDARD_FUZZY)
+
+    def test_product_fails_idempotence(self):
+        """mu_{A AND A} = mu_A^2 != mu_A under the product t-norm."""
+        sem = FuzzySemantics(
+            tnorm=TNORMS["algebraic-product"], conorm=TCONORMS["algebraic-sum"]
+        )
+        assert not fuzzy_equivalent(And((A, A)), A, sem)
+
+    def test_distinguishes_genuinely_different_queries(self):
+        assert not fuzzy_equivalent(And((A, B)), Or((A, B)), STANDARD_FUZZY)
+
+
+class TestTheorem31:
+    def test_standard_semantics_preserves_all(self):
+        ok, failures = preserves_equivalence(STANDARD_FUZZY)
+        assert ok, failures
+
+    @pytest.mark.parametrize("t_name,s_name", NON_STANDARD_PAIRS)
+    def test_every_other_pair_fails(self, t_name, s_name):
+        """The uniqueness half of Theorem 3.1, checked empirically."""
+        sem = FuzzySemantics(tnorm=TNORMS[t_name], conorm=TCONORMS[s_name])
+        ok, failures = preserves_equivalence(sem)
+        assert not ok
+        assert failures  # names of the violated identities
+
+    def test_failure_names_are_informative(self):
+        sem = FuzzySemantics(
+            tnorm=TNORMS["algebraic-product"],
+            conorm=TCONORMS["algebraic-sum"],
+        )
+        __, failures = preserves_equivalence(sem)
+        assert any("idempotence" in f for f in failures)

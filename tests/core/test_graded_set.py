@@ -1,0 +1,170 @@
+"""Unit tests for GradedSet (Section 2's central data model)."""
+
+import pytest
+
+from repro.core.graded_set import GradedSet
+from repro.exceptions import GradeRangeError, InsufficientObjectsError
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        gs = GradedSet({"a": 0.5, "b": 1.0})
+        assert gs.grade("a") == 0.5
+        assert len(gs) == 2
+
+    def test_from_pairs(self):
+        gs = GradedSet([("a", 0.5), ("b", 1.0)])
+        assert gs.grade("b") == 1.0
+
+    def test_empty(self):
+        gs = GradedSet()
+        assert len(gs) == 0
+        assert list(gs) == []
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            GradedSet([("a", 0.5), ("a", 0.6)])
+
+    def test_rejects_bad_grade(self):
+        with pytest.raises(GradeRangeError):
+            GradedSet({"a": 1.5})
+
+    def test_from_crisp_without_universe(self):
+        gs = GradedSet.from_crisp({"x", "y"})
+        assert gs.grade("x") == 1.0
+        assert "z" not in gs
+        assert gs.grade("z") == 0.0  # implicit
+
+    def test_from_crisp_with_universe(self):
+        gs = GradedSet.from_crisp({"x"}, universe={"x", "y", "z"})
+        assert gs.grade("y") == 0.0
+        assert "y" in gs  # now explicit
+        assert len(gs) == 3
+
+    def test_from_ranked(self):
+        gs = GradedSet.from_ranked(["a", "b"], [0.9, 0.1])
+        assert gs.grade("a") == 0.9
+
+    def test_from_ranked_length_mismatch(self):
+        with pytest.raises(ValueError, match="objects but"):
+            GradedSet.from_ranked(["a"], [0.9, 0.1])
+
+
+class TestSortedListView:
+    def test_iteration_is_descending(self):
+        gs = GradedSet({"a": 0.2, "b": 0.9, "c": 0.5})
+        assert [obj for obj, _ in gs] == ["b", "c", "a"]
+
+    def test_tie_break_is_deterministic(self):
+        gs = GradedSet({"b": 0.5, "a": 0.5, "c": 0.5})
+        assert [obj for obj, _ in gs] == ["a", "b", "c"]
+
+    def test_to_sorted_list(self):
+        gs = GradedSet({"a": 0.2, "b": 0.9})
+        assert gs.to_sorted_list() == [("b", 0.9), ("a", 0.2)]
+
+
+class TestTopK:
+    def test_top_k(self):
+        gs = GradedSet({"a": 0.2, "b": 0.9, "c": 0.5})
+        top = gs.top(2)
+        assert top.objects() == {"b", "c"}
+
+    def test_top_zero(self):
+        assert len(GradedSet({"a": 0.5}).top(0)) == 0
+
+    def test_top_k_too_large(self):
+        with pytest.raises(InsufficientObjectsError):
+            GradedSet({"a": 0.5}).top(2)
+
+    def test_top_negative(self):
+        with pytest.raises(ValueError):
+            GradedSet({"a": 0.5}).top(-1)
+
+
+class TestQueries:
+    def test_support_drops_zero_grades(self):
+        gs = GradedSet({"a": 0.0, "b": 0.4})
+        assert gs.support().objects() == {"b"}
+
+    def test_alpha_cut(self):
+        gs = GradedSet({"a": 0.2, "b": 0.9, "c": 0.5})
+        assert gs.cut(0.5) == {"b", "c"}
+
+    def test_alpha_cut_validates_level(self):
+        with pytest.raises(GradeRangeError):
+            GradedSet({"a": 0.5}).cut(1.5)
+
+    def test_is_crisp(self):
+        assert GradedSet({"a": 1.0, "b": 0.0}).is_crisp()
+        assert not GradedSet({"a": 0.5}).is_crisp()
+
+    def test_restrict(self):
+        gs = GradedSet({"a": 0.2, "b": 0.9})
+        assert gs.restrict({"b", "zz"}).objects() == {"b"}
+
+
+class TestSetAlgebra:
+    def test_intersection_default_min(self):
+        a = GradedSet({"x": 0.8, "y": 0.3})
+        b = GradedSet({"x": 0.5, "z": 0.9})
+        c = a.intersect(b)
+        assert c.grade("x") == 0.5
+        assert c.grade("y") == 0.0  # y missing from b -> min(0.3, 0) = 0
+        assert c.grade("z") == 0.0
+
+    def test_union_default_max(self):
+        a = GradedSet({"x": 0.8})
+        b = GradedSet({"x": 0.5, "z": 0.9})
+        c = a.union(b)
+        assert c.grade("x") == 0.8
+        assert c.grade("z") == 0.9
+
+    def test_combine_custom_connective(self):
+        a = GradedSet({"x": 0.5})
+        b = GradedSet({"x": 0.5})
+        prod = a.combine(b, lambda p, q: p * q)
+        assert prod.grade("x") == 0.25
+
+    def test_crisp_embedding_matches_set_semantics(self):
+        # Crisp sets under min/max behave exactly like intersection/union.
+        universe = {"a", "b", "c", "d"}
+        s1 = GradedSet.from_crisp({"a", "b"}, universe)
+        s2 = GradedSet.from_crisp({"b", "c"}, universe)
+        assert s1.intersect(s2).cut(1.0) == {"b"}
+        assert s1.union(s2).cut(1.0) == {"a", "b", "c"}
+
+    def test_negation_needs_universe(self):
+        gs = GradedSet({"a": 0.3})
+        neg = gs.negate(universe={"a", "b"})
+        assert neg.grade("a") == pytest.approx(0.7)
+        assert neg.grade("b") == 1.0  # implicit 0 negates to 1
+
+    def test_scale(self):
+        gs = GradedSet({"a": 0.8}).scale(0.5)
+        assert gs.grade("a") == pytest.approx(0.4)
+
+    def test_scale_validates_factor(self):
+        with pytest.raises(GradeRangeError):
+            GradedSet({"a": 0.8}).scale(2.0)
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = GradedSet({"x": 0.5})
+        b = GradedSet([("x", 0.5)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_neq_different_grades(self):
+        assert GradedSet({"x": 0.5}) != GradedSet({"x": 0.6})
+
+    def test_approx_equal(self):
+        a = GradedSet({"x": 0.5})
+        b = GradedSet({"x": 0.5 + 1e-12})
+        assert a.approx_equal(b)
+        assert not a.approx_equal(GradedSet({"y": 0.5}))
+
+    def test_repr_is_informative(self):
+        text = repr(GradedSet({"x": 0.5}))
+        assert "x" in text and "n=1" in text

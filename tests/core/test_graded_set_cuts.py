@@ -1,0 +1,68 @@
+"""Tests for alpha-cut decomposition (the resolution identity)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.core.graded_set import GradedSet
+
+
+class TestDecompose:
+    def test_levels_are_distinct_positive_grades(self):
+        gs = GradedSet({"a": 0.2, "b": 0.9, "c": 0.2, "d": 0.0})
+        cuts = gs.decompose()
+        assert set(cuts) == {0.2, 0.9}
+
+    def test_cuts_are_nested(self):
+        gs = GradedSet({"a": 0.2, "b": 0.9, "c": 0.5})
+        cuts = gs.decompose()
+        levels = sorted(cuts)
+        for lo, hi in zip(levels, levels[1:]):
+            assert cuts[hi] <= cuts[lo]
+
+    def test_each_cut_content(self):
+        gs = GradedSet({"a": 0.2, "b": 0.9, "c": 0.5})
+        cuts = gs.decompose()
+        assert cuts[0.2] == {"a", "b", "c"}
+        assert cuts[0.5] == {"b", "c"}
+        assert cuts[0.9] == {"b"}
+
+    def test_empty_set(self):
+        assert GradedSet().decompose() == {}
+
+    def test_all_zero_grades(self):
+        assert GradedSet({"a": 0.0}).decompose() == {}
+
+
+class TestFromCuts:
+    def test_reconstruction(self):
+        cuts = {0.2: ["a", "b"], 0.9: ["b"]}
+        gs = GradedSet.from_cuts(cuts)
+        assert gs.grade("a") == 0.2
+        assert gs.grade("b") == 0.9
+
+    def test_highest_level_wins(self):
+        gs = GradedSet.from_cuts({0.5: ["x"], 0.3: ["x"], 0.8: ["x"]})
+        assert gs.grade("x") == 0.8
+
+    def test_validates_levels(self):
+        with pytest.raises(Exception):
+            GradedSet.from_cuts({1.5: ["x"]})
+
+
+grades = st.sampled_from([0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0])
+graded_sets = st.dictionaries(
+    st.text(alphabet="abcdef", min_size=1, max_size=2), grades, max_size=10
+).map(GradedSet)
+
+
+class TestResolutionIdentity:
+    @given(gs=graded_sets)
+    def test_round_trip_equals_support(self, gs):
+        """[Za65]: decompose-then-reconstruct recovers the support."""
+        assert GradedSet.from_cuts(gs.decompose()) == gs.support()
+
+    @given(gs=graded_sets)
+    def test_decomposition_respects_cut_method(self, gs):
+        for alpha, members in gs.decompose().items():
+            assert members == gs.cut(alpha)

@@ -1,0 +1,100 @@
+"""Unit tests for the grade domain (Section 2's [0, 1] convention)."""
+
+import math
+
+import pytest
+
+from repro.core import grades as G
+from repro.exceptions import GradeRangeError
+
+
+class TestValidateGrade:
+    def test_accepts_interior_values(self):
+        assert G.validate_grade(0.5) == 0.5
+
+    def test_accepts_endpoints(self):
+        assert G.validate_grade(0.0) == 0.0
+        assert G.validate_grade(1.0) == 1.0
+
+    def test_accepts_ints(self):
+        assert G.validate_grade(1) == 1.0
+        assert isinstance(G.validate_grade(0), float)
+
+    def test_accepts_bools_as_crisp(self):
+        assert G.validate_grade(True) == 1.0
+        assert G.validate_grade(False) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.001, 1.001, 2, -1, math.inf, -math.inf])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(GradeRangeError):
+            G.validate_grade(bad)
+
+    def test_rejects_nan(self):
+        with pytest.raises(GradeRangeError):
+            G.validate_grade(math.nan)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(GradeRangeError):
+            G.validate_grade("0.5x")
+        with pytest.raises(GradeRangeError):
+            G.validate_grade(None)
+
+    def test_error_mentions_context(self):
+        with pytest.raises(GradeRangeError, match="list 3"):
+            G.validate_grade(2.0, context="list 3")
+
+    def test_grade_range_error_is_value_error(self):
+        # Callers catching ValueError (the stdlib convention) still work.
+        with pytest.raises(ValueError):
+            G.validate_grade(5)
+
+
+class TestValidateGrades:
+    def test_validates_each(self):
+        assert G.validate_grades([0, 0.5, 1]) == [0.0, 0.5, 1.0]
+
+    def test_fails_on_any_bad(self):
+        with pytest.raises(GradeRangeError):
+            G.validate_grades([0.2, 1.5])
+
+
+class TestPredicates:
+    def test_is_valid_grade(self):
+        assert G.is_valid_grade(0.3)
+        assert not G.is_valid_grade(1.3)
+        assert not G.is_valid_grade("nope")
+
+    def test_is_crisp_exact(self):
+        assert G.is_crisp(0.0)
+        assert G.is_crisp(1.0)
+        assert not G.is_crisp(0.5)
+
+    def test_is_crisp_with_tolerance(self):
+        assert G.is_crisp(1e-13, tolerance=1e-12)
+        assert not G.is_crisp(1e-13, tolerance=0.0)
+
+    def test_crisp_grade(self):
+        assert G.crisp_grade(True) == 1.0
+        assert G.crisp_grade(False) == 0.0
+
+
+class TestClampAndCompare:
+    def test_clamp_inside_is_identity(self):
+        assert G.clamp_grade(0.25) == 0.25
+
+    def test_clamp_overshoot(self):
+        assert G.clamp_grade(1.0 + 1e-16) == 1.0
+        assert G.clamp_grade(-1e-16) == 0.0
+
+    def test_grades_close(self):
+        assert G.grades_close(0.5, 0.5 + 1e-13)
+        assert not G.grades_close(0.5, 0.51)
+
+
+class TestStandardNegation:
+    def test_endpoints(self):
+        assert G.standard_negation(0.0) == 1.0
+        assert G.standard_negation(1.0) == 0.0
+
+    def test_involutive(self):
+        assert G.standard_negation(G.standard_negation(0.3)) == pytest.approx(0.3)

@@ -1,0 +1,162 @@
+"""Tests for the mean-family aggregations ([TZZ79], Remark 6.1)."""
+
+import pytest
+
+from repro.core.means import (
+    ARITHMETIC_MEAN,
+    GEOMETRIC_MEAN,
+    HARMONIC_MEAN,
+    MEDIAN,
+    GymnasticsTrimmedMean,
+    WeightedArithmeticMean,
+    WeightedGeometricMean,
+    median3,
+    quasi_arithmetic_mean,
+)
+from repro.core.properties import check_monotone, check_strict
+
+
+class TestArithmeticMean:
+    def test_value(self):
+        assert ARITHMETIC_MEAN(0.2, 0.8) == pytest.approx(0.5)
+
+    def test_not_conservative(self):
+        """The paper's point: mean(0, 1) = 1/2, not 0 — not a t-norm."""
+        assert ARITHMETIC_MEAN(0.0, 1.0) == pytest.approx(0.5)
+
+    def test_monotone_and_strict(self):
+        assert check_monotone(ARITHMETIC_MEAN, 2)
+        assert check_strict(ARITHMETIC_MEAN, 2)
+        assert ARITHMETIC_MEAN.monotone and ARITHMETIC_MEAN.strict
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert GEOMETRIC_MEAN(0.25, 1.0) == pytest.approx(0.5)
+
+    def test_zero_annihilates(self):
+        assert GEOMETRIC_MEAN(0.0, 0.9) == 0.0
+
+    def test_monotone_and_strict(self):
+        assert check_monotone(GEOMETRIC_MEAN, 3)
+        assert check_strict(GEOMETRIC_MEAN, 3)
+
+
+class TestHarmonicMean:
+    def test_value(self):
+        assert HARMONIC_MEAN(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_zero_extension(self):
+        assert HARMONIC_MEAN(0.0, 0.9) == 0.0
+
+    def test_monotone_and_strict(self):
+        assert check_monotone(HARMONIC_MEAN, 2)
+        assert check_strict(HARMONIC_MEAN, 2)
+
+
+class TestWeightedMeans:
+    def test_weights_normalised(self):
+        wam = WeightedArithmeticMean([2, 2])
+        assert wam.weights == [0.5, 0.5]
+
+    def test_weighted_value(self):
+        wam = WeightedArithmeticMean([3, 1])
+        assert wam(1.0, 0.0) == pytest.approx(0.75)
+
+    def test_arity_enforced(self):
+        wam = WeightedArithmeticMean([1, 1])
+        with pytest.raises(Exception):
+            wam(0.5)
+
+    def test_zero_weight_breaks_strictness(self):
+        wam = WeightedArithmeticMean([1, 0])
+        assert not wam.strict
+        assert wam(1.0, 0.3) == 1.0  # value 1 with an argument below 1
+
+    def test_all_positive_weights_strict(self):
+        assert WeightedArithmeticMean([1, 2, 3]).strict
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            WeightedArithmeticMean([1, -1])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            WeightedGeometricMean([0, 0])
+
+    def test_weighted_geometric_value(self):
+        wgm = WeightedGeometricMean([1, 1])
+        assert wgm(0.25, 1.0) == pytest.approx(0.5)
+
+    def test_weighted_geometric_zero(self):
+        wgm = WeightedGeometricMean([1, 1])
+        assert wgm(0.0, 1.0) == 0.0
+
+    def test_weighted_geometric_zero_weight_ignores_argument(self):
+        wgm = WeightedGeometricMean([1, 0])
+        assert wgm(0.5, 0.0) == pytest.approx(0.5)
+
+
+class TestMedian:
+    def test_odd_median(self):
+        assert MEDIAN(0.1, 0.9, 0.5) == 0.5
+
+    def test_even_median_is_lower(self):
+        assert MEDIAN(0.1, 0.2, 0.8, 0.9) == 0.2
+
+    def test_monotone_not_strict(self):
+        """Remark 6.1: the median is monotone but not strict."""
+        assert check_monotone(MEDIAN, 3)
+        assert not check_strict(MEDIAN, 3)
+        assert MEDIAN(1.0, 1.0, 0.0) == 1.0  # strictness witness
+
+    def test_identity_13(self):
+        """median(a1,a2,a3) = max of pairwise mins — the paper's (13)."""
+        import itertools
+
+        grid = (0.0, 0.2, 0.5, 0.7, 1.0)
+        for a, b, c in itertools.product(grid, repeat=3):
+            assert MEDIAN(a, b, c) == pytest.approx(median3(a, b, c))
+
+
+class TestGymnasticsTrimmedMean:
+    def test_three_judges_is_median(self):
+        tm = GymnasticsTrimmedMean(3)
+        assert tm(0.2, 0.9, 0.5) == 0.5
+
+    def test_five_judges(self):
+        tm = GymnasticsTrimmedMean(5)
+        # drop 0.1 and 0.9; average 0.2, 0.5, 0.8
+        assert tm(0.1, 0.2, 0.5, 0.8, 0.9) == pytest.approx(0.5)
+
+    def test_not_strict(self):
+        tm = GymnasticsTrimmedMean(3)
+        assert not check_strict(tm, 3)
+        assert not tm.strict
+
+    def test_monotone(self):
+        assert check_monotone(GymnasticsTrimmedMean(3), 3)
+
+    def test_needs_three_judges(self):
+        with pytest.raises(ValueError):
+            GymnasticsTrimmedMean(2)
+
+    def test_arity_enforced(self):
+        with pytest.raises(Exception):
+            GymnasticsTrimmedMean(3)(0.5, 0.6)
+
+
+class TestQuasiArithmeticMean:
+    def test_recovers_arithmetic(self):
+        value = quasi_arithmetic_mean([0.2, 0.8], lambda x: x, lambda x: x)
+        assert value == pytest.approx(0.5)
+
+    def test_recovers_quadratic_mean(self):
+        value = quasi_arithmetic_mean(
+            [0.0, 1.0], lambda x: x * x, lambda x: x**0.5
+        )
+        assert value == pytest.approx((0.5) ** 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quasi_arithmetic_mean([], lambda x: x, lambda x: x)

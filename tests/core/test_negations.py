@@ -1,0 +1,80 @@
+"""Tests for the negation families."""
+
+import pytest
+
+from repro.core.negations import (
+    STANDARD_NEGATION,
+    StandardNegation,
+    SugenoNegation,
+    YagerNegation,
+)
+from repro.exceptions import GradeRangeError
+
+GRID = [i / 20 for i in range(21)]
+
+
+class TestStandardNegation:
+    def test_rule(self):
+        assert STANDARD_NEGATION(0.3) == pytest.approx(0.7)
+
+    def test_boundaries(self):
+        assert STANDARD_NEGATION(0.0) == 1.0
+        assert STANDARD_NEGATION(1.0) == 0.0
+
+    def test_involutive(self):
+        assert STANDARD_NEGATION.is_involutive()
+
+    def test_validates_input(self):
+        with pytest.raises(GradeRangeError):
+            STANDARD_NEGATION(1.5)
+
+
+class TestSugenoNegation:
+    def test_lambda_zero_is_standard(self):
+        sugeno = SugenoNegation(0.0)
+        for x in GRID:
+            assert sugeno(x) == pytest.approx(StandardNegation()(x))
+
+    @pytest.mark.parametrize("lam", [-0.5, 0.5, 2.0, 10.0])
+    def test_involutive(self, lam):
+        assert SugenoNegation(lam).is_involutive()
+
+    @pytest.mark.parametrize("lam", [-0.5, 0.5, 2.0])
+    def test_boundaries(self, lam):
+        neg = SugenoNegation(lam)
+        assert neg(0.0) == 1.0
+        assert neg(1.0) == 0.0
+
+    @pytest.mark.parametrize("lam", [0.5, 2.0])
+    def test_decreasing(self, lam):
+        neg = SugenoNegation(lam)
+        values = [neg(x) for x in GRID]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_invalid_parameter(self):
+        with pytest.raises(ValueError):
+            SugenoNegation(-1.0)
+
+
+class TestYagerNegation:
+    def test_w_one_is_standard(self):
+        yager = YagerNegation(1.0)
+        for x in GRID:
+            assert yager(x) == pytest.approx(StandardNegation()(x))
+
+    @pytest.mark.parametrize("w", [0.5, 2.0, 3.0])
+    def test_involutive(self, w):
+        assert YagerNegation(w).is_involutive()
+
+    @pytest.mark.parametrize("w", [0.5, 2.0])
+    def test_boundaries(self, w):
+        neg = YagerNegation(w)
+        assert neg(0.0) == 1.0
+        assert neg(1.0) == 0.0
+
+    def test_invalid_parameter(self):
+        with pytest.raises(ValueError):
+            YagerNegation(0.0)
+
+    def test_name_mentions_parameter(self):
+        assert "2" in YagerNegation(2.0).name

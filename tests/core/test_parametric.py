@@ -1,0 +1,125 @@
+"""Tests for the parametric t-norm families."""
+
+import itertools
+
+import pytest
+
+from repro.core.parametric import (
+    HamacherFamily,
+    YagerFamily,
+    hamacher_conorm,
+    yager_conorm,
+)
+from repro.core.properties import (
+    DEFAULT_GRID,
+    check_associative,
+    check_commutative,
+    check_conjunction_conservation,
+    check_de_morgan,
+    check_monotone,
+    check_strict,
+)
+from repro.core.tnorms import (
+    ALGEBRAIC_PRODUCT,
+    BOUNDED_DIFFERENCE,
+    HAMACHER_PRODUCT,
+    MINIMUM,
+)
+
+HAMACHER_PARAMS = (0.0, 0.5, 1.0, 2.0, 10.0)
+YAGER_PARAMS = (0.5, 1.0, 2.0, 5.0)
+
+
+@pytest.mark.parametrize("gamma", HAMACHER_PARAMS)
+class TestHamacherFamilyAxioms:
+    def test_tnorm_axioms(self, gamma):
+        t = HamacherFamily(gamma)
+        assert check_conjunction_conservation(t.pair)
+        assert check_monotone(t, 2)
+        assert check_commutative(t.pair)
+        assert check_associative(t.pair)
+        assert check_strict(t, 2)
+
+    def test_de_morgan_with_dual(self, gamma):
+        t = HamacherFamily(gamma)
+        s = hamacher_conorm(gamma)
+        assert check_de_morgan(t.pair, s.pair, lambda x: 1.0 - x)
+
+
+@pytest.mark.parametrize("p", YAGER_PARAMS)
+class TestYagerFamilyAxioms:
+    def test_tnorm_axioms(self, p):
+        t = YagerFamily(p)
+        assert check_conjunction_conservation(t.pair)
+        assert check_monotone(t, 2)
+        assert check_commutative(t.pair)
+        assert check_associative(t.pair)
+        assert check_strict(t, 2)
+
+    def test_de_morgan_with_dual(self, p):
+        t = YagerFamily(p)
+        s = yager_conorm(p)
+        assert check_de_morgan(t.pair, s.pair, lambda x: 1.0 - x)
+
+
+class TestFamilyLimits:
+    def test_hamacher_gamma_zero_is_paper_hamacher(self):
+        t = HamacherFamily(0.0)
+        for x, y in itertools.product(DEFAULT_GRID, repeat=2):
+            assert t.pair(x, y) == pytest.approx(
+                HAMACHER_PRODUCT.pair(x, y), abs=1e-12
+            )
+
+    def test_hamacher_gamma_one_is_algebraic_product(self):
+        t = HamacherFamily(1.0)
+        for x, y in itertools.product(DEFAULT_GRID, repeat=2):
+            assert t.pair(x, y) == pytest.approx(
+                ALGEBRAIC_PRODUCT.pair(x, y), abs=1e-12
+            )
+
+    def test_yager_p_one_is_bounded_difference(self):
+        t = YagerFamily(1.0)
+        for x, y in itertools.product(DEFAULT_GRID, repeat=2):
+            assert t.pair(x, y) == pytest.approx(
+                BOUNDED_DIFFERENCE.pair(x, y), abs=1e-12
+            )
+
+    def test_yager_large_p_approaches_min(self):
+        t = YagerFamily(50.0)
+        for x, y in itertools.product((0.2, 0.5, 0.8), repeat=2):
+            assert t.pair(x, y) == pytest.approx(
+                MINIMUM.pair(x, y), abs=0.02
+            )
+
+    def test_family_ordering_in_gamma(self):
+        """Hamacher t-norms decrease pointwise as gamma grows."""
+        lo, hi = HamacherFamily(0.5), HamacherFamily(5.0)
+        for x, y in itertools.product((0.2, 0.5, 0.8), repeat=2):
+            assert hi.pair(x, y) <= lo.pair(x, y) + 1e-12
+
+
+class TestValidation:
+    def test_hamacher_negative_gamma(self):
+        with pytest.raises(ValueError):
+            HamacherFamily(-0.1)
+
+    def test_yager_nonpositive_p(self):
+        with pytest.raises(ValueError):
+            YagerFamily(0.0)
+
+    def test_names_carry_parameters(self):
+        assert "2" in HamacherFamily(2.0).name
+        assert "0.5" in YagerFamily(0.5).name
+
+
+class TestWithA0:
+    def test_a0_correct_under_family_members(self):
+        from repro.algorithms.base import is_valid_top_k
+        from repro.algorithms.fa import FaginA0
+        from repro.workloads.skeletons import independent_database
+
+        db = independent_database(2, 100, seed=8)
+        for agg in (HamacherFamily(2.0), YagerFamily(2.0)):
+            truth = db.overall_grades(agg)
+            result = FaginA0().top_k(db.session(), agg, 5)
+            assert is_valid_top_k(result.items, truth, 5), agg.name

@@ -1,0 +1,147 @@
+"""Tests for the property checkers themselves.
+
+The checkers must correctly separate the paper's examples: t-norms are
+monotone + strict; max is monotone but not strict; the drastic product
+is the strictness lower bound; negation-based functions are not
+monotone. A checker that can't reproduce those classifications would
+silently invalidate the rest of the suite.
+"""
+
+import pytest
+
+from repro.core.means import ARITHMETIC_MEAN, MEDIAN
+from repro.core.properties import (
+    PropertyReport,
+    check_associative,
+    check_commutative,
+    check_conjunction_conservation,
+    check_de_morgan,
+    check_disjunction_conservation,
+    check_monotone,
+    check_strict,
+    classify,
+    grid_points,
+)
+from repro.core.tconorms import MAXIMUM
+from repro.core.tnorms import MINIMUM
+
+
+class TestPropertyReport:
+    def test_truthiness(self):
+        assert PropertyReport("x", True)
+        assert not PropertyReport("x", False)
+
+    def test_repr_mentions_status(self):
+        assert "holds" in repr(PropertyReport("mono", True))
+        assert "fails" in repr(PropertyReport("mono", False, [(0, 1)]))
+
+
+class TestGridPoints:
+    def test_dimension(self):
+        points = list(grid_points(2, (0.0, 1.0)))
+        assert len(points) == 4
+        assert (0.0, 1.0) in points
+
+
+class TestMonotoneChecker:
+    def test_accepts_min(self):
+        assert check_monotone(MINIMUM, 2)
+
+    def test_accepts_mean_ternary(self):
+        assert check_monotone(ARITHMETIC_MEAN, 3)
+
+    def test_rejects_negation_style(self):
+        def anti(x, y):
+            return 1.0 - min(x, y)
+
+        report = check_monotone(anti, 2)
+        assert not report
+        assert report.counterexamples
+
+    def test_rejects_subtle_violation(self):
+        # Monotone everywhere except a dip on x in [0.4, 0.6], where the
+        # slope is 0.5 - 1.0 < 0.
+        def wobble(x, y):
+            base = (x + y) / 2
+            if 0.4 <= x <= 0.6:
+                base -= 1.0 * (x - 0.4)
+            return max(0.0, base)
+
+        assert not check_monotone(wobble, 2)
+
+
+class TestStrictChecker:
+    def test_accepts_min(self):
+        assert check_strict(MINIMUM, 2)
+
+    def test_rejects_max(self):
+        """Remark 6.1: max is not strict."""
+        report = check_strict(MAXIMUM, 2)
+        assert not report
+        # Counterexample should be a point with value 1 but an arg < 1.
+        point, value = report.counterexamples[0]
+        assert value >= 1.0 - 1e-12
+        assert any(x < 1.0 for x in point)
+
+    def test_rejects_median(self):
+        assert not check_strict(MEDIAN, 3)
+
+    def test_rejects_function_missing_top(self):
+        # Never reaches 1 at all -> fails the 'if' direction.
+        assert not check_strict(lambda x, y: min(x, y) * 0.9, 2)
+
+
+class TestConservationCheckers:
+    def test_conjunction_accepts_min(self):
+        assert check_conjunction_conservation(MINIMUM.pair)
+
+    def test_conjunction_rejects_mean(self):
+        """mean(0,1) = 1/2 != 0: the paper's non-t-norm witness."""
+        assert not check_conjunction_conservation(
+            lambda x, y: (x + y) / 2
+        )
+
+    def test_disjunction_accepts_max(self):
+        assert check_disjunction_conservation(MAXIMUM.pair)
+
+    def test_disjunction_rejects_mean(self):
+        assert not check_disjunction_conservation(
+            lambda x, y: (x + y) / 2
+        )
+
+
+class TestAlgebraCheckers:
+    def test_commutative_accepts_min(self):
+        assert check_commutative(MINIMUM.pair)
+
+    def test_commutative_rejects_projection(self):
+        assert not check_commutative(lambda x, y: x)
+
+    def test_associative_accepts_min(self):
+        assert check_associative(MINIMUM.pair)
+
+    def test_associative_rejects_mean(self):
+        # The binary mean is commutative but NOT associative.
+        assert not check_associative(lambda x, y: (x + y) / 2)
+
+    def test_de_morgan_accepts_min_max(self):
+        assert check_de_morgan(
+            MINIMUM.pair, MAXIMUM.pair, lambda x: 1.0 - x
+        )
+
+    def test_de_morgan_rejects_mismatched_pair(self):
+        # min paired with the algebraic sum is not a De Morgan pair.
+        assert not check_de_morgan(
+            MINIMUM.pair, lambda x, y: x + y - x * y, lambda x: 1.0 - x
+        )
+
+
+class TestClassify:
+    def test_min(self):
+        assert classify(MINIMUM, 2) == {"monotone": True, "strict": True}
+
+    def test_max(self):
+        assert classify(MAXIMUM, 2) == {"monotone": True, "strict": False}
+
+    def test_median(self):
+        assert classify(MEDIAN, 3) == {"monotone": True, "strict": False}

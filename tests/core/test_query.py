@@ -1,0 +1,126 @@
+"""Tests for the query AST (Sections 2-3)."""
+
+import pytest
+
+from repro.core.means import MEDIAN
+from repro.core.query import And, AtomicQuery, Ft, Not, Or, Weighted, atom
+from repro.core.tnorms import MINIMUM
+
+
+class TestAtomicQuery:
+    def test_crisp_vs_graded(self):
+        crisp = AtomicQuery("Artist", "Beatles", op="=")
+        graded = AtomicQuery("AlbumColor", "red", op="~")
+        assert crisp.crisp
+        assert not graded.crisp
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            AtomicQuery("X", "t", op="<")
+
+    def test_empty_attribute(self):
+        with pytest.raises(ValueError):
+            AtomicQuery("", "t")
+
+    def test_structural_equality(self):
+        assert AtomicQuery("X", "t", "=") == AtomicQuery("X", "t", "=")
+        assert AtomicQuery("X", "t", "=") != AtomicQuery("X", "t", "~")
+        assert hash(AtomicQuery("X", "t")) == hash(AtomicQuery("X", "t"))
+
+    def test_abstract_atom(self):
+        a = atom("A1")
+        assert a.target is None
+        assert a == atom("A1")
+        assert a != atom("A2")
+
+
+class TestConnectives:
+    def test_operator_sugar(self):
+        a, b = atom("A"), atom("B")
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+
+    def test_and_flattens(self):
+        a, b, c = atom("A"), atom("B"), atom("C")
+        nested = And((And((a, b)), c))
+        assert nested.operands == (a, b, c)
+
+    def test_or_flattens(self):
+        a, b, c = atom("A"), atom("B"), atom("C")
+        assert Or((a, Or((b, c)))).operands == (a, b, c)
+
+    def test_and_does_not_flatten_or(self):
+        a, b, c = atom("A"), atom("B"), atom("C")
+        mixed = And((a, Or((b, c))))
+        assert len(mixed.operands) == 2
+
+    def test_needs_two_operands(self):
+        with pytest.raises(ValueError):
+            And((atom("A"),))
+
+    def test_atoms_deduplicated_in_order(self):
+        a, b = atom("A"), atom("B")
+        q = And((a, Or((b, a))))
+        assert q.atoms() == (a, b)
+
+    def test_walk_preorder(self):
+        a, b = atom("A"), atom("B")
+        q = And((a, b))
+        nodes = list(q.walk())
+        assert nodes[0] is q
+        assert a in nodes and b in nodes
+
+    def test_uses_negation(self):
+        a, b = atom("A"), atom("B")
+        assert not And((a, b)).uses_negation()
+        assert And((a, Not(b))).uses_negation()
+
+    def test_repr_round_trip_shape(self):
+        a, b = atom("A"), atom("B")
+        assert "AND" in repr(a & b)
+        assert "OR" in repr(a | b)
+        assert "NOT" in repr(~a)
+
+
+class TestFt:
+    def test_flags_inherited(self):
+        q = Ft(MINIMUM, (atom("A"), atom("B")))
+        assert q.monotone and q.strict
+
+    def test_median_flags(self):
+        q = Ft(MEDIAN, (atom("A"), atom("B"), atom("C")))
+        assert q.monotone and not q.strict
+
+    def test_arity_check(self):
+        from repro.core.means import GymnasticsTrimmedMean
+
+        with pytest.raises(ValueError, match="arity"):
+            Ft(GymnasticsTrimmedMean(3), (atom("A"), atom("B")))
+
+    def test_needs_operands(self):
+        with pytest.raises(ValueError):
+            Ft(MINIMUM, ())
+
+    def test_equality_by_aggregation_name(self):
+        q1 = Ft(MINIMUM, (atom("A"), atom("B")))
+        q2 = Ft(MINIMUM, (atom("A"), atom("B")))
+        assert q1 == q2
+
+
+class TestWeighted:
+    def test_weights_normalised(self):
+        q = Weighted((atom("A"), atom("B")), [2, 1])
+        assert q.weights == pytest.approx((2 / 3, 1 / 3))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Weighted((atom("A"),), [1, 2])
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            Weighted((atom("A"), atom("B")), [1, -1])
+
+    def test_children(self):
+        a, b = atom("A"), atom("B")
+        assert Weighted((a, b), [1, 1]).children() == (a, b)

@@ -1,0 +1,126 @@
+"""Tests for fuzzy query evaluation (the Section 3 rules)."""
+
+import pytest
+
+from repro.core.graded_set import GradedSet
+from repro.core.means import MEDIAN
+from repro.core.query import And, Ft, Not, Or, Weighted, atom
+from repro.core.semantics import STANDARD_FUZZY, FuzzySemantics
+from repro.core.tconorms import ALGEBRAIC_SUM
+from repro.core.tnorms import ALGEBRAIC_PRODUCT
+
+A, B, C = atom("A"), atom("B"), atom("C")
+
+
+class TestStandardRules:
+    def test_conjunction_rule_is_min(self):
+        assert STANDARD_FUZZY.evaluate(A & B, {A: 0.3, B: 0.8}) == 0.3
+
+    def test_disjunction_rule_is_max(self):
+        assert STANDARD_FUZZY.evaluate(A | B, {A: 0.3, B: 0.8}) == 0.8
+
+    def test_negation_rule(self):
+        assert STANDARD_FUZZY.evaluate(~A, {A: 0.3}) == pytest.approx(0.7)
+
+    def test_nested_combination(self):
+        # min(0.9, max(0.2, 0.6)) = 0.6
+        q = And((A, Or((B, C))))
+        grades = {A: 0.9, B: 0.2, C: 0.6}
+        assert STANDARD_FUZZY.evaluate(q, grades) == pytest.approx(0.6)
+
+    def test_conservative_extension_of_propositional_logic(self):
+        """On {0,1} grades the rules reduce to Boolean logic (Section 3)."""
+        import itertools
+
+        for va, vb in itertools.product((0.0, 1.0), repeat=2):
+            grades = {A: va, B: vb}
+            assert STANDARD_FUZZY.evaluate(A & B, grades) == min(va, vb)
+            assert STANDARD_FUZZY.evaluate(A | B, grades) == max(va, vb)
+            assert STANDARD_FUZZY.evaluate(~A, grades) == 1.0 - va
+
+    def test_missing_atom_is_an_error(self):
+        with pytest.raises(KeyError, match="no grade supplied"):
+            STANDARD_FUZZY.evaluate(A & B, {A: 0.5})
+
+    def test_hard_query_peak_at_half(self):
+        """Section 7: mu_{Q AND NOT Q} peaks at 1/2 when mu_Q = 1/2."""
+        q = And((A, Not(A)))
+        assert STANDARD_FUZZY.evaluate(q, {A: 0.5}) == pytest.approx(0.5)
+        for g in (0.0, 0.2, 0.8, 1.0):
+            assert STANDARD_FUZZY.evaluate(q, {A: g}) <= 0.5
+
+
+class TestAlternativeSemantics:
+    def test_product_semantics(self):
+        sem = FuzzySemantics(tnorm=ALGEBRAIC_PRODUCT, conorm=ALGEBRAIC_SUM)
+        assert sem.evaluate(A & B, {A: 0.5, B: 0.4}) == pytest.approx(0.2)
+        assert sem.evaluate(A | B, {A: 0.5, B: 0.4}) == pytest.approx(0.7)
+
+    def test_ft_node_uses_its_own_aggregation(self):
+        q = Ft(MEDIAN, (A, B, C))
+        grades = {A: 0.1, B: 0.9, C: 0.4}
+        assert STANDARD_FUZZY.evaluate(q, grades) == 0.4
+
+    def test_weighted_node(self):
+        q = Weighted((A, B), [1, 1])  # equal weights -> plain min
+        grades = {A: 0.3, B: 0.8}
+        assert STANDARD_FUZZY.evaluate(q, grades) == pytest.approx(0.3)
+
+
+class TestSetEvaluation:
+    def test_evaluate_sets_matches_pointwise(self):
+        atom_sets = {
+            A: GradedSet({"x": 0.9, "y": 0.1}),
+            B: GradedSet({"x": 0.4, "y": 0.7}),
+        }
+        result = STANDARD_FUZZY.evaluate_sets(A & B, atom_sets, ["x", "y"])
+        assert result.grade("x") == pytest.approx(0.4)
+        assert result.grade("y") == pytest.approx(0.1)
+
+    def test_missing_objects_grade_zero(self):
+        atom_sets = {A: GradedSet({"x": 0.9})}
+        result = STANDARD_FUZZY.evaluate_sets(A, atom_sets, ["x", "y"])
+        assert result.grade("y") == 0.0
+
+    def test_negation_over_universe(self):
+        atom_sets = {A: GradedSet({"x": 0.9})}
+        result = STANDARD_FUZZY.evaluate_sets(Not(A), atom_sets, ["x", "y"])
+        assert result.grade("y") == 1.0
+
+
+class TestClassification:
+    def test_atom_is_monotone_strict(self):
+        c = STANDARD_FUZZY.classify(A)
+        assert c.monotone and c.strict
+
+    def test_and_of_atoms(self):
+        c = STANDARD_FUZZY.classify(A & B)
+        assert c.monotone and c.strict
+
+    def test_or_is_not_strict(self):
+        c = STANDARD_FUZZY.classify(A | B)
+        assert c.monotone and not c.strict
+
+    def test_not_kills_both(self):
+        c = STANDARD_FUZZY.classify(~A)
+        assert not c.monotone and not c.strict
+
+    def test_negation_inside_conjunction(self):
+        c = STANDARD_FUZZY.classify(A & ~B)
+        assert not c.monotone
+
+    def test_ft_median(self):
+        c = STANDARD_FUZZY.classify(Ft(MEDIAN, (A, B, C)))
+        assert c.monotone and not c.strict
+
+    def test_weighted_all_positive(self):
+        c = STANDARD_FUZZY.classify(Weighted((A, B), [2, 1]))
+        assert c.monotone and c.strict
+
+    def test_weighted_with_zero_weight_not_strict(self):
+        c = STANDARD_FUZZY.classify(Weighted((A, B), [1, 0]))
+        assert c.monotone and not c.strict
+
+    def test_nested_and_or(self):
+        c = STANDARD_FUZZY.classify(And((A, Or((B, C)))))
+        assert c.monotone and not c.strict

@@ -1,0 +1,141 @@
+"""Tests for the co-norm catalogue and the t-norm/co-norm duality.
+
+Section 3: "Triangular norms and triangular co-norms are duals, in the
+sense that if t is a triangular norm, then the function s defined by
+s(x1, x2) = 1 - t(1 - x1, 1 - x2) is a triangular co-norm [Al85]",
+with the generalised De Morgan laws of [BD86].
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.aggregation import DualTConorm, DualTNorm
+from repro.core.negations import STANDARD_NEGATION
+from repro.core.properties import (
+    DEFAULT_GRID,
+    check_associative,
+    check_commutative,
+    check_de_morgan,
+    check_disjunction_conservation,
+    check_monotone,
+    check_strict,
+)
+from repro.core.tconorms import (
+    ALGEBRAIC_SUM,
+    BOUNDED_SUM,
+    DRASTIC_SUM,
+    DUAL_PAIRS,
+    EINSTEIN_SUM,
+    HAMACHER_SUM,
+    MAXIMUM,
+    TCONORMS,
+    get_tconorm,
+)
+from repro.core.tnorms import TNORMS
+
+ALL_TCONORMS = sorted(TCONORMS.values(), key=lambda s: s.name)
+
+
+@pytest.mark.parametrize("conorm", ALL_TCONORMS, ids=lambda s: s.name)
+class TestTConormAxioms:
+    def test_disjunction_conservation(self, conorm):
+        assert check_disjunction_conservation(conorm.pair)
+
+    def test_monotone(self, conorm):
+        assert check_monotone(conorm, 2)
+
+    def test_commutative(self, conorm):
+        assert check_commutative(conorm.pair)
+
+    def test_associative(self, conorm):
+        assert check_associative(conorm.pair)
+
+    def test_not_strict(self, conorm):
+        """Co-norms hit 1 with arguments below 1 (Remark 6.1's max point)."""
+        assert not check_strict(conorm, 2)
+        assert not conorm.strict
+
+    def test_bounded_between_max_and_drastic(self, conorm):
+        """max <= s <= drastic sum (the dual of the t-norm sandwich)."""
+        for x, y in itertools.product(DEFAULT_GRID, repeat=2):
+            value = conorm.pair(x, y)
+            assert max(x, y) - 1e-12 <= value
+            assert value <= DRASTIC_SUM.pair(x, y) + 1e-12
+
+
+class TestSpecificValues:
+    def test_max(self):
+        assert MAXIMUM(0.3, 0.8) == 0.8
+
+    def test_drastic_sum(self):
+        assert DRASTIC_SUM(0.3, 0.0) == 0.3
+        assert DRASTIC_SUM(0.3, 0.8) == 1.0
+
+    def test_bounded_sum(self):
+        assert BOUNDED_SUM(0.7, 0.6) == 1.0
+        assert BOUNDED_SUM(0.3, 0.3) == pytest.approx(0.6)
+
+    def test_einstein_sum(self):
+        # s(.5,.5) = 1 / 1.25 = .8
+        assert EINSTEIN_SUM(0.5, 0.5) == pytest.approx(0.8)
+
+    def test_algebraic_sum(self):
+        assert ALGEBRAIC_SUM(0.5, 0.4) == pytest.approx(0.7)
+
+    def test_hamacher_sum(self):
+        # s(.5,.5) = (1 - .5) / (1 - .25) = 2/3
+        assert HAMACHER_SUM(0.5, 0.5) == pytest.approx(2 / 3)
+
+    def test_hamacher_sum_one_one(self):
+        assert HAMACHER_SUM(1.0, 1.0) == 1.0
+
+
+class TestDuality:
+    @pytest.mark.parametrize("t_name,s_name", sorted(DUAL_PAIRS.items()))
+    def test_closed_forms_are_standard_duals(self, t_name, s_name):
+        """s(x, y) == 1 - t(1 - x, 1 - y) on the grid for each pair."""
+        tnorm, conorm = TNORMS[t_name], TCONORMS[s_name]
+        for x, y in itertools.product(DEFAULT_GRID, repeat=2):
+            expected = 1.0 - tnorm.pair(1.0 - x, 1.0 - y)
+            assert conorm.pair(x, y) == pytest.approx(expected, abs=1e-9)
+
+    @pytest.mark.parametrize("t_name,s_name", sorted(DUAL_PAIRS.items()))
+    def test_de_morgan_laws(self, t_name, s_name):
+        assert check_de_morgan(
+            TNORMS[t_name].pair, TCONORMS[s_name].pair, STANDARD_NEGATION
+        )
+
+    def test_dual_tconorm_wrapper(self):
+        derived = DualTConorm(TNORMS["algebraic-product"])
+        for x, y in itertools.product(DEFAULT_GRID, repeat=2):
+            assert derived.pair(x, y) == pytest.approx(
+                ALGEBRAIC_SUM.pair(x, y), abs=1e-9
+            )
+
+    def test_dual_tnorm_wrapper(self):
+        derived = DualTNorm(TCONORMS["bounded-sum"])
+        for x, y in itertools.product(DEFAULT_GRID, repeat=2):
+            assert derived.pair(x, y) == pytest.approx(
+                TNORMS["bounded-difference"].pair(x, y), abs=1e-9
+            )
+
+    def test_double_dual_is_identity(self):
+        double = DualTNorm(DualTConorm(TNORMS["einstein-product"]))
+        for x, y in itertools.product(DEFAULT_GRID, repeat=2):
+            assert double.pair(x, y) == pytest.approx(
+                TNORMS["einstein-product"].pair(x, y), abs=1e-9
+            )
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_tconorm("max") is MAXIMUM
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_tconorm("nope")
+
+    def test_pairing_covers_all(self):
+        assert set(DUAL_PAIRS) == set(TNORMS)
+        assert set(DUAL_PAIRS.values()) == set(TCONORMS)

@@ -1,0 +1,128 @@
+"""Tests for the Section 3 t-norm catalogue.
+
+Every t-norm must satisfy the four triangular-norm axioms
+(∧-conservation, monotonicity, commutativity, associativity), be
+bounded between the drastic product and min [DP80], and be strict —
+the property the paper's lower bound needs.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.properties import (
+    DEFAULT_GRID,
+    check_associative,
+    check_commutative,
+    check_conjunction_conservation,
+    check_monotone,
+    check_strict,
+)
+from repro.core.tnorms import (
+    ALGEBRAIC_PRODUCT,
+    BOUNDED_DIFFERENCE,
+    DRASTIC_PRODUCT,
+    EINSTEIN_PRODUCT,
+    HAMACHER_PRODUCT,
+    MINIMUM,
+    TNORMS,
+    get_tnorm,
+)
+
+ALL_TNORMS = sorted(TNORMS.values(), key=lambda t: t.name)
+
+
+@pytest.mark.parametrize("tnorm", ALL_TNORMS, ids=lambda t: t.name)
+class TestTNormAxioms:
+    def test_conjunction_conservation(self, tnorm):
+        assert check_conjunction_conservation(tnorm.pair)
+
+    def test_monotone(self, tnorm):
+        assert check_monotone(tnorm, 2)
+
+    def test_commutative(self, tnorm):
+        assert check_commutative(tnorm.pair)
+
+    def test_associative(self, tnorm):
+        assert check_associative(tnorm.pair)
+
+    def test_strict_binary(self, tnorm):
+        assert check_strict(tnorm, 2)
+
+    def test_strict_ternary_iterated(self, tnorm):
+        assert check_strict(tnorm, 3)
+
+    def test_declared_flags(self, tnorm):
+        assert tnorm.monotone
+        assert tnorm.strict
+
+    def test_bounded_between_drastic_and_min(self, tnorm):
+        """[DP80]: drastic <= t <= min for every t-norm."""
+        for x, y in itertools.product(DEFAULT_GRID, repeat=2):
+            value = tnorm.pair(x, y)
+            assert DRASTIC_PRODUCT.pair(x, y) - 1e-12 <= value
+            assert value <= min(x, y) + 1e-12
+
+    def test_range_stays_in_unit_interval(self, tnorm):
+        for x, y in itertools.product(DEFAULT_GRID, repeat=2):
+            assert 0.0 <= tnorm(x, y) <= 1.0
+
+
+class TestSpecificValues:
+    """Spot values computed by hand from the paper's formulas."""
+
+    def test_min(self):
+        assert MINIMUM(0.3, 0.8) == 0.3
+
+    def test_drastic_product(self):
+        assert DRASTIC_PRODUCT(0.3, 1.0) == 0.3
+        assert DRASTIC_PRODUCT(0.3, 0.8) == 0.0
+
+    def test_bounded_difference(self):
+        assert BOUNDED_DIFFERENCE(0.7, 0.6) == pytest.approx(0.3)
+        assert BOUNDED_DIFFERENCE(0.3, 0.3) == 0.0
+
+    def test_einstein_product(self):
+        # t(.5,.5) = .25 / (2 - .75) = .2
+        assert EINSTEIN_PRODUCT(0.5, 0.5) == pytest.approx(0.2)
+
+    def test_algebraic_product(self):
+        assert ALGEBRAIC_PRODUCT(0.5, 0.4) == pytest.approx(0.2)
+
+    def test_hamacher_product(self):
+        # t(.5,.5) = .25 / (1 - .25) = 1/3
+        assert HAMACHER_PRODUCT(0.5, 0.5) == pytest.approx(1 / 3)
+
+    def test_hamacher_zero_zero(self):
+        assert HAMACHER_PRODUCT(0.0, 0.0) == 0.0
+
+
+class TestMAryIteration:
+    def test_three_way_product(self):
+        assert ALGEBRAIC_PRODUCT(0.5, 0.5, 0.5) == pytest.approx(0.125)
+
+    def test_three_way_min(self):
+        assert MINIMUM(0.9, 0.2, 0.7) == 0.2
+
+    def test_single_argument_is_identity(self):
+        for tnorm in ALL_TNORMS:
+            assert tnorm(0.42) == pytest.approx(0.42)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_tnorm("min") is MINIMUM
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_tnorm("nope")
+
+    def test_registry_has_all_six_paper_tnorms(self):
+        assert set(TNORMS) == {
+            "min",
+            "drastic-product",
+            "bounded-difference",
+            "einstein-product",
+            "algebraic-product",
+            "hamacher-product",
+        }

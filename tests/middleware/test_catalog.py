@@ -1,0 +1,96 @@
+"""Tests for the attribute catalog."""
+
+import pytest
+
+from repro.core.query import AtomicQuery
+from repro.exceptions import CatalogError
+from repro.middleware.catalog import Catalog
+from repro.subsystems.relational import RelationalSubsystem
+from repro.subsystems.synthetic import SyntheticSubsystem
+
+
+def _relational(name="rel", objs=("o1", "o2", "o3")):
+    return RelationalSubsystem(
+        name,
+        {o: {"Artist": "Beatles" if o == "o1" else "Other", "Year": 1967}
+         for o in objs},
+    )
+
+
+def _synthetic(name="syn", objs=("o1", "o2", "o3")):
+    return SyntheticSubsystem(
+        name, tables={"Color": {o: 0.5 for o in objs}}
+    )
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        cat = Catalog()
+        rel = _relational()
+        cat.register(rel)
+        assert cat.subsystem_for(AtomicQuery("Artist", "Beatles", "=")) is rel
+        assert cat.attributes == {"Artist", "Year"}
+
+    def test_attribute_clash_rejected(self):
+        cat = Catalog()
+        cat.register(_relational("a"))
+        with pytest.raises(CatalogError, match="already served"):
+            cat.register(_relational("b"))
+
+    def test_population_mismatch_rejected(self):
+        cat = Catalog()
+        cat.register(_relational())
+        with pytest.raises(CatalogError, match="population"):
+            cat.register(_synthetic(objs=("o1", "o2")))
+
+    def test_same_population_accepted(self):
+        cat = Catalog()
+        cat.register(_relational())
+        cat.register(_synthetic())
+        assert cat.num_objects == 3
+        assert len(cat.subsystems) == 2
+
+    def test_unknown_attribute(self):
+        cat = Catalog()
+        cat.register(_relational())
+        with pytest.raises(CatalogError, match="no subsystem serves"):
+            cat.subsystem_for(AtomicQuery("Nope", "x"))
+
+    def test_objects_before_registration(self):
+        with pytest.raises(CatalogError):
+            Catalog().objects
+
+
+class TestMetadata:
+    def test_selectivity_from_relational(self):
+        cat = Catalog()
+        cat.register(_relational())
+        sel = cat.selectivity(AtomicQuery("Artist", "Beatles", "="))
+        assert sel == pytest.approx(1 / 3)
+
+    def test_selectivity_unavailable(self):
+        cat = Catalog()
+        cat.register(_synthetic())
+        assert cat.selectivity(AtomicQuery("Color", "red", "~")) is None
+
+    def test_is_crisp(self):
+        cat = Catalog()
+        cat.register(_relational())
+        cat.register(_synthetic())
+        assert cat.is_crisp(AtomicQuery("Artist", "Beatles", "="))
+        assert not cat.is_crisp(AtomicQuery("Color", "red", "~"))
+        # Crisp op on a graded subsystem is not "crisp" for planning.
+        assert not cat.is_crisp(AtomicQuery("Color", "red", "="))
+
+    def test_same_subsystem(self):
+        cat = Catalog()
+        cat.register(_relational())
+        cat.register(_synthetic())
+        same = cat.same_subsystem(
+            [AtomicQuery("Artist", "x", "="), AtomicQuery("Year", 1967, "=")]
+        )
+        assert same is not None and same.name == "rel"
+        mixed = cat.same_subsystem(
+            [AtomicQuery("Artist", "x", "="), AtomicQuery("Color", "red", "~")]
+        )
+        assert mixed is None

@@ -1,0 +1,54 @@
+"""Tests for query-to-aggregation compilation."""
+
+import pytest
+
+from repro.core.query import And, Not, Or, atom
+from repro.core.semantics import STANDARD_FUZZY
+from repro.middleware.compile import CompiledQueryAggregation
+
+A, B, C = atom("A"), atom("B"), atom("C")
+
+
+class TestCompilation:
+    def test_flat_and_is_min(self):
+        compiled = CompiledQueryAggregation(And((A, B)), STANDARD_FUZZY)
+        assert compiled(0.3, 0.8) == 0.3
+        assert compiled.atoms == (A, B)
+        assert compiled.arity == 2
+
+    def test_nested_tree(self):
+        compiled = CompiledQueryAggregation(
+            And((A, Or((B, C)))), STANDARD_FUZZY
+        )
+        # min(0.9, max(0.2, 0.6)) = 0.6
+        assert compiled(0.9, 0.2, 0.6) == pytest.approx(0.6)
+
+    def test_repeated_atom_shares_grade(self):
+        compiled = CompiledQueryAggregation(
+            And((A, Or((A, B)))), STANDARD_FUZZY
+        )
+        assert compiled.arity == 2  # A appears twice but is one argument
+        # absorption under min/max: value == grade of A
+        assert compiled(0.4, 0.9) == pytest.approx(0.4)
+
+    def test_flags_flow_from_classification(self):
+        conj = CompiledQueryAggregation(And((A, B)), STANDARD_FUZZY)
+        assert conj.monotone and conj.strict
+        disj = CompiledQueryAggregation(Or((A, B)), STANDARD_FUZZY)
+        assert disj.monotone and not disj.strict
+        neg = CompiledQueryAggregation(Not(A), STANDARD_FUZZY)
+        assert not neg.monotone
+
+    def test_single_atom_compiles_to_identity(self):
+        compiled = CompiledQueryAggregation(A, STANDARD_FUZZY)
+        assert compiled.arity == 1
+        assert compiled(0.37) == pytest.approx(0.37)
+
+    def test_matches_semantics_evaluate(self):
+        import itertools
+
+        query = Or((And((A, B)), C))
+        compiled = CompiledQueryAggregation(query, STANDARD_FUZZY)
+        for ga, gb, gc in itertools.product((0.0, 0.3, 0.7, 1.0), repeat=3):
+            direct = STANDARD_FUZZY.evaluate(query, {A: ga, B: gb, C: gc})
+            assert compiled(ga, gb, gc) == pytest.approx(direct)

@@ -1,0 +1,104 @@
+"""Tests for the cost-based conjunction planning mode."""
+
+import pytest
+
+from repro.core.query import And, AtomicQuery
+from repro.middleware.catalog import Catalog
+from repro.middleware.plan import AlgorithmPlan, FilteredConjunctPlan
+from repro.middleware.planner import Planner, PlannerOptions
+from repro.subsystems.qbic import QbicSubsystem
+from repro.subsystems.relational import RelationalSubsystem
+
+
+def _catalog(selectivity: float, n: int = 1000):
+    objs = [f"o{i}" for i in range(n)]
+    matches = max(1, int(selectivity * n))
+    cat = Catalog()
+    cat.register(
+        RelationalSubsystem(
+            "rel",
+            {
+                o: {"Artist": "Beatles" if i < matches else f"a{i}"}
+                for i, o in enumerate(objs)
+            },
+        )
+    )
+    cat.register(
+        QbicSubsystem(
+            "qbic",
+            {"Color": {o: (i / n, 0.5, 0.5) for i, o in enumerate(objs)}},
+        )
+    )
+    return cat
+
+
+QUERY = And(
+    (AtomicQuery("Artist", "Beatles", "="), AtomicQuery("Color", "red", "~"))
+)
+
+
+def _plan(selectivity, **options):
+    cat = _catalog(selectivity)
+    planner = Planner(
+        cat, options=PlannerOptions(cost_based=True, **options)
+    )
+    return planner.plan(QUERY)
+
+
+class TestCostBasedDecision:
+    def test_selective_conjunct_filtered(self):
+        # sel=0.01, N=1000: filtered ~ 21 accesses; A0 envelope ~ 400.
+        plan = _plan(0.01)
+        assert isinstance(plan, FilteredConjunctPlan)
+        assert "cost-based" in plan.reason
+
+    def test_unselective_conjunct_not_filtered(self):
+        # sel=0.5, N=1000: filtered ~ 1001 accesses; A0 envelope ~ 400.
+        plan = _plan(0.5)
+        assert isinstance(plan, AlgorithmPlan)
+
+    def test_crossover_respects_k(self):
+        """Larger expected k inflates the A0 estimate, favouring the
+        filter at higher selectivities."""
+        sel = 0.3  # filtered ~ 601
+        small_k = _plan(sel, expected_k=1)  # A0 ~ 4*sqrt(1000) ~ 126
+        large_k = _plan(sel, expected_k=100)  # A0 ~ 1265
+        assert isinstance(small_k, AlgorithmPlan)
+        assert isinstance(large_k, FilteredConjunctPlan)
+
+    def test_factor_knob(self):
+        sel = 0.3
+        tight = _plan(sel, expected_k=10, expected_k_factor=1.0)
+        loose = _plan(sel, expected_k=10, expected_k_factor=10.0)
+        assert isinstance(tight, AlgorithmPlan)
+        assert isinstance(loose, FilteredConjunctPlan)
+
+    def test_no_crisp_conjunct_falls_through(self):
+        cat = _catalog(0.01)
+        planner = Planner(cat, options=PlannerOptions(cost_based=True))
+        q = And(
+            (AtomicQuery("Color", "red", "~"), AtomicQuery("Color", "blue", "~"))
+        )
+        plan = planner.plan(q)
+        assert isinstance(plan, AlgorithmPlan)
+
+    def test_reason_carries_both_estimates(self):
+        plan = _plan(0.01)
+        assert "accesses" in plan.reason and "envelope" in plan.reason
+
+
+class TestEstimateAccuracy:
+    def test_filtered_estimate_matches_actual_cost(self):
+        """The estimate ~2|S|+1 must track the measured cost closely."""
+        from repro.core.semantics import STANDARD_FUZZY
+        from repro.middleware.executor import Executor
+
+        sel, n = 0.02, 1000
+        cat = _catalog(sel, n)
+        planner = Planner(cat, options=PlannerOptions(cost_based=True))
+        plan = planner.plan(QUERY)
+        assert isinstance(plan, FilteredConjunctPlan)
+        answer = Executor(cat, STANDARD_FUZZY).execute(plan, 10)
+        actual = answer.result.stats.sum_cost
+        estimate = (sel * n + 1) + sel * n
+        assert actual == pytest.approx(estimate, rel=0.2)

@@ -1,0 +1,101 @@
+"""Tests for middleware query cursors (paged answers)."""
+
+import pytest
+
+from repro.exceptions import PlanningError
+from repro.middleware.garlic import Garlic
+from repro.subsystems.qbic import QbicSubsystem
+from repro.subsystems.relational import RelationalSubsystem
+
+
+@pytest.fixture
+def garlic():
+    import random
+
+    rng = random.Random(11)
+    objs = [f"o{i}" for i in range(100)]
+    g = Garlic()
+    g.register(
+        QbicSubsystem(
+            "qbic",
+            {
+                "Color": {o: (rng.random(), rng.random(), rng.random())
+                          for o in objs},
+                "Shape": {o: (rng.random(),) for o in objs},
+            },
+            named_targets={"Shape": {"round": (1.0,)}},
+        )
+    )
+    g.register(
+        RelationalSubsystem(
+            "rel", {o: {"Tag": "x" if i < 5 else "y"}
+                    for i, o in enumerate(objs)}
+        )
+    )
+    return g
+
+
+QUERY = '(Color ~ "red") AND (Shape ~ "round")'
+
+
+class TestPaging:
+    def test_pages_match_one_shot_query(self, garlic):
+        cursor = garlic.open_cursor(QUERY)
+        page1 = cursor.next_page(5)
+        page2 = cursor.next_page(5)
+        combined_grades = list(page1.grades()) + list(page2.grades())
+
+        one_shot = garlic.query(QUERY, k=10)
+        assert combined_grades == pytest.approx(
+            list(one_shot.result.grades())
+        )
+
+    def test_pages_disjoint(self, garlic):
+        cursor = garlic.open_cursor(QUERY)
+        p1 = set(cursor.next_page(7).objects())
+        p2 = set(cursor.next_page(7).objects())
+        assert not p1 & p2
+
+    def test_counters(self, garlic):
+        cursor = garlic.open_cursor(QUERY)
+        assert cursor.pages_fetched == 0
+        cursor.next_page(4)
+        cursor.next_page(4)
+        assert cursor.pages_fetched == 2
+        assert cursor.answers_fetched == 8
+
+    def test_second_page_cheaper_than_fresh_query(self, garlic):
+        cursor = garlic.open_cursor(QUERY)
+        cursor.next_page(10)
+        second = cursor.next_page(10)
+        fresh = garlic.query(QUERY, k=20)
+        assert second.stats.sum_cost < fresh.result.stats.sum_cost
+
+    def test_repr(self, garlic):
+        cursor = garlic.open_cursor(QUERY)
+        cursor.next_page(3)
+        assert "pages=1" in repr(cursor)
+
+
+class TestCursorEligibility:
+    def test_disjunction_not_cursorable(self, garlic):
+        # Plans to B0 (an AlgorithmPlan) but with the max aggregation —
+        # still monotone, so actually fine? B0 uses max which is
+        # monotone; the cursor machinery is A0's and works for any
+        # monotone aggregation, max included.
+        cursor = garlic.open_cursor('(Color ~ "red") OR (Shape ~ "round")')
+        page = cursor.next_page(3)
+        assert page.k == 3
+
+    def test_filtered_plan_not_cursorable(self, garlic):
+        from repro.middleware.planner import PlannerOptions
+
+        strict = Garlic(options=PlannerOptions(selectivity_threshold=0.5))
+        for sub in garlic.catalog.subsystems:
+            strict.register(sub)
+        with pytest.raises(PlanningError, match="cursor"):
+            strict.open_cursor('(Tag = "x") AND (Color ~ "red")')
+
+    def test_full_scan_not_cursorable(self, garlic):
+        with pytest.raises(PlanningError):
+            garlic.open_cursor('NOT (Tag = "x") AND (Color ~ "red")')

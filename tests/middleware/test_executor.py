@@ -1,0 +1,186 @@
+"""Tests for plan execution against live subsystems."""
+
+import pytest
+
+from repro.core.semantics import STANDARD_FUZZY
+from repro.middleware.catalog import Catalog
+from repro.middleware.executor import Executor
+from repro.middleware.parser import parse_query
+from repro.middleware.planner import Planner, PlannerOptions
+from repro.subsystems.qbic import QbicSubsystem
+from repro.subsystems.relational import RelationalSubsystem
+
+
+@pytest.fixture
+def setup():
+    objs = [f"o{i}" for i in range(30)]
+    cat = Catalog()
+    cat.register(
+        RelationalSubsystem(
+            "rel",
+            {
+                o: {"Artist": "Beatles" if i < 2 else f"a{i % 5}"}
+                for i, o in enumerate(objs)
+            },
+        )
+    )
+    cat.register(
+        QbicSubsystem(
+            "qbic",
+            {
+                "Color": {
+                    o: (1.0 - i / 30, 0.1, 0.1) for i, o in enumerate(objs)
+                },
+                "Shape": {o: (i / 30,) for i, o in enumerate(objs)},
+            },
+            named_targets={"Shape": {"round": (1.0,)}},
+        )
+    )
+    planner = Planner(cat, options=PlannerOptions())
+    executor = Executor(cat, STANDARD_FUZZY)
+    return cat, planner, executor
+
+
+def _truth(cat, query_text):
+    """Oracle: evaluate the query over all objects via the semantics."""
+    query = parse_query(query_text)
+    atom_sets = {}
+    for a in query.atoms():
+        source = cat.subsystem_for(a).evaluate(a)
+        atom_sets[a] = {
+            obj: source.random_access(obj) for obj in cat.objects
+        }
+    from repro.core.graded_set import GradedSet
+
+    sets = {a: GradedSet(t) for a, t in atom_sets.items()}
+    return STANDARD_FUZZY.evaluate_sets(query, sets, cat.objects)
+
+
+class TestAlgorithmPlanExecution:
+    def test_min_conjunction(self, setup):
+        cat, planner, executor = setup
+        text = '(Color ~ "red") AND (Shape ~ "round")'
+        answer = executor.execute(planner.plan(parse_query(text)), 5)
+        truth = _truth(cat, text)
+        from repro.algorithms.base import is_valid_top_k
+
+        assert is_valid_top_k(answer.items, truth, 5)
+
+    def test_disjunction(self, setup):
+        cat, planner, executor = setup
+        text = '(Color ~ "red") OR (Shape ~ "round")'
+        answer = executor.execute(planner.plan(parse_query(text)), 5)
+        truth = _truth(cat, text)
+        from repro.algorithms.base import is_valid_top_k
+
+        assert is_valid_top_k(answer.items, truth, 5)
+        assert answer.result.stats.sorted_cost == 10  # B0: m*k
+
+    def test_cost_accounting_present(self, setup):
+        __, planner, executor = setup
+        answer = executor.execute(
+            planner.plan(parse_query('(Color ~ "red") AND (Shape ~ "round")')),
+            5,
+        )
+        assert answer.result.stats.sum_cost > 0
+        assert "cost" in answer.explain()
+
+    def test_k_validation(self, setup):
+        __, planner, executor = setup
+        with pytest.raises(ValueError):
+            executor.execute(planner.plan(parse_query('Color ~ "red"')), 0)
+
+
+class TestFilteredPlanExecution:
+    def test_matches_oracle(self, setup):
+        cat, planner, executor = setup
+        text = '(Artist = "Beatles") AND (Color ~ "red")'
+        plan = planner.plan(parse_query(text))
+        from repro.middleware.plan import FilteredConjunctPlan
+
+        assert isinstance(plan, FilteredConjunctPlan)
+        answer = executor.execute(plan, 2)
+        truth = _truth(cat, text)
+        from repro.algorithms.base import is_valid_top_k
+
+        assert is_valid_top_k(answer.items, truth, 2)
+
+    def test_cost_proportional_to_match_set(self, setup):
+        __, planner, executor = setup
+        plan = planner.plan(
+            parse_query('(Artist = "Beatles") AND (Color ~ "red")')
+        )
+        answer = executor.execute(plan, 2)
+        stats = answer.result.stats
+        match_size = answer.result.details["filter_set_size"]
+        assert match_size == 2
+        # |S|+1 sorted on the crisp stream, |S| random on the graded one.
+        assert stats.sorted_cost == match_size + 1
+        assert stats.random_cost == match_size
+
+    def test_padding_with_zero_grades(self, setup):
+        """k larger than the match set pads with certified-zero answers."""
+        cat, planner, executor = setup
+        plan = planner.plan(
+            parse_query('(Artist = "Beatles") AND (Color ~ "red")')
+        )
+        answer = executor.execute(plan, 5)
+        grades = answer.result.grades()
+        assert len(grades) == 5
+        assert grades[2:] == (0.0, 0.0, 0.0)
+        truth = _truth(cat, '(Artist = "Beatles") AND (Color ~ "red")')
+        from repro.algorithms.base import is_valid_top_k
+
+        assert is_valid_top_k(answer.items, truth, 5)
+
+
+class TestInternalPlanExecution:
+    def test_internal_conjunction_cost_is_k(self, setup):
+        cat, __, executor = setup
+        planner = Planner(
+            cat, options=PlannerOptions(allow_internal_conjunction=True)
+        )
+        plan = planner.plan(
+            parse_query('(Color ~ "red") AND (Shape ~ "round")')
+        )
+        from repro.middleware.plan import InternalConjunctionPlan
+
+        assert isinstance(plan, InternalConjunctionPlan)
+        answer = executor.execute(plan, 4)
+        assert answer.result.stats.sum_cost == 4
+        assert answer.result.k == 4
+
+    def test_internal_uses_subsystem_semantics(self, setup):
+        """Averaged (QBIC) grades differ from Garlic's min grades."""
+        cat, planner, executor = setup
+        text = '(Color ~ "red") AND (Shape ~ "round")'
+        external = executor.execute(planner.plan(parse_query(text)), 3)
+        internal_planner = Planner(
+            cat, options=PlannerOptions(allow_internal_conjunction=True)
+        )
+        internal = executor.execute(
+            internal_planner.plan(parse_query(text)), 3
+        )
+        # Averaging dominates min pointwise, strictly so almost surely.
+        assert internal.items[0].grade > external.items[0].grade
+
+
+class TestFullScanExecution:
+    def test_negated_query(self, setup):
+        cat, planner, executor = setup
+        text = 'NOT (Artist = "Beatles") AND (Color ~ "red")'
+        answer = executor.execute(planner.plan(parse_query(text)), 3)
+        truth = _truth(cat, text)
+        from repro.algorithms.base import is_valid_top_k
+
+        assert is_valid_top_k(answer.items, truth, 3)
+
+    def test_full_scan_cost_linear(self, setup):
+        cat, planner, executor = setup
+        answer = executor.execute(
+            planner.plan(
+                parse_query('NOT (Artist = "Beatles") AND (Color ~ "red")')
+            ),
+            3,
+        )
+        assert answer.result.stats.sorted_cost == 2 * cat.num_objects

@@ -1,0 +1,138 @@
+"""Tests for the query-language parser."""
+
+import pytest
+
+from repro.core.query import And, AtomicQuery, Not, Or, Weighted
+from repro.exceptions import ParseError
+from repro.middleware.parser import parse_query, render_query
+
+
+class TestAtoms:
+    def test_crisp_atom(self):
+        q = parse_query('Artist = "Beatles"')
+        assert q == AtomicQuery("Artist", "Beatles", op="=")
+
+    def test_graded_atom(self):
+        q = parse_query('AlbumColor ~ "red"')
+        assert q == AtomicQuery("AlbumColor", "red", op="~")
+
+    def test_numeric_targets(self):
+        assert parse_query("Year = 1967") == AtomicQuery("Year", 1967, "=")
+        assert parse_query("Score ~ 0.5") == AtomicQuery("Score", 0.5, "~")
+
+    def test_identifier_target(self):
+        q = parse_query("Shape ~ round")
+        assert q.target == "round"
+
+    def test_escaped_string(self):
+        q = parse_query(r'Title = "A \"quoted\" name"')
+        assert q.target == 'A "quoted" name'
+
+    def test_dotted_identifier(self):
+        q = parse_query('album.color ~ "red"')
+        assert q.attribute == "album.color"
+
+
+class TestConnectives:
+    def test_the_running_example(self):
+        q = parse_query('(Artist = "Beatles") AND (AlbumColor ~ "red")')
+        assert isinstance(q, And)
+        assert len(q.operands) == 2
+
+    def test_or(self):
+        q = parse_query('(A ~ "x") OR (B ~ "y")')
+        assert isinstance(q, Or)
+
+    def test_not(self):
+        q = parse_query('NOT (Genre = "rock")')
+        assert isinstance(q, Not)
+
+    def test_double_negation(self):
+        q = parse_query('NOT NOT (A ~ "x")')
+        assert isinstance(q, Not)
+        assert isinstance(q.operand, Not)
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        q = parse_query('A ~ "x" OR B ~ "y" AND C ~ "z"')
+        assert isinstance(q, Or)
+        assert isinstance(q.operands[1], And)
+
+    def test_parentheses_override(self):
+        q = parse_query('(A ~ "x" OR B ~ "y") AND C ~ "z"')
+        assert isinstance(q, And)
+        assert isinstance(q.operands[0], Or)
+
+    def test_nary_flattening(self):
+        q = parse_query('A ~ "1" AND B ~ "2" AND C ~ "3"')
+        assert isinstance(q, And)
+        assert len(q.operands) == 3
+
+    def test_keywords_case_insensitive(self):
+        q = parse_query('A ~ "x" and B ~ "y"')
+        assert isinstance(q, And)
+
+    def test_not_binds_tighter_than_and(self):
+        q = parse_query('NOT A = "x" AND B ~ "y"')
+        assert isinstance(q, And)
+        assert isinstance(q.operands[0], Not)
+
+
+class TestWeighted:
+    def test_weighted_query(self):
+        q = parse_query('WEIGHTED(2: Color ~ "red", 1: Shape ~ "round")')
+        assert isinstance(q, Weighted)
+        assert q.weights == pytest.approx((2 / 3, 1 / 3))
+        assert len(q.operands) == 2
+
+    def test_weighted_with_fractional_weights(self):
+        q = parse_query('WEIGHTED(0.7: A ~ "x", 0.3: B ~ "y")')
+        assert q.weights == pytest.approx((0.7, 0.3))
+
+    def test_weighted_nested_query(self):
+        q = parse_query('WEIGHTED(1: A ~ "x" AND B ~ "y", 1: C ~ "z")')
+        assert isinstance(q.operands[0], And)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "AND",
+            "Artist =",
+            'Artist "Beatles"',
+            '(A ~ "x"',
+            'A ~ "x") AND',
+            'A ~ "x" B ~ "y"',
+            "Artist < 5",
+            "WEIGHTED(A ~ 1)",
+            '@bad ~ "x"',
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query('Artist & "x"')
+        assert excinfo.value.position is not None
+
+
+class TestRenderRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            'Artist = "Beatles"',
+            '(Artist = "Beatles") AND (AlbumColor ~ "red")',
+            '(A ~ "x") OR (B ~ "y") OR (C ~ "z")',
+            'NOT (Genre = "rock")',
+            'WEIGHTED(2: Color ~ "red", 1: Shape ~ "round")',
+            'A ~ "x" AND (B ~ "y" OR C ~ "z")',
+            "Year = 1967",
+            r'Title = "say \"hi\""',
+        ],
+    )
+    def test_round_trips(self, text):
+        parsed = parse_query(text)
+        assert parse_query(render_query(parsed)) == parsed

@@ -1,0 +1,140 @@
+"""Hypothesis property tests for the access layer."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.access.cost import AccessStats, CostModel, CostTracker
+from repro.access.scoring_database import ScoringDatabase
+from repro.access.source import MaterializedSource
+from repro.exceptions import ExhaustedSourceError
+
+grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+grade_tables = st.dictionaries(
+    st.integers(min_value=0, max_value=30), grades, min_size=1, max_size=20
+)
+
+
+class TestSourceConsistency:
+    @given(table=grade_tables)
+    @settings(max_examples=100, deadline=None)
+    def test_sorted_stream_is_non_increasing(self, table):
+        source = MaterializedSource("s", table)
+        stream = []
+        while not source.exhausted:
+            stream.append(source.next_sorted())
+        assert len(stream) == len(table)
+        for earlier, later in zip(stream, stream[1:]):
+            assert earlier.grade >= later.grade
+
+    @given(table=grade_tables)
+    @settings(max_examples=100, deadline=None)
+    def test_random_access_agrees_with_stream(self, table):
+        source = MaterializedSource("s", table)
+        while not source.exhausted:
+            item = source.next_sorted()
+            assert source.random_access(item.obj) == item.grade
+
+    @given(table=grade_tables)
+    @settings(max_examples=60, deadline=None)
+    def test_restart_replays_identically(self, table):
+        source = MaterializedSource("s", table)
+        first = [source.next_sorted() for _ in range(len(table))]
+        source.restart()
+        second = [source.next_sorted() for _ in range(len(table))]
+        assert first == second
+
+    @given(table=grade_tables)
+    @settings(max_examples=60, deadline=None)
+    def test_exhaustion_is_sticky(self, table):
+        source = MaterializedSource("s", table)
+        for _ in range(len(table)):
+            source.next_sorted()
+        with pytest.raises(ExhaustedSourceError):
+            source.next_sorted()
+        with pytest.raises(ExhaustedSourceError):
+            source.next_sorted()
+
+
+class TestScoringDatabaseProperties:
+    @given(
+        tables=st.lists(grade_tables, min_size=1, max_size=3),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_skeleton_round_trip(self, tables, data):
+        # Align all lists on the first table's object set.
+        domain = sorted(tables[0])
+        lists = []
+        for t in tables:
+            lists.append(
+                {obj: t.get(obj, 0.37) for obj in domain}
+            )
+        db = ScoringDatabase(lists)
+        sk = db.skeleton()
+        assert db.consistent_with(sk)
+        assert sk.num_lists == db.num_lists
+        assert sk.objects == db.objects
+
+    @given(tables=st.lists(grade_tables, min_size=2, max_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_session_isolated_from_database(self, tables):
+        domain = sorted(tables[0])
+        lists = [{obj: t.get(obj, 0.5) for obj in domain} for t in tables]
+        db = ScoringDatabase(lists)
+        s1, s2 = db.session(), db.session()
+        s1.sources[0].next_sorted()
+        assert s2.sources[0].position == 0
+        assert s2.tracker.snapshot().sum_cost == 0
+
+
+class TestCostArithmetic:
+    stats_strategy = st.builds(
+        AccessStats,
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=0, max_value=1000),
+        ),
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=0, max_value=1000),
+        ),
+    )
+
+    @given(a=stats_strategy, b=stats_strategy)
+    def test_addition_componentwise(self, a, b):
+        total = a + b
+        assert total.sorted_cost == a.sorted_cost + b.sorted_cost
+        assert total.random_cost == a.random_cost + b.random_cost
+
+    @given(
+        a=stats_strategy,
+        c1=st.floats(min_value=0.01, max_value=100),
+        c2=st.floats(min_value=0.01, max_value=100),
+    )
+    def test_sandwich_inequality(self, a, c1, c2):
+        """Inequality (1) of Section 5, for arbitrary positive c1, c2."""
+        model = CostModel(sorted_weight=c1, random_weight=c2)
+        cost = model.cost(a)
+        assert min(c1, c2) * a.sum_cost <= cost + 1e-9
+        assert cost <= max(c1, c2) * a.sum_cost + 1e-9
+
+    @given(
+        charges=st.lists(
+            st.tuples(st.integers(0, 2), st.booleans()),
+            max_size=50,
+        )
+    )
+    def test_tracker_accumulates_exactly(self, charges):
+        tracker = CostTracker(3)
+        expected_s, expected_r = [0, 0, 0], [0, 0, 0]
+        for idx, is_sorted in charges:
+            if is_sorted:
+                tracker.charge_sorted(idx)
+                expected_s[idx] += 1
+            else:
+                tracker.charge_random(idx)
+                expected_r[idx] += 1
+        snapshot = tracker.snapshot()
+        assert list(snapshot.sorted_by_list) == expected_s
+        assert list(snapshot.random_by_list) == expected_r

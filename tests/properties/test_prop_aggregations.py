@@ -1,0 +1,149 @@
+"""Hypothesis property tests for the aggregation catalogue.
+
+Randomized verification of the Section 3 axioms over the full unit
+cube, complementing the deterministic grid checks in tests/core.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.aggregation import DualTConorm
+from repro.core.means import (
+    ARITHMETIC_MEAN,
+    GEOMETRIC_MEAN,
+    HARMONIC_MEAN,
+    MEDIAN,
+)
+from repro.core.negations import SugenoNegation, YagerNegation
+from repro.core.tconorms import DUAL_PAIRS, TCONORMS
+from repro.core.tnorms import DRASTIC_PRODUCT, TNORMS
+from repro.core.weights import FaginWimmersWeighting
+from repro.core.tnorms import MINIMUM
+
+grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+ALL_TNORMS = sorted(TNORMS.values(), key=lambda t: t.name)
+ALL_TCONORMS = sorted(TCONORMS.values(), key=lambda s: s.name)
+
+
+@pytest.mark.parametrize("tnorm", ALL_TNORMS, ids=lambda t: t.name)
+class TestTNormProperties:
+    @given(x=grades, y=grades)
+    def test_commutative(self, tnorm, x, y):
+        assert tnorm(x, y) == pytest.approx(tnorm(y, x), abs=1e-12)
+
+    @given(x=grades)
+    def test_one_is_identity(self, tnorm, x):
+        assert tnorm(x, 1.0) == pytest.approx(x, abs=1e-12)
+
+    @given(x=grades, y=grades)
+    def test_bounded_by_min(self, tnorm, x, y):
+        assert tnorm(x, y) <= min(x, y) + 1e-12
+
+    @given(x=grades, y=grades)
+    def test_bounded_below_by_drastic(self, tnorm, x, y):
+        assert tnorm(x, y) >= DRASTIC_PRODUCT(x, y) - 1e-12
+
+    @given(x=grades, y=grades, z=grades)
+    @settings(max_examples=60)
+    def test_associative(self, tnorm, x, y, z):
+        left = tnorm(tnorm(x, y), z)
+        right = tnorm(x, tnorm(y, z))
+        assert left == pytest.approx(right, abs=1e-9)
+
+    @given(x=grades, x2=grades, y=grades)
+    def test_monotone_in_first_argument(self, tnorm, x, x2, y):
+        lo, hi = min(x, x2), max(x, x2)
+        assert tnorm(lo, y) <= tnorm(hi, y) + 1e-12
+
+    @given(x=grades, y=grades)
+    def test_strictness_direction(self, tnorm, x, y):
+        """t = 1 implies both arguments are 1."""
+        if tnorm(x, y) >= 1.0:
+            assert x == 1.0 and y == 1.0
+
+
+# Grades bounded away from the rounding-degenerate neighbourhoods of 0
+# and 1 (for x < ~1e-16, 1-x rounds to exactly 1.0, which flips the
+# branch of the *discontinuous* drastic connectives — an artifact of
+# float arithmetic, not of the duality).
+duality_grades = st.one_of(
+    st.just(0.0),
+    st.just(1.0),
+    st.floats(min_value=1e-9, max_value=1.0 - 1e-9, allow_nan=False),
+)
+
+
+@pytest.mark.parametrize(
+    "t_name,s_name", sorted(DUAL_PAIRS.items()), ids=lambda p: str(p)
+)
+class TestDuality:
+    @given(x=duality_grades, y=duality_grades)
+    @settings(max_examples=60)
+    def test_de_morgan(self, t_name, s_name, x, y):
+        tnorm, conorm = TNORMS[t_name], TCONORMS[s_name]
+        derived = DualTConorm(tnorm)
+        assert conorm(x, y) == pytest.approx(derived(x, y), abs=1e-9)
+
+
+class TestMeans:
+    @given(gs=st.lists(grades, min_size=1, max_size=6))
+    def test_means_between_min_and_max(self, gs):
+        for mean in (ARITHMETIC_MEAN, GEOMETRIC_MEAN, HARMONIC_MEAN):
+            value = mean(*gs)
+            assert min(gs) - 1e-9 <= value <= max(gs) + 1e-9
+
+    @given(gs=st.lists(grades, min_size=1, max_size=6))
+    def test_pythagorean_ordering(self, gs):
+        """harmonic <= geometric <= arithmetic."""
+        h, g, a = HARMONIC_MEAN(*gs), GEOMETRIC_MEAN(*gs), ARITHMETIC_MEAN(*gs)
+        assert h <= g + 1e-9
+        assert g <= a + 1e-9
+
+    @given(gs=st.lists(grades, min_size=3, max_size=7))
+    def test_median_is_an_order_statistic(self, gs):
+        assert MEDIAN(*gs) in gs
+
+    @given(gs=st.lists(grades, min_size=1, max_size=5))
+    def test_idempotence_on_equal_arguments(self, gs):
+        g = gs[0]
+        equal = [g] * len(gs)
+        for mean in (ARITHMETIC_MEAN, GEOMETRIC_MEAN, MEDIAN):
+            assert mean(*equal) == pytest.approx(g, abs=1e-12)
+
+
+class TestNegations:
+    @given(x=grades, lam=st.floats(min_value=-0.99, max_value=20.0))
+    def test_sugeno_involutive(self, x, lam):
+        neg = SugenoNegation(lam)
+        assert neg(neg(x)) == pytest.approx(x, abs=1e-8)
+
+    @given(x=grades, w=st.floats(min_value=0.25, max_value=8.0))
+    def test_yager_involutive(self, x, w):
+        # The tolerance is loose because for large w and small x the
+        # computation 1 - x**w underflows and the (1/w)-th root
+        # amplifies the rounding (conditioning, not a bug).
+        neg = YagerNegation(w)
+        assert neg(neg(x)) == pytest.approx(x, rel=5e-3, abs=1e-3)
+
+
+class TestWeightedFormula:
+    @given(
+        gs=st.lists(grades, min_size=2, max_size=5),
+        raw=st.lists(
+            st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=5
+        ),
+    )
+    @settings(max_examples=80)
+    def test_between_min_and_max(self, gs, raw):
+        m = min(len(gs), len(raw))
+        gs, raw = gs[:m], raw[:m]
+        w = FaginWimmersWeighting(MINIMUM, raw)
+        value = w(*gs)
+        assert min(gs) - 1e-9 <= value <= max(gs) + 1e-9
+
+    @given(gs=st.lists(grades, min_size=2, max_size=5))
+    def test_equal_weights_recover_min(self, gs):
+        w = FaginWimmersWeighting(MINIMUM, [1.0] * len(gs))
+        assert w(*gs) == pytest.approx(min(gs), abs=1e-12)

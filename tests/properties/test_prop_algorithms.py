@@ -1,0 +1,180 @@
+"""Hypothesis property tests for the algorithms.
+
+The central invariant: on arbitrary scoring databases (random grades,
+including ties and crisp values), every applicable algorithm returns a
+valid top-k answer — checked against the ground-truth oracle.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.access.scoring_database import ScoringDatabase
+from repro.algorithms.base import is_valid_top_k
+from repro.algorithms.disjunction import DisjunctionB0
+from repro.algorithms.fa import FaginA0
+from repro.algorithms.fa_min import FaginA0Min
+from repro.algorithms.fa_variants import EarlyStopFagin, ShrunkenFagin
+from repro.algorithms.median import MedianTopK
+from repro.algorithms.threshold import ThresholdAlgorithm
+from repro.algorithms.ullman import UllmanAlgorithm
+from repro.core.means import ARITHMETIC_MEAN, MEDIAN
+from repro.core.tconorms import MAXIMUM
+from repro.core.tnorms import ALGEBRAIC_PRODUCT, MINIMUM
+
+# Grades drawn from a coarse lattice to provoke plenty of ties.
+lattice_grades = st.sampled_from([0.0, 0.1, 0.25, 0.5, 0.5, 0.75, 1.0])
+fine_grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+any_grades = st.one_of(lattice_grades, fine_grades)
+
+
+@st.composite
+def scoring_databases(draw, min_lists=2, max_lists=3, min_objects=1):
+    num_lists = draw(st.integers(min_value=min_lists, max_value=max_lists))
+    num_objects = draw(st.integers(min_value=min_objects, max_value=14))
+    lists = []
+    for __ in range(num_lists):
+        grades = draw(
+            st.lists(
+                any_grades, min_size=num_objects, max_size=num_objects
+            )
+        )
+        lists.append(dict(enumerate(grades)))
+    return ScoringDatabase(lists)
+
+
+@st.composite
+def db_and_k(draw, **kwargs):
+    db = draw(scoring_databases(**kwargs))
+    k = draw(st.integers(min_value=1, max_value=db.num_objects))
+    return db, k
+
+
+class TestMinConjunctionFamily:
+    @given(case=db_and_k())
+    @settings(max_examples=120, deadline=None)
+    def test_a0(self, case):
+        db, k = case
+        truth = db.overall_grades(MINIMUM)
+        result = FaginA0().top_k(db.session(), MINIMUM, k)
+        assert is_valid_top_k(result.items, truth, k)
+
+    @given(case=db_and_k())
+    @settings(max_examples=120, deadline=None)
+    def test_a0_prime(self, case):
+        db, k = case
+        truth = db.overall_grades(MINIMUM)
+        result = FaginA0Min().top_k(db.session(), MINIMUM, k)
+        assert is_valid_top_k(result.items, truth, k)
+
+    @given(case=db_and_k())
+    @settings(max_examples=80, deadline=None)
+    def test_variants(self, case):
+        db, k = case
+        truth = db.overall_grades(MINIMUM)
+        for alg in (EarlyStopFagin(), ShrunkenFagin()):
+            result = alg.top_k(db.session(), MINIMUM, k)
+            assert is_valid_top_k(result.items, truth, k), alg.name
+
+    @given(case=db_and_k())
+    @settings(max_examples=80, deadline=None)
+    def test_threshold_algorithm(self, case):
+        db, k = case
+        truth = db.overall_grades(MINIMUM)
+        result = ThresholdAlgorithm().top_k(db.session(), MINIMUM, k)
+        assert is_valid_top_k(result.items, truth, k)
+
+    @given(case=db_and_k())
+    @settings(max_examples=80, deadline=None)
+    def test_ullman(self, case):
+        db, k = case
+        truth = db.overall_grades(MINIMUM)
+        result = UllmanAlgorithm().top_k(db.session(), MINIMUM, k)
+        assert is_valid_top_k(result.items, truth, k)
+
+    @given(case=db_and_k())
+    @settings(max_examples=100, deadline=None)
+    def test_nra(self, case):
+        from repro.algorithms.nra import NoRandomAccessAlgorithm
+
+        db, k = case
+        truth = db.overall_grades(MINIMUM)
+        result = NoRandomAccessAlgorithm().top_k(db.session(), MINIMUM, k)
+        assert is_valid_top_k(result.items, truth, k)
+        assert result.stats.random_cost == 0
+
+
+class TestOtherAggregations:
+    @given(case=db_and_k())
+    @settings(max_examples=80, deadline=None)
+    def test_a0_product(self, case):
+        db, k = case
+        truth = db.overall_grades(ALGEBRAIC_PRODUCT)
+        result = FaginA0().top_k(db.session(), ALGEBRAIC_PRODUCT, k)
+        assert is_valid_top_k(result.items, truth, k)
+
+    @given(case=db_and_k())
+    @settings(max_examples=80, deadline=None)
+    def test_a0_mean(self, case):
+        db, k = case
+        truth = db.overall_grades(ARITHMETIC_MEAN)
+        result = FaginA0().top_k(db.session(), ARITHMETIC_MEAN, k)
+        assert is_valid_top_k(result.items, truth, k)
+
+    @given(case=db_and_k())
+    @settings(max_examples=100, deadline=None)
+    def test_b0_max(self, case):
+        db, k = case
+        truth = db.overall_grades(MAXIMUM)
+        result = DisjunctionB0().top_k(db.session(), MAXIMUM, k)
+        assert is_valid_top_k(result.items, truth, k)
+
+    @given(case=db_and_k(min_lists=3, max_lists=4))
+    @settings(max_examples=60, deadline=None)
+    def test_median_algorithm(self, case):
+        db, k = case
+        truth = db.overall_grades(MEDIAN)
+        result = MedianTopK().top_k(db.session(), MEDIAN, k)
+        assert is_valid_top_k(result.items, truth, k)
+
+
+class TestCostInvariants:
+    @given(case=db_and_k())
+    @settings(max_examples=60, deadline=None)
+    def test_b0_cost_formula(self, case):
+        """B0: exactly sum_i min(k, N) sorted accesses, zero random."""
+        db, k = case
+        result = DisjunctionB0().top_k(db.session(), MAXIMUM, k)
+        expected = db.num_lists * min(k, db.num_objects)
+        assert result.stats.sorted_cost == expected
+        assert result.stats.random_cost == 0
+
+    @given(case=db_and_k())
+    @settings(max_examples=60, deadline=None)
+    def test_a0_sorted_cost_is_m_times_t(self, case):
+        db, k = case
+        result = FaginA0().top_k(db.session(), MINIMUM, k)
+        assert result.stats.sorted_cost == db.num_lists * result.details["T"]
+
+    @given(case=db_and_k())
+    @settings(max_examples=60, deadline=None)
+    def test_a0_prime_never_more_random_than_a0(self, case):
+        db, k = case
+        a0 = FaginA0().top_k(db.session(), MINIMUM, k)
+        a0p = FaginA0Min().top_k(db.session(), MINIMUM, k)
+        assert a0p.stats.random_cost <= a0.stats.random_cost
+
+    @given(case=db_and_k())
+    @settings(max_examples=60, deadline=None)
+    def test_sum_cost_never_exceeds_full_scan_per_list(self, case):
+        """No algorithm reads more than all of every list + all random.
+
+        Coarse sanity: each list yields at most N sorted accesses, and
+        random accesses are bounded by m*N when every grade is fetched.
+        """
+        db, k = case
+        m, n = db.num_lists, db.num_objects
+        for alg in (FaginA0(), FaginA0Min(), ThresholdAlgorithm()):
+            result = alg.top_k(db.session(), MINIMUM, k)
+            assert result.stats.sorted_cost <= m * n
+            assert result.stats.random_cost <= m * n

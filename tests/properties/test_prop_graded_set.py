@@ -1,0 +1,96 @@
+"""Hypothesis property tests for GradedSet algebra."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.graded_set import GradedSet
+
+grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+objects = st.text(alphabet="abcdefgh", min_size=1, max_size=3)
+graded_sets = st.dictionaries(objects, grades, max_size=12).map(GradedSet)
+
+
+class TestLatticeLaws:
+    """Min/max set algebra forms a distributive lattice."""
+
+    @given(a=graded_sets, b=graded_sets)
+    def test_intersection_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(a=graded_sets, b=graded_sets)
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(a=graded_sets, b=graded_sets, c=graded_sets)
+    @settings(max_examples=50)
+    def test_intersection_associative(self, a, b, c):
+        assert a.intersect(b).intersect(c) == a.intersect(b.intersect(c))
+
+    @given(a=graded_sets)
+    def test_idempotence(self, a):
+        assert a.intersect(a) == a
+        assert a.union(a) == a
+
+    @given(a=graded_sets, b=graded_sets, c=graded_sets)
+    @settings(max_examples=50)
+    def test_distributivity(self, a, b, c):
+        lhs = a.intersect(b.union(c))
+        rhs = a.intersect(b).union(a.intersect(c))
+        assert lhs == rhs
+
+    @given(a=graded_sets, b=graded_sets)
+    def test_absorption(self, a, b):
+        # Domains matter: compare grades on the union of domains.
+        lhs = a.union(a.intersect(b))
+        for obj in set(a.as_dict()) | set(b.as_dict()):
+            assert lhs.grade(obj) == pytest.approx(a.grade(obj))
+
+
+class TestDeMorgan:
+    @given(a=graded_sets, b=graded_sets)
+    @settings(max_examples=50)
+    def test_de_morgan_over_shared_universe(self, a, b):
+        universe = set(a.as_dict()) | set(b.as_dict()) | {"zz"}
+        lhs = a.union(b).negate(universe)
+        rhs = a.negate(universe).intersect(b.negate(universe))
+        assert lhs.approx_equal(rhs)
+
+    @given(a=graded_sets)
+    def test_double_negation(self, a):
+        universe = set(a.as_dict()) | {"zz"}
+        back = a.negate(universe).negate(universe)
+        for obj in a.as_dict():
+            assert back.grade(obj) == pytest.approx(a.grade(obj))
+
+
+class TestStructuralInvariants:
+    @given(a=graded_sets)
+    def test_iteration_sorted_descending(self, a):
+        grades_in_order = [g for _, g in a]
+        assert grades_in_order == sorted(grades_in_order, reverse=True)
+
+    @given(a=graded_sets, k=st.integers(min_value=0, max_value=12))
+    def test_top_k_dominates_rest(self, a, k):
+        if k > len(a):
+            return
+        top = a.top(k)
+        if len(top) == 0:
+            return
+        worst_kept = min(g for _, g in top)
+        for obj, g in a:
+            if obj not in top:
+                assert g <= worst_kept + 1e-12
+
+    @given(a=graded_sets)
+    def test_support_removes_only_zeros(self, a):
+        support = a.support()
+        assert all(g > 0 for _, g in support)
+        dropped = set(a.as_dict()) - set(support.as_dict())
+        assert all(a.grade(obj) == 0.0 for obj in dropped)
+
+    @given(a=graded_sets, alpha=grades)
+    def test_cut_monotone_in_alpha(self, a, alpha):
+        low_cut = a.cut(min(alpha, 0.3))
+        high_cut = a.cut(max(alpha, 0.3))
+        assert high_cut <= low_cut

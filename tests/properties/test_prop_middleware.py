@@ -1,0 +1,102 @@
+"""Hypothesis property tests at the middleware level.
+
+Random query trees compiled against random graded data: compiled
+aggregations must agree with direct semantic evaluation; planned and
+executed answers must match the exhaustive oracle.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.graded_set import GradedSet
+from repro.core.query import And, AtomicQuery, Or, Weighted
+from repro.core.semantics import STANDARD_FUZZY
+from repro.middleware.compile import CompiledQueryAggregation
+
+grades = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+ATOMS = tuple(AtomicQuery(name, "t", "~") for name in ("A", "B", "C", "D"))
+
+
+@st.composite
+def monotone_queries(draw, depth=2):
+    """Random negation-free query trees over a fixed atom pool."""
+    if depth == 0 or draw(st.booleans()):
+        return draw(st.sampled_from(ATOMS))
+    kind = draw(st.integers(min_value=0, max_value=2))
+    n = draw(st.integers(min_value=2, max_value=3))
+    operands = [draw(monotone_queries(depth=depth - 1)) for _ in range(n)]
+    if kind == 0:
+        return And(operands)
+    if kind == 1:
+        return Or(operands)
+    weights = [draw(st.integers(min_value=1, max_value=5)) for _ in operands]
+    return Weighted(operands, weights)
+
+
+class TestCompiledAggregation:
+    @given(query=monotone_queries(), data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_compiled_matches_semantics(self, query, data):
+        compiled = CompiledQueryAggregation(query, STANDARD_FUZZY)
+        valuation = {
+            atom: data.draw(grades, label=atom.attribute)
+            for atom in compiled.atoms
+        }
+        direct = STANDARD_FUZZY.evaluate(query, valuation)
+        via_compiled = compiled(*(valuation[a] for a in compiled.atoms))
+        assert via_compiled == pytest.approx(direct, abs=1e-12)
+
+    @given(query=monotone_queries())
+    @settings(max_examples=100, deadline=None)
+    def test_negation_free_trees_classified_monotone(self, query):
+        compiled = CompiledQueryAggregation(query, STANDARD_FUZZY)
+        assert compiled.monotone
+
+    @given(query=monotone_queries(), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_compiled_monotonicity_numerically(self, query, data):
+        """Raising any atom's grade never lowers the compiled value."""
+        compiled = CompiledQueryAggregation(query, STANDARD_FUZZY)
+        base = {
+            atom: data.draw(grades, label=atom.attribute)
+            for atom in compiled.atoms
+        }
+        bumped_atom = data.draw(
+            st.sampled_from(compiled.atoms), label="bumped"
+        )
+        bumped = dict(base)
+        bumped[bumped_atom] = min(1.0, base[bumped_atom] + 0.25)
+        lo = compiled(*(base[a] for a in compiled.atoms))
+        hi = compiled(*(bumped[a] for a in compiled.atoms))
+        assert hi >= lo - 1e-12
+
+
+class TestSetLevelAgreement:
+    @given(
+        query=monotone_queries(),
+        table=st.dictionaries(
+            st.sampled_from(["x", "y", "z", "w"]),
+            st.tuples(grades, grades, grades, grades),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pointwise_equals_setwise(self, query, table):
+        atoms = query.atoms()
+        atom_sets = {
+            atom: GradedSet(
+                {obj: row[i % 4] for obj, row in table.items()}
+            )
+            for i, atom in enumerate(atoms)
+        }
+        set_result = STANDARD_FUZZY.evaluate_sets(
+            query, atom_sets, table.keys()
+        )
+        for obj in table:
+            valuation = {a: atom_sets[a].grade(obj) for a in atoms}
+            assert set_result.grade(obj) == pytest.approx(
+                STANDARD_FUZZY.evaluate(query, valuation)
+            )

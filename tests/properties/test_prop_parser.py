@@ -1,0 +1,69 @@
+"""Hypothesis round-trip tests for the query language."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.query import And, AtomicQuery, Not, Or, Query, Weighted
+from repro.middleware.parser import parse_query, render_query
+
+attributes = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s.lower() not in {"and", "or", "not", "weighted"}
+)
+string_targets = st.text(
+    alphabet=st.characters(blacklist_characters='"\\', min_codepoint=32, max_codepoint=126),
+    max_size=8,
+)
+number_targets = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=0, max_value=100, allow_nan=False).map(
+        lambda f: round(f, 3)
+    ),
+)
+targets = st.one_of(string_targets, number_targets)
+
+
+@st.composite
+def atoms(draw):
+    return AtomicQuery(
+        draw(attributes), draw(targets), draw(st.sampled_from(["=", "~"]))
+    )
+
+
+@st.composite
+def queries(draw, depth=2):
+    if depth == 0:
+        return draw(atoms())
+    branch = draw(st.integers(min_value=0, max_value=4))
+    if branch == 0:
+        return draw(atoms())
+    if branch == 1:
+        return Not(draw(queries(depth=depth - 1)))
+    if branch == 4:
+        n = draw(st.integers(min_value=1, max_value=3))
+        ops = [draw(queries(depth=depth - 1)) for _ in range(n)]
+        weights = [draw(st.integers(min_value=1, max_value=9)) for _ in ops]
+        return Weighted(ops, weights)
+    connective = And if branch == 2 else Or
+    n = draw(st.integers(min_value=2, max_value=3))
+    operands = [draw(queries(depth=depth - 1)) for _ in range(n)]
+    # Same-type children flatten; that is part of the round-trip contract.
+    return connective(operands)
+
+
+class TestRoundTrip:
+    @given(q=queries())
+    @settings(max_examples=200, deadline=None)
+    def test_render_then_parse_is_identity(self, q: Query):
+        assert parse_query(render_query(q)) == q
+
+    @given(q=queries())
+    @settings(max_examples=100, deadline=None)
+    def test_render_is_stable(self, q: Query):
+        once = render_query(q)
+        twice = render_query(parse_query(once))
+        assert once == twice
+
+    @given(q=queries())
+    @settings(max_examples=100, deadline=None)
+    def test_atoms_preserved(self, q: Query):
+        assert parse_query(render_query(q)).atoms() == q.atoms()

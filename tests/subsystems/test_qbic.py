@@ -1,0 +1,150 @@
+"""Tests for the QBIC-like image subsystem."""
+
+import pytest
+
+from repro.core.query import AtomicQuery
+from repro.exceptions import SubsystemCapabilityError, UnknownObjectError
+from repro.subsystems.qbic import QbicSubsystem, gaussian_similarity
+
+
+@pytest.fixture
+def qbic():
+    return QbicSubsystem(
+        "qbic",
+        {
+            "color": {
+                "img1": (0.9, 0.1, 0.1),   # red
+                "img2": (0.1, 0.1, 0.9),   # blue
+                "img3": (0.8, 0.2, 0.2),   # reddish
+            },
+            "shape": {
+                "img1": (0.2,),
+                "img2": (0.9,),
+                "img3": (0.5,),
+            },
+        },
+        named_targets={"shape": {"round": (1.0,)}},
+    )
+
+
+class TestGaussianSimilarity:
+    def test_perfect_match(self):
+        assert gaussian_similarity((0.5, 0.5), (0.5, 0.5), 0.3) == 1.0
+
+    def test_decreases_with_distance(self):
+        close = gaussian_similarity((0.5,), (0.6,), 0.3)
+        far = gaussian_similarity((0.5,), (0.9,), 0.3)
+        assert 1.0 > close > far > 0.0
+
+    def test_symmetric(self):
+        a, b = (0.2, 0.7), (0.9, 0.3)
+        assert gaussian_similarity(a, b, 0.3) == gaussian_similarity(b, a, 0.3)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension"):
+            gaussian_similarity((0.5,), (0.5, 0.5), 0.3)
+
+    def test_bandwidth_positive(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            gaussian_similarity((0.5,), (0.5,), 0.0)
+
+
+class TestConstruction:
+    def test_attributes(self, qbic):
+        assert qbic.attributes() == {"color", "shape"}
+
+    def test_population_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="populations"):
+            QbicSubsystem(
+                "q",
+                {
+                    "color": {"a": (1, 0, 0)},
+                    "shape": {"b": (0.5,)},
+                },
+            )
+
+    def test_needs_features(self):
+        with pytest.raises(ValueError):
+            QbicSubsystem("q", {})
+
+    def test_color_feature_gets_named_colors_automatically(self):
+        q = QbicSubsystem("q", {"AlbumColor": {"a": (0.9, 0.1, 0.1)}})
+        source = q.evaluate(AtomicQuery("AlbumColor", "red", "~"))
+        assert source.random_access("a") > 0.9
+
+
+class TestQueryByValue:
+    def test_named_color_target(self, qbic):
+        source = qbic.evaluate(AtomicQuery("color", "red", "~"))
+        assert source.random_access("img1") > source.random_access("img2")
+
+    def test_vector_target(self, qbic):
+        source = qbic.evaluate(AtomicQuery("color", (0.1, 0.1, 0.9), "~"))
+        assert source.random_access("img2") == 1.0
+
+    def test_ranking_order(self, qbic):
+        source = qbic.evaluate(AtomicQuery("color", "red", "~"))
+        order = [source.next_sorted().obj for _ in range(3)]
+        assert order == ["img1", "img3", "img2"]
+
+    def test_named_shape_target(self, qbic):
+        source = qbic.evaluate(AtomicQuery("shape", "round", "~"))
+        assert source.random_access("img2") > source.random_access("img1")
+
+    def test_unknown_named_target(self, qbic):
+        with pytest.raises(UnknownObjectError):
+            qbic.evaluate(AtomicQuery("color", "chartreuse-ish", "~"))
+
+    def test_crisp_op_rejected(self, qbic):
+        with pytest.raises(ValueError, match="graded"):
+            qbic.evaluate(AtomicQuery("color", "red", "="))
+
+
+class TestQueryByExample:
+    def test_example_object_is_perfect_match(self, qbic):
+        """Footnote 4: 'asking for other images whose colors are close
+        to that of image I' — the example itself grades 1."""
+        source = qbic.evaluate(AtomicQuery("color", "img1", "~"))
+        assert source.random_access("img1") == 1.0
+        assert source.random_access("img3") > source.random_access("img2")
+
+
+class TestInternalConjunction:
+    def test_averaging_semantics(self, qbic):
+        queries = [
+            AtomicQuery("color", "red", "~"),
+            AtomicQuery("shape", "round", "~"),
+        ]
+        combined = qbic.evaluate_conjunction(queries)
+        color = qbic.evaluate(AtomicQuery("color", "red", "~"))
+        shape = qbic.evaluate(AtomicQuery("shape", "round", "~"))
+        for obj in ("img1", "img2", "img3"):
+            expected = (
+                color.random_access(obj) + shape.random_access(obj)
+            ) / 2
+            assert combined.random_access(obj) == pytest.approx(expected)
+
+    def test_differs_from_min_semantics(self, qbic):
+        """Section 8: the internal semantics is NOT Garlic's min rule."""
+        queries = [
+            AtomicQuery("color", "red", "~"),
+            AtomicQuery("shape", "round", "~"),
+        ]
+        combined = qbic.evaluate_conjunction(queries)
+        color = qbic.evaluate(AtomicQuery("color", "red", "~"))
+        shape = qbic.evaluate(AtomicQuery("shape", "round", "~"))
+        diffs = [
+            abs(
+                combined.random_access(o)
+                - min(color.random_access(o), shape.random_access(o))
+            )
+            for o in ("img1", "img2", "img3")
+        ]
+        assert max(diffs) > 0.01
+
+    def test_needs_two_queries(self, qbic):
+        with pytest.raises(SubsystemCapabilityError):
+            qbic.evaluate_conjunction([AtomicQuery("color", "red", "~")])
+
+    def test_capability_flag(self, qbic):
+        assert qbic.supports_internal_conjunction

@@ -1,0 +1,109 @@
+"""Tests for histogram-intersection colour matching ([SO95] style)."""
+
+import pytest
+
+from repro.core.query import AtomicQuery
+from repro.subsystems.qbic import QbicSubsystem, histogram_intersection
+
+
+class TestHistogramIntersection:
+    def test_identical_histograms(self):
+        h = (0.5, 0.3, 0.2)
+        assert histogram_intersection(h, h) == pytest.approx(1.0)
+
+    def test_disjoint_histograms(self):
+        assert histogram_intersection((1.0, 0.0), (0.0, 1.0)) == 0.0
+
+    def test_partial_overlap(self):
+        value = histogram_intersection((0.5, 0.3, 0.2), (0.4, 0.4, 0.2))
+        assert value == pytest.approx(0.9)
+
+    def test_symmetric(self):
+        a, b = (0.7, 0.2, 0.1), (0.1, 0.2, 0.7)
+        assert histogram_intersection(a, b) == histogram_intersection(b, a)
+
+    def test_footnote_4_scenario(self):
+        """'a lot of red and a little green' is moderately close to 'a
+        lot of pink and no green' when pink shares red's bins."""
+        # bins: [red, pink, green, blue]
+        red_heavy = (0.7, 0.1, 0.2, 0.0)
+        pink_heavy = (0.4, 0.6, 0.0, 0.0)
+        blue_heavy = (0.0, 0.0, 0.1, 0.9)
+        close = histogram_intersection(red_heavy, pink_heavy)
+        far = histogram_intersection(red_heavy, blue_heavy)
+        assert close > 2 * far
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            histogram_intersection((0.5, 0.5), (1.0,))
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            histogram_intersection((0.5, 0.2), (0.5, 0.5))
+
+    def test_rejects_negative_bins(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            histogram_intersection((1.2, -0.2), (0.5, 0.5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            histogram_intersection((), ())
+
+
+class TestHistogramScoringMode:
+    @pytest.fixture
+    def qbic(self):
+        return QbicSubsystem(
+            "qbic",
+            {
+                "colorhist": {
+                    "img-red": (0.8, 0.1, 0.1, 0.0),
+                    "img-pink": (0.5, 0.4, 0.1, 0.0),
+                    "img-blue": (0.0, 0.0, 0.1, 0.9),
+                }
+            },
+            named_targets={
+                "colorhist": {"mostly-red": (0.9, 0.1, 0.0, 0.0)}
+            },
+            scoring={"colorhist": "histogram"},
+        )
+
+    def test_ranking_by_overlap(self, qbic):
+        source = qbic.evaluate(
+            AtomicQuery("colorhist", "mostly-red", "~")
+        )
+        order = [source.next_sorted().obj for _ in range(3)]
+        assert order == ["img-red", "img-pink", "img-blue"]
+
+    def test_query_by_example(self, qbic):
+        source = qbic.evaluate(AtomicQuery("colorhist", "img-red", "~"))
+        assert source.random_access("img-red") == pytest.approx(1.0)
+
+    def test_invalid_scoring_mode(self):
+        with pytest.raises(ValueError, match="gaussian"):
+            QbicSubsystem(
+                "q",
+                {"f": {"a": (1.0,)}},
+                scoring={"f": "cosine"},
+            )
+
+    def test_scoring_for_unknown_feature(self):
+        with pytest.raises(ValueError, match="unknown feature"):
+            QbicSubsystem(
+                "q",
+                {"f": {"a": (1.0,)}},
+                scoring={"g": "histogram"},
+            )
+
+    def test_gaussian_features_unaffected(self, qbic):
+        """Mixing scoring modes: default stays gaussian."""
+        mixed = QbicSubsystem(
+            "q",
+            {
+                "hist": {"a": (1.0, 0.0), "b": (0.0, 1.0)},
+                "vec": {"a": (0.2,), "b": (0.9,)},
+            },
+            scoring={"hist": "histogram"},
+        )
+        source = mixed.evaluate(AtomicQuery("vec", (0.9,), "~"))
+        assert source.random_access("b") == pytest.approx(1.0)

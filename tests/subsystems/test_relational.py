@@ -1,0 +1,93 @@
+"""Tests for the crisp relational subsystem."""
+
+import pytest
+
+from repro.core.query import AtomicQuery
+from repro.exceptions import SubsystemCapabilityError
+from repro.subsystems.relational import RelationalSubsystem
+
+
+@pytest.fixture
+def rel():
+    return RelationalSubsystem(
+        "store",
+        {
+            "o1": {"Artist": "Beatles", "Year": 1967},
+            "o2": {"Artist": "Beatles", "Year": 1969},
+            "o3": {"Artist": "Miles Davis", "Year": 1959},
+        },
+    )
+
+
+class TestConstruction:
+    def test_attributes_and_objects(self, rel):
+        assert rel.attributes() == {"Artist", "Year"}
+        assert rel.object_ids() == {"o1", "o2", "o3"}
+
+    def test_is_declared_crisp(self, rel):
+        assert rel.crisp
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RelationalSubsystem("r", {})
+
+    def test_rejects_ragged_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            RelationalSubsystem(
+                "r", {"o1": {"A": 1}, "o2": {"A": 1, "B": 2}}
+            )
+
+
+class TestEvaluation:
+    def test_crisp_grades(self, rel):
+        source = rel.evaluate(AtomicQuery("Artist", "Beatles", "="))
+        assert source.random_access("o1") == 1.0
+        assert source.random_access("o3") == 0.0
+
+    def test_sorted_stream_matches_first(self, rel):
+        source = rel.evaluate(AtomicQuery("Artist", "Beatles", "="))
+        first_two = {source.next_sorted().obj, source.next_sorted().obj}
+        assert first_two == {"o1", "o2"}
+        assert source.next_sorted().grade == 0.0
+
+    def test_every_object_graded(self, rel):
+        source = rel.evaluate(AtomicQuery("Year", 1967, "="))
+        assert len(source) == 3
+
+    def test_graded_op_rejected(self, rel):
+        with pytest.raises(ValueError, match="crisp"):
+            rel.evaluate(AtomicQuery("Artist", "Beatles", "~"))
+
+    def test_unknown_attribute_rejected(self, rel):
+        with pytest.raises(SubsystemCapabilityError):
+            rel.evaluate(AtomicQuery("Nope", "x", "="))
+
+    def test_no_match_all_zero(self, rel):
+        source = rel.evaluate(AtomicQuery("Artist", "Nobody", "="))
+        assert source.next_sorted().grade == 0.0
+
+
+class TestStatistics:
+    def test_selectivity_exact(self, rel):
+        assert rel.estimate_selectivity(
+            AtomicQuery("Artist", "Beatles", "=")
+        ) == pytest.approx(2 / 3)
+
+    def test_selectivity_no_match(self, rel):
+        assert rel.estimate_selectivity(
+            AtomicQuery("Artist", "Nobody", "=")
+        ) == 0.0
+
+    def test_selectivity_unknown_attribute(self, rel):
+        assert rel.estimate_selectivity(AtomicQuery("Nope", "x", "=")) is None
+
+    def test_matching_set(self, rel):
+        assert rel.matching_set(
+            AtomicQuery("Artist", "Beatles", "=")
+        ) == {"o1", "o2"}
+
+    def test_no_internal_conjunction(self, rel):
+        with pytest.raises(SubsystemCapabilityError):
+            rel.evaluate_conjunction(
+                [AtomicQuery("Artist", "Beatles", "=")] * 2
+            )

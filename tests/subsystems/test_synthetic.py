@@ -1,0 +1,81 @@
+"""Tests for the synthetic benchmark subsystem."""
+
+import pytest
+
+from repro.core.query import AtomicQuery
+from repro.subsystems.synthetic import SyntheticSubsystem
+from repro.workloads.distributions import Capped, Uniform
+
+
+class TestTables:
+    def test_fixed_table_served(self):
+        sub = SyntheticSubsystem(
+            "syn", tables={"score": {"a": 0.5, "b": 0.9}}
+        )
+        source = sub.evaluate(AtomicQuery("score", "anything", "~"))
+        assert source.random_access("b") == 0.9
+
+    def test_attributes_listed(self):
+        sub = SyntheticSubsystem(
+            "syn",
+            tables={"x": {"a": 0.5}},
+            generated={"y": Uniform()},
+            objects=["a"],
+        )
+        assert sub.attributes() == {"x", "y"}
+
+    def test_needs_something(self):
+        with pytest.raises(ValueError):
+            SyntheticSubsystem("syn")
+
+    def test_population_mismatch(self):
+        with pytest.raises(ValueError, match="population"):
+            SyntheticSubsystem(
+                "syn",
+                tables={"x": {"a": 0.5}, "y": {"b": 0.5}},
+            )
+
+    def test_generated_needs_objects(self):
+        with pytest.raises(ValueError, match="population"):
+            SyntheticSubsystem("syn", generated={"x": Uniform()})
+
+
+class TestGeneratedAttributes:
+    def _sub(self):
+        return SyntheticSubsystem(
+            "syn",
+            generated={"rank": Uniform(), "capped": Capped(0.5)},
+            objects=[f"o{i}" for i in range(50)],
+            seed=3,
+        )
+
+    def test_same_query_same_grades(self):
+        sub = self._sub()
+        q = AtomicQuery("rank", "target-1", "~")
+        s1, s2 = sub.evaluate(q), sub.evaluate(q)
+        for i in range(50):
+            assert s1.random_access(f"o{i}") == s2.random_access(f"o{i}")
+
+    def test_different_targets_different_lists(self):
+        sub = self._sub()
+        s1 = sub.evaluate(AtomicQuery("rank", "t1", "~"))
+        s2 = sub.evaluate(AtomicQuery("rank", "t2", "~"))
+        diffs = sum(
+            s1.random_access(f"o{i}") != s2.random_access(f"o{i}")
+            for i in range(50)
+        )
+        assert diffs > 40
+
+    def test_distribution_respected(self):
+        sub = self._sub()
+        source = sub.evaluate(AtomicQuery("capped", "t", "~"))
+        assert all(
+            source.random_access(f"o{i}") <= 0.5 for i in range(50)
+        )
+
+    def test_sources_have_independent_cursors(self):
+        sub = self._sub()
+        q = AtomicQuery("rank", "t", "~")
+        s1, s2 = sub.evaluate(q), sub.evaluate(q)
+        s1.next_sorted()
+        assert s2.position == 0

@@ -1,0 +1,64 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions as ex
+
+
+class TestHierarchy:
+    ALL_ERRORS = (
+        ex.GradeRangeError(1.5),
+        ex.UnknownObjectError("x"),
+        ex.ExhaustedSourceError("src"),
+        ex.InsufficientObjectsError(5, 3),
+        ex.AggregationArityError("min", 2, 3),
+        ex.InconsistentSkeletonError("bad"),
+        ex.ParseError("bad", 3),
+        ex.CatalogError("missing"),
+        ex.PlanningError("stuck"),
+        ex.SubsystemCapabilityError("cannot"),
+    )
+
+    def test_all_derive_from_repro_error(self):
+        for err in self.ALL_ERRORS:
+            assert isinstance(err, ex.ReproError), type(err).__name__
+
+    def test_stdlib_compatibility(self):
+        """Dual inheritance lets callers catch stdlib categories."""
+        assert isinstance(ex.GradeRangeError(2), ValueError)
+        assert isinstance(ex.UnknownObjectError("x"), KeyError)
+        assert isinstance(ex.InsufficientObjectsError(2, 1), ValueError)
+        assert isinstance(ex.ParseError("x"), ValueError)
+        assert isinstance(ex.CatalogError("x"), LookupError)
+
+
+class TestMessages:
+    def test_grade_range_error(self):
+        err = ex.GradeRangeError(1.5, context="list 2")
+        assert "1.5" in str(err) and "list 2" in str(err)
+        assert err.grade == 1.5
+
+    def test_unknown_object(self):
+        err = ex.UnknownObjectError("obj-9", source="qbic")
+        assert "obj-9" in str(err) and "qbic" in str(err)
+
+    def test_exhausted_source(self):
+        assert "anonymous" in str(ex.ExhaustedSourceError())
+        assert "colors" in str(ex.ExhaustedSourceError("colors"))
+
+    def test_insufficient_objects(self):
+        err = ex.InsufficientObjectsError(10, 4)
+        assert "10" in str(err) and "4" in str(err)
+        assert (err.k, err.available) == (10, 4)
+
+    def test_aggregation_arity(self):
+        err = ex.AggregationArityError("median", 3, 2)
+        assert "median" in str(err)
+
+    def test_parse_error_position(self):
+        err = ex.ParseError("unexpected", position=7)
+        assert "position 7" in str(err)
+        assert err.position == 7
+
+    def test_parse_error_without_position(self):
+        assert ex.ParseError("oops").position is None

@@ -1,0 +1,100 @@
+"""Tests for correlated workload generation (the Section 7 questions)."""
+
+import pytest
+
+from repro.workloads.correlated import (
+    correlated_database,
+    correlated_skeleton,
+    hard_query_database,
+    min_equicorrelation,
+    spearman_rho,
+)
+
+
+class TestMinEquicorrelation:
+    def test_two_lists(self):
+        assert min_equicorrelation(2) == -1.0
+
+    def test_three_lists(self):
+        assert min_equicorrelation(3) == pytest.approx(-0.5)
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            min_equicorrelation(1)
+
+
+class TestCorrelatedSkeleton:
+    def test_shape(self):
+        sk = correlated_skeleton(2, 50, rho=0.5, seed=1)
+        assert sk.num_lists == 2
+        assert sk.num_objects == 50
+
+    def test_rho_one_identical_lists(self):
+        sk = correlated_skeleton(2, 40, rho=1.0, seed=2)
+        assert sk.permutations[0] == sk.permutations[1]
+
+    def test_rho_minus_one_reversed_lists(self):
+        sk = correlated_skeleton(2, 40, rho=-1.0, seed=3)
+        assert sk.permutations[1] == tuple(reversed(sk.permutations[0]))
+
+    def test_realised_correlation_tracks_parameter(self):
+        for rho in (-0.8, 0.0, 0.8):
+            sk = correlated_skeleton(2, 400, rho=rho, seed=4)
+            realised = spearman_rho(sk)
+            assert realised == pytest.approx(rho, abs=0.15)
+
+    def test_monotone_in_rho(self):
+        values = [
+            spearman_rho(correlated_skeleton(2, 300, rho=r, seed=5))
+            for r in (-0.9, -0.3, 0.3, 0.9)
+        ]
+        assert values == sorted(values)
+
+    def test_rho_out_of_range(self):
+        with pytest.raises(ValueError, match="valid range"):
+            correlated_skeleton(3, 30, rho=-0.9, seed=0)
+
+    def test_reproducible(self):
+        a = correlated_skeleton(2, 60, rho=0.4, seed=8)
+        b = correlated_skeleton(2, 60, rho=0.4, seed=8)
+        assert a == b
+
+
+class TestCorrelatedDatabase:
+    def test_consistent_with_its_skeleton(self):
+        db = correlated_database(2, 50, rho=0.5, seed=1)
+        assert db.consistent_with(db.skeleton())
+
+    def test_match_depth_decreases_with_correlation(self):
+        """Positive correlation helps; negative hurts (Section 7 intro)."""
+        import statistics
+
+        def mean_depth(rho):
+            return statistics.fmean(
+                correlated_database(2, 200, rho=rho, seed=s)
+                .skeleton()
+                .match_depth(1)
+                for s in range(15)
+            )
+
+        aligned = mean_depth(0.9)
+        independent = mean_depth(0.0)
+        opposed = mean_depth(-0.9)
+        assert aligned < independent < opposed
+
+
+class TestHardQueryDatabase:
+    def test_structure(self):
+        db = hard_query_database(40, seed=2)
+        assert db.num_lists == 2
+        sk = db.skeleton()
+        assert sk.permutations[1] == tuple(reversed(sk.permutations[0]))
+
+    def test_negation_contract(self):
+        db = hard_query_database(30, seed=3)
+        for obj in db.objects:
+            assert db.grade(1, obj) == pytest.approx(1.0 - db.grade(0, obj))
+
+    def test_spearman_is_minus_one(self):
+        db = hard_query_database(50, seed=4)
+        assert spearman_rho(db.skeleton()) == pytest.approx(-1.0)

@@ -1,0 +1,88 @@
+"""Tests for the CD-store dataset (the Section 2 running example)."""
+
+import pytest
+
+from repro.workloads.datasets import NAMED_COLORS, Album, cd_store
+
+
+class TestCdStore:
+    def test_size(self):
+        assert len(cd_store(80, seed=1)) == 80
+
+    def test_reproducible(self):
+        a = cd_store(50, seed=2)
+        b = cd_store(50, seed=2)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert cd_store(50, seed=1) != cd_store(50, seed=2)
+
+    def test_beatles_albums_pinned(self):
+        albums = cd_store(50, seed=3)
+        beatles = [a for a in albums if a.artist == "Beatles"]
+        assert len(beatles) >= 6
+        titles = {a.title for a in beatles}
+        assert "Sgt. Pepper" in titles
+
+    def test_red_covers_exist_for_running_example(self):
+        """The flagship query needs Beatles albums with reddish covers."""
+        albums = cd_store(50, seed=4)
+        red = NAMED_COLORS["red"]
+
+        def dist2(a):
+            return sum((c - t) ** 2 for c, t in zip(a.cover_rgb, red))
+
+        beatles = [a for a in albums if a.artist == "Beatles"]
+        assert any(dist2(a) < 0.1 for a in beatles)
+
+    def test_unique_ids(self):
+        albums = cd_store(120, seed=5)
+        assert len({a.album_id for a in albums}) == 120
+
+    def test_features_well_formed(self):
+        for a in cd_store(60, seed=6):
+            assert len(a.cover_rgb) == 3
+            assert len(a.cover_texture) == 3
+            assert 0.0 <= a.shape_roundness <= 1.0
+            assert a.blurb
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            cd_store(3, seed=0)
+
+
+class TestAlbumValidation:
+    def _kwargs(self, **overrides):
+        base = dict(
+            album_id="x",
+            title="T",
+            artist="A",
+            year=1970,
+            genre="rock",
+            cover_rgb=(0.5, 0.5, 0.5),
+            cover_texture=(0.5, 0.5, 0.5),
+            shape_roundness=0.5,
+        )
+        base.update(overrides)
+        return base
+
+    def test_valid(self):
+        assert Album(**self._kwargs()).title == "T"
+
+    def test_rgb_range_checked(self):
+        with pytest.raises(ValueError):
+            Album(**self._kwargs(cover_rgb=(1.5, 0.0, 0.0)))
+
+    def test_roundness_checked(self):
+        with pytest.raises(ValueError):
+            Album(**self._kwargs(shape_roundness=-0.1))
+
+
+class TestNamedColors:
+    def test_all_rgb_triples_in_range(self):
+        for name, rgb in NAMED_COLORS.items():
+            assert len(rgb) == 3, name
+            assert all(0.0 <= c <= 1.0 for c in rgb), name
+
+    def test_core_colors_present(self):
+        assert {"red", "green", "blue"} <= set(NAMED_COLORS)

@@ -1,0 +1,94 @@
+"""Tests for the grade distributions."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.workloads.distributions import Beta, Capped, Crisp, PowerLaw, Uniform
+
+
+@pytest.fixture
+def rng():
+    return random.Random(77)
+
+
+ALL = [Uniform(), Capped(0.9), Crisp(0.3), Beta(2, 5), PowerLaw(3.0)]
+
+
+@pytest.mark.parametrize("dist", ALL, ids=lambda d: d.name)
+class TestCommonContract:
+    def test_samples_in_unit_interval(self, dist, rng):
+        for __ in range(500):
+            assert 0.0 <= dist.sample(rng) <= 1.0
+
+    def test_sample_many_length(self, dist, rng):
+        assert len(dist.sample_many(rng, 25)) == 25
+
+    def test_name_present(self, dist, rng):
+        assert dist.name and dist.name != "distribution"
+
+
+class TestUniform:
+    def test_mean_near_half(self, rng):
+        samples = Uniform().sample_many(rng, 4000)
+        assert statistics.fmean(samples) == pytest.approx(0.5, abs=0.03)
+
+    def test_custom_range(self, rng):
+        dist = Uniform(0.2, 0.4)
+        assert all(0.2 <= dist.sample(rng) <= 0.4 for _ in range(200))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Uniform(0.5, 0.5)
+
+
+class TestCapped:
+    def test_never_exceeds_cap(self, rng):
+        dist = Capped(0.9)
+        assert all(dist.sample(rng) <= 0.9 for _ in range(1000))
+
+    def test_positive_cap_required(self):
+        with pytest.raises(ValueError):
+            Capped(0.0)
+
+
+class TestCrisp:
+    def test_only_zero_or_one(self, rng):
+        dist = Crisp(0.5)
+        assert set(dist.sample_many(rng, 200)) <= {0.0, 1.0}
+
+    def test_selectivity_respected(self, rng):
+        dist = Crisp(0.2)
+        ones = sum(dist.sample_many(rng, 5000)) / 5000
+        assert ones == pytest.approx(0.2, abs=0.03)
+
+    def test_degenerate_selectivities(self, rng):
+        assert set(Crisp(0.0).sample_many(rng, 50)) == {0.0}
+        assert set(Crisp(1.0).sample_many(rng, 50)) == {1.0}
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(ValueError):
+            Crisp(1.5)
+
+
+class TestBeta:
+    def test_mean_matches_theory(self, rng):
+        dist = Beta(2, 5)
+        mean = statistics.fmean(dist.sample_many(rng, 4000))
+        assert mean == pytest.approx(2 / 7, abs=0.03)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Beta(0, 1)
+
+
+class TestPowerLaw:
+    def test_skewed_towards_zero(self, rng):
+        dist = PowerLaw(3.0)
+        mean = statistics.fmean(dist.sample_many(rng, 4000))
+        assert mean == pytest.approx(0.25, abs=0.04)  # E[u^3] = 1/4
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            PowerLaw(0.0)

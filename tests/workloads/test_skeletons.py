@@ -1,0 +1,92 @@
+"""Tests for the Section 5 independence-model workload generators."""
+
+import random
+
+import pytest
+
+from repro.workloads.distributions import Capped, Uniform
+from repro.workloads.skeletons import (
+    grades_for_skeleton,
+    independent_database,
+    random_skeleton,
+)
+
+
+class TestRandomSkeleton:
+    def test_shape(self):
+        sk = random_skeleton(3, 40, seed=1)
+        assert sk.num_lists == 3
+        assert sk.num_objects == 40
+
+    def test_reproducible_by_seed(self):
+        assert random_skeleton(2, 30, seed=5) == random_skeleton(2, 30, seed=5)
+        assert random_skeleton(2, 30, seed=5) != random_skeleton(2, 30, seed=6)
+
+    def test_accepts_rng_instance(self):
+        rng = random.Random(9)
+        sk = random_skeleton(2, 20, rng)
+        assert sk.num_objects == 20
+
+    def test_lists_are_independent_permutations(self):
+        """Independent lists almost never coincide for moderate N."""
+        sk = random_skeleton(2, 50, seed=2)
+        assert sk.permutations[0] != sk.permutations[1]
+
+
+class TestGradesForSkeleton:
+    def test_rows_non_increasing(self):
+        sk = random_skeleton(2, 30, seed=3)
+        rows = grades_for_skeleton(sk, random.Random(3))
+        for row in rows:
+            assert all(a >= b for a, b in zip(row, row[1:]))
+
+    def test_per_list_distributions(self):
+        sk = random_skeleton(2, 100, seed=4)
+        rows = grades_for_skeleton(
+            sk, random.Random(4), distributions=[Capped(0.5), Uniform()]
+        )
+        assert max(rows[0]) <= 0.5
+        assert max(rows[1]) > 0.5  # whp for 100 uniform draws
+
+    def test_distribution_count_mismatch(self):
+        sk = random_skeleton(2, 10, seed=5)
+        with pytest.raises(ValueError):
+            grades_for_skeleton(
+                sk, random.Random(0), distributions=[Uniform()]
+            )
+
+
+class TestIndependentDatabase:
+    def test_shape_and_consistency(self):
+        db = independent_database(2, 100, seed=42)
+        assert db.num_lists == 2
+        assert db.num_objects == 100
+        assert db.consistent_with(db.skeleton())
+
+    def test_reproducible(self):
+        a = independent_database(2, 50, seed=7)
+        b = independent_database(2, 50, seed=7)
+        assert a.skeleton() == b.skeleton()
+        assert all(
+            a.grade(0, o) == b.grade(0, o) for o in a.objects
+        )
+
+    def test_uniform_marginals(self):
+        """Grades should fill [0,1] roughly uniformly."""
+        db = independent_database(1, 2000, seed=11)
+        grades = [db.grade(0, o) for o in db.objects]
+        below_half = sum(g < 0.5 for g in grades) / len(grades)
+        assert 0.42 <= below_half <= 0.58
+
+    def test_match_depth_near_sqrt_n(self):
+        """The Section 5 headline at k=1, m=2: T concentrates ~ sqrt(N)."""
+        import statistics
+
+        n = 900
+        depths = [
+            independent_database(2, n, seed=s).skeleton().match_depth(1)
+            for s in range(30)
+        ]
+        mean_depth = statistics.fmean(depths)
+        # sqrt(900) = 30; allow wide slack for 30 trials.
+        assert 10 <= mean_depth <= 90
