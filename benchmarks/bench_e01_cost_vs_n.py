@@ -14,7 +14,7 @@ from repro.analysis.tables import format_table
 from repro.core.tnorms import MINIMUM
 from repro.workloads.skeletons import independent_database
 
-from conftest import print_experiment_header
+from conftest import engine_top_k, print_experiment_header
 
 K = 10
 NS_M2 = (500, 1000, 2000, 4000, 8000)
@@ -65,11 +65,12 @@ def test_e01_cost_scaling_in_n(benchmark, trials):
             f"{expected:.3f}"
         )
 
-    # Timed representative run: one A0 evaluation at m=2, N=4000.
+    # Timed representative run: one A0 evaluation at m=2, N=4000,
+    # through the engine (the path every user query takes).
     db = independent_database(2, 4000, seed=0)
 
     def run():
-        return FaginA0().top_k(db.session(), MINIMUM, K)
+        return engine_top_k(db, MINIMUM, K, strategy=FaginA0())
 
     result = benchmark(run)
     assert result.k == K

@@ -16,7 +16,7 @@ from repro.analysis.tables import format_table
 from repro.core.tnorms import MINIMUM
 from repro.workloads.skeletons import independent_database
 
-from conftest import print_experiment_header
+from conftest import engine_top_k, print_experiment_header
 
 M = 2
 K = 10
@@ -56,6 +56,6 @@ def test_e09_naive_vs_fa(benchmark, trials):
     db = independent_database(M, 32000, seed=0)
 
     def run():
-        return FaginA0Min().top_k(db.session(), MINIMUM, K)
+        return engine_top_k(db, MINIMUM, K, strategy="fagin-min")
 
     benchmark(run)

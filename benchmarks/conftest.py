@@ -5,6 +5,13 @@ index: it prints the table EXPERIMENTS.md records (who wins, growth
 exponents, crossovers) and registers one representative run with
 pytest-benchmark for wall-clock tracking.
 
+All measured runs execute through the unified
+:class:`~repro.engine.engine.Engine` —
+:func:`repro.analysis.experiments.run_trials` forces each benchmark's
+algorithm as the engine strategy, and :func:`engine_top_k` below is the
+same path for one-off representative runs — so the harness times the
+execution path users actually hit.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
@@ -14,6 +21,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.engine.engine import Engine
+
 
 def print_experiment_header(experiment_id: str, claim: str) -> None:
     """A uniform banner so bench output reads like EXPERIMENTS.md."""
@@ -21,6 +30,18 @@ def print_experiment_header(experiment_id: str, claim: str) -> None:
     print("=" * 72)
     print(f"{experiment_id}: {claim}")
     print("=" * 72)
+
+
+def engine_top_k(database, aggregation, k, strategy=None):
+    """One top-k run through the unified engine.
+
+    ``strategy`` is a registry name, an algorithm instance, or None for
+    auto-selection.
+    """
+    builder = Engine.over(database).query(aggregation)
+    if strategy is not None:
+        builder = builder.strategy(strategy)
+    return builder.top(k)
 
 
 @pytest.fixture(scope="session")

@@ -1,14 +1,15 @@
-"""Quickstart: top-k fuzzy aggregation over two ranked sources.
+"""Quickstart: top-k fuzzy aggregation through the unified Engine.
 
 Builds the paper's formal setting directly — two independent ranked
-lists over the same N objects — and compares the naive linear scan with
-Fagin's Algorithm (A0), then pages through further answers with the
-resumable variant ("continue where we left off", Section 4).
+lists over the same N objects — and drives everything through one
+`Engine`: strategy auto-selection vs a forced naive scan, cursor paging
+("continue where we left off", Section 4), and a batch sharing one
+session and cost ledger.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import FaginA0, IncrementalFagin, MINIMUM, NaiveAlgorithm
+from repro import ARITHMETIC_MEAN, Engine, MAXIMUM, MINIMUM
 from repro.analysis.bounds import a0_cost_bound
 from repro.workloads import independent_database
 
@@ -22,15 +23,19 @@ def main() -> None:
     # (stream the next-best object) and random access (grade of a named
     # object) — the middleware interface of Section 4.
     db = independent_database(num_lists=2, num_objects=N, seed=42)
+    engine = Engine.over(db)
 
     print(f"database: m=2 lists over N={N} objects; want top k={K}\n")
 
-    naive = NaiveAlgorithm().top_k(db.session(), MINIMUM, K)
+    naive = engine.query(MINIMUM).strategy("naive").top(K)
     print("naive algorithm (read everything):")
     print(f"  cost: {naive.stats.sum_cost} accesses "
           f"({naive.stats.sorted_cost} sorted + {naive.stats.random_cost} random)")
 
-    fa = FaginA0().top_k(db.session(), MINIMUM, K)
+    # Auto-selection consults the strategy registry: standard fuzzy
+    # conjunction -> A0' (Theorem 4.4). Force classic A0 instead to
+    # match the Theorem 5.3 cost envelope.
+    fa = engine.query(MINIMUM).strategy("fagin").top(K)
     bound = a0_cost_bound(N, 2, K)
     print("\nFagin's Algorithm A0 (Theorem 5.3: O(sqrt(N*k)) whp):")
     print(f"  cost: {fa.stats.sum_cost} accesses "
@@ -39,19 +44,31 @@ def main() -> None:
           f"sorted depth T = {fa.details['T']}")
     print(f"  speedup over naive: {naive.stats.sum_cost / fa.stats.sum_cost:.1f}x")
 
-    print("\ntop answers (identical for both algorithms):")
+    auto = engine.query(MINIMUM).top(K)
+    print(f"\nauto-selected strategy: {auto.algorithm} "
+          f"(cost {auto.stats.sum_cost} accesses)")
+
+    print("\ntop answers (identical for every correct strategy):")
     for rank, (obj, grade) in enumerate(fa.items, start=1):
         print(f"  {rank:2d}. object {obj:6} grade {grade:.4f}")
     assert sorted(fa.grades()) == sorted(naive.grades())
 
     # Paging: the paper's "continue where we left off".
-    print("\nincremental paging with IncrementalFagin:")
-    inc = IncrementalFagin(db.session(), MINIMUM)
-    first = inc.next_batch(K)
-    second = inc.next_batch(K)
-    print(f"  batch 1 (answers 1-{K}):  cost {first.stats.sum_cost} accesses")
-    print(f"  batch 2 (answers {K + 1}-{2 * K}): cost {second.stats.sum_cost} "
+    print("\nincremental paging with a ResultCursor:")
+    cursor = engine.query(MINIMUM).cursor()
+    first = cursor.next_k(K)
+    second = cursor.next_k(K)
+    print(f"  page 1 (answers 1-{K}):  cost {first.stats.sum_cost} accesses")
+    print(f"  page 2 (answers {K + 1}-{2 * K}): cost {second.stats.sum_cost} "
           "accesses (reuses prior sorted progress)")
+
+    # Batch execution: three aggregations, one session, one ledger.
+    batch = engine.run_many([MINIMUM, ARITHMETIC_MEAN, MAXIMUM], k=K)
+    print("\nbatch of three aggregations over one shared session:")
+    for answer in batch:
+        print(f"  {answer.algorithm:10s} cost {answer.stats.sum_cost} accesses")
+    print(f"  batch total: S={batch.total_sorted} sorted + "
+          f"R={batch.total_random} random = {batch.total_accesses}")
 
 
 if __name__ == "__main__":

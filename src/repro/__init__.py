@@ -10,17 +10,36 @@ subsystems (relational / QBIC-like image search / text retrieval), the
 Section 5 probabilistic workload model, and a benchmark harness that
 regenerates every quantitative claim in the paper.
 
-Quick start::
+Quick start — the unified :class:`Engine` is the one entry point::
 
-    from repro import Garlic, FaginA0, MINIMUM
+    from repro import Engine, MINIMUM
     from repro.workloads import independent_database
 
     db = independent_database(num_lists=2, num_objects=10_000, seed=0)
-    result = FaginA0().top_k(db.session(), MINIMUM, k=10)
-    print(result.items, result.stats)   # ~2*sqrt(N*k) accesses, not 2N
+    engine = Engine.over(db)
 
-See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
-reproduced results.
+    result = engine.query(MINIMUM).top(10)       # auto-selects A0'
+    print(result.items, result.stats)            # ~2*sqrt(N*k), not 2N
+
+    result = engine.query(MINIMUM).strategy("fagin").top(10)  # force A0
+
+    cursor = engine.query(MINIMUM).cursor()      # Section 4 paging:
+    page1 = cursor.next_k(10)                    # "continue where
+    page2 = cursor.next_k(10)                    #  we left off"
+
+    batch = engine.run_many([MINIMUM], k=10)     # shared session/ledger
+
+Federated string queries run through the same engine::
+
+    engine = Engine().register(relational).register(qbic)
+    answer = engine.query('(Artist = "Beatles") AND (Color ~ "red")').top(3)
+    print(answer.plan.explain(), answer.items)
+
+The historical surfaces — ``Garlic.query`` and ``choose_algorithm`` —
+remain as thin deprecation shims over the engine.
+
+See DESIGN.md for the paper-to-module map and the old-to-new API
+table, and EXPERIMENTS.md for the reproduced results.
 """
 
 from repro.access import (
@@ -69,6 +88,17 @@ from repro.core import (
     Weighted,
     atom,
 )
+from repro.engine import (
+    BatchResult,
+    Engine,
+    ExecutionContext,
+    QueryBuilder,
+    ResultCursor,
+    available_strategies,
+    capable_strategies,
+    register_strategy,
+    select_strategy,
+)
 from repro.middleware import Garlic, parse_query, render_query
 from repro.subsystems import (
     QbicSubsystem,
@@ -78,7 +108,7 @@ from repro.subsystems import (
     TextSubsystem,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "__version__",
@@ -125,6 +155,16 @@ __all__ = [
     "ThresholdAlgorithm",
     "choose_algorithm",
     "is_valid_top_k",
+    # engine (the unified API)
+    "Engine",
+    "QueryBuilder",
+    "ExecutionContext",
+    "ResultCursor",
+    "BatchResult",
+    "register_strategy",
+    "select_strategy",
+    "available_strategies",
+    "capable_strategies",
     # middleware & subsystems
     "Garlic",
     "parse_query",

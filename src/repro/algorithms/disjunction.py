@@ -72,3 +72,34 @@ class DisjunctionB0(TopKAlgorithm):
             algorithm=self.name,
             details={"union_size": len(best_seen)},
         )
+
+
+# ----------------------------------------------------------------------
+# Registry self-registration
+# ----------------------------------------------------------------------
+
+from repro.engine.registry import StrategyCapabilities, register_strategy
+
+
+def _select_b0(aggregation, num_lists, random_access, cost_model):
+    if isinstance(aggregation, MaximumTConorm):
+        return (
+            "standard fuzzy disjunction: B0 costs m*k with sorted access "
+            "only, independent of N (Theorem 4.5, Remark 6.1)"
+        )
+    return None
+
+
+register_strategy(
+    "b0",
+    DisjunctionB0,
+    StrategyCapabilities(
+        monotone_only=True,
+        needs_random_access=False,
+        aggregation_guard=lambda agg, m: isinstance(agg, MaximumTConorm),
+    ),
+    priority=10,
+    selector=_select_b0,
+    aliases=("B0", "disjunction"),
+    summary="Theorem 4.5: max-disjunctions in m*k sorted accesses",
+)

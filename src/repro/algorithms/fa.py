@@ -263,3 +263,30 @@ class IncrementalFagin:
             algorithm="A0-incremental",
             details={"T": self._state.depth, "batch_start": len(excluded)},
         )
+
+
+# ----------------------------------------------------------------------
+# Registry self-registration
+# ----------------------------------------------------------------------
+
+from repro.engine.registry import StrategyCapabilities, register_strategy
+
+
+def _select_fagin(aggregation, num_lists, random_access, cost_model):
+    if random_access and aggregation.monotone:
+        return (
+            "monotone query: A0 is correct (Theorem 4.2) and optimal when "
+            "also strict (Theorem 6.5)"
+        )
+    return None
+
+
+register_strategy(
+    "fagin",
+    FaginA0,
+    StrategyCapabilities(monotone_only=True, needs_random_access=True),
+    priority=50,
+    selector=_select_fagin,
+    aliases=("A0", "fa"),
+    summary="Theorem 4.2: Fagin's Algorithm for any monotone query",
+)

@@ -92,3 +92,34 @@ class FaginA0Min(TopKAlgorithm):
                 "g0": g0,
             },
         )
+
+
+# ----------------------------------------------------------------------
+# Registry self-registration
+# ----------------------------------------------------------------------
+
+from repro.engine.registry import StrategyCapabilities, register_strategy
+
+
+def _select_fa_min(aggregation, num_lists, random_access, cost_model):
+    if random_access and isinstance(aggregation, MinimumTNorm):
+        return (
+            "standard fuzzy conjunction: A0' restricts random access to "
+            "the candidates (Theorem 4.4)"
+        )
+    return None
+
+
+register_strategy(
+    "fagin-min",
+    FaginA0Min,
+    StrategyCapabilities(
+        monotone_only=True,
+        needs_random_access=True,
+        aggregation_guard=lambda agg, m: isinstance(agg, MinimumTNorm),
+    ),
+    priority=40,
+    selector=_select_fa_min,
+    aliases=("A0-prime", "fa-min"),
+    summary="Theorem 4.4: A0' for the standard min conjunction",
+)

@@ -139,3 +139,27 @@ class ShrunkenFagin(TopKAlgorithm):
                 "seen_after_shrink": len(surviving),
             },
         )
+
+
+# ----------------------------------------------------------------------
+# Registry self-registration (manual-only: Section 4's "minor
+# improvements" on A0, benchmarked by E11.)
+# ----------------------------------------------------------------------
+
+from repro.engine.registry import StrategyCapabilities, register_strategy
+
+register_strategy(
+    "early-stop",
+    EarlyStopFagin,
+    StrategyCapabilities(monotone_only=True, needs_random_access=True),
+    aliases=("A0-early-stop",),
+    summary="A0 with a mid-round stop in the sorted phase",
+)
+
+register_strategy(
+    "shrunken",
+    ShrunkenFagin,
+    StrategyCapabilities(monotone_only=True, needs_random_access=True),
+    aliases=("A0-shrunken",),
+    summary="A0 with per-list prefix depths shrunk before random access",
+)

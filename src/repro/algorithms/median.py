@@ -114,3 +114,35 @@ class MedianTopK(TopKAlgorithm):
             algorithm=self.name,
             details={"subset_runs": runs, "candidates": len(candidates)},
         )
+
+
+# ----------------------------------------------------------------------
+# Registry self-registration
+# ----------------------------------------------------------------------
+
+from repro.engine.registry import StrategyCapabilities, register_strategy
+
+
+def _select_median(aggregation, num_lists, random_access, cost_model):
+    if random_access and isinstance(aggregation, Median) and num_lists >= 3:
+        return (
+            "median aggregation: the Remark 6.1 subset-min construction "
+            "beats the strict-query lower bound"
+        )
+    return None
+
+
+register_strategy(
+    "median",
+    MedianTopK,
+    StrategyCapabilities(
+        monotone_only=True,
+        needs_random_access=True,
+        min_lists=3,
+        aggregation_guard=lambda agg, m: isinstance(agg, Median),
+    ),
+    priority=30,
+    selector=_select_median,
+    aliases=("median-topk",),
+    summary="Remark 6.1: median via pairwise subset-min A0 runs",
+)

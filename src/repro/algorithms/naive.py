@@ -68,3 +68,33 @@ class NaiveAlgorithm(TopKAlgorithm):
             algorithm=self.name,
             details={"objects_scanned": len(scored)},
         )
+
+
+# ----------------------------------------------------------------------
+# Registry self-registration
+# ----------------------------------------------------------------------
+
+from repro.engine.registry import StrategyCapabilities, register_strategy
+
+
+def _select_naive(aggregation, num_lists, random_access, cost_model):
+    # Monotone workloads are claimed upstream (B0/NRA/median/A0'/A0);
+    # the naive scan is the guaranteed-correct fallback for the rest.
+    if aggregation.monotone:
+        return None
+    if not random_access:
+        return "non-monotone query without random access: full sorted scan"
+    return (
+        "non-monotone aggregation: only the naive full scan is guaranteed "
+        "correct (cf. the Theta(N) hard query of Theorem 7.1)"
+    )
+
+
+register_strategy(
+    "naive",
+    NaiveAlgorithm,
+    StrategyCapabilities(monotone_only=False, needs_random_access=False),
+    priority=100,
+    selector=_select_naive,
+    summary="full scan; the only fully-general strategy (Theorem 7.1)",
+)

@@ -117,3 +117,48 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                 "exact": len(exact),
             },
         )
+
+
+# ----------------------------------------------------------------------
+# Registry self-registration
+# ----------------------------------------------------------------------
+
+from repro.engine.registry import (
+    EXPENSIVE_RANDOM_ACCESS_RATIO,
+    StrategyCapabilities,
+    register_strategy,
+)
+
+
+def _select_nra(aggregation, num_lists, random_access, cost_model):
+    if not aggregation.monotone:
+        return None
+    if not random_access:
+        return (
+            "a subsystem lacks random access: NRA evaluates monotone "
+            "queries from sorted streams alone (successor of "
+            "Section 4's footnote-5 assumption)"
+        )
+    if (
+        cost_model is not None
+        and cost_model.random_weight
+        >= EXPENSIVE_RANDOM_ACCESS_RATIO * cost_model.sorted_weight
+    ):
+        return (
+            f"random access costs c2/c1 = "
+            f"{cost_model.random_weight / cost_model.sorted_weight:.0f}x "
+            "a sorted access: the sorted-only NRA avoids that spend "
+            "(heuristic calibrated by benchmark E16)"
+        )
+    return None
+
+
+register_strategy(
+    "nra",
+    NoRandomAccessAlgorithm,
+    StrategyCapabilities(monotone_only=True, needs_random_access=False),
+    priority=20,
+    selector=_select_nra,
+    aliases=("NRA",),
+    summary="sorted-access-only top-k for monotone queries (FLN successor)",
+)

@@ -13,35 +13,33 @@ The paper establishes a small decision table:
   full scan is guaranteed correct (and for Q AND NOT Q, Theorem 7.1
   shows nothing asymptotically better exists).
 
-:func:`choose_algorithm` encodes that table; the middleware planner
-consults it when compiling physical plans.
+That table now lives in the **strategy registry**
+(:mod:`repro.engine.registry`): each algorithm module registers itself
+with capability metadata and a selector, and
+:func:`~repro.engine.registry.select_strategy` walks the registrations
+in priority order. :func:`choose_algorithm` remains as a deprecated
+shim so existing callers keep working — it performs the same registry
+lookup and wraps the result in the historical
+:class:`AlgorithmChoice`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.access.cost import CostModel
 from repro.algorithms.base import TopKAlgorithm
-from repro.algorithms.disjunction import DisjunctionB0
-from repro.algorithms.fa import FaginA0
-from repro.algorithms.fa_min import FaginA0Min
-from repro.algorithms.median import MedianTopK
-from repro.algorithms.naive import NaiveAlgorithm
-from repro.algorithms.nra import NoRandomAccessAlgorithm
-from repro.core.aggregation import AggregationFunction
-from repro.core.means import Median
-from repro.core.tconorms import MaximumTConorm
-from repro.core.tnorms import MinimumTNorm
+from repro.engine.registry import (
+    EXPENSIVE_RANDOM_ACCESS_RATIO,
+    select_strategy,
+)
 
-__all__ = ["AlgorithmChoice", "choose_algorithm"]
-
-#: If random access costs at least this many times a sorted access
-#: (c2/c1), prefer the sorted-only NRA for monotone queries. The E16
-#: benchmark calibrates this heuristic: NRA's sorted phase runs a small
-#: constant factor deeper than A0's, but avoids ~c2 * (number of seen
-#: objects) of random-access spend.
-EXPENSIVE_RANDOM_ACCESS_RATIO = 10.0
+__all__ = [
+    "AlgorithmChoice",
+    "choose_algorithm",
+    "EXPENSIVE_RANDOM_ACCESS_RATIO",
+]
 
 
 @dataclass(frozen=True)
@@ -57,13 +55,19 @@ class AlgorithmChoice:
 
 
 def choose_algorithm(
-    aggregation: AggregationFunction,
+    aggregation,
     num_lists: int,
     *,
     random_access: bool = True,
     cost_model: CostModel | None = None,
 ) -> AlgorithmChoice:
     """Select the best applicable algorithm for ``Ft(A1..Am)``.
+
+    .. deprecated:: 2.0
+        Use :func:`repro.engine.registry.select_strategy` (or the
+        :class:`~repro.engine.engine.Engine` facade, which consults it
+        for every query). This shim performs the identical registry
+        lookup and will keep working for the foreseeable future.
 
     Parameters
     ----------
@@ -84,59 +88,16 @@ def choose_algorithm(
     >>> choose_algorithm(MINIMUM, 2, random_access=False).name
     'NRA'
     """
-    if num_lists < 1:
-        raise ValueError(f"need at least one list, got {num_lists}")
-    if isinstance(aggregation, MaximumTConorm):
-        return AlgorithmChoice(
-            DisjunctionB0(),
-            "standard fuzzy disjunction: B0 costs m*k with sorted access "
-            "only, independent of N (Theorem 4.5, Remark 6.1)",
-        )
-    if not random_access:
-        if aggregation.monotone:
-            return AlgorithmChoice(
-                NoRandomAccessAlgorithm(),
-                "a subsystem lacks random access: NRA evaluates monotone "
-                "queries from sorted streams alone (successor of "
-                "Section 4's footnote-5 assumption)",
-            )
-        return AlgorithmChoice(
-            NaiveAlgorithm(),
-            "non-monotone query without random access: full sorted scan",
-        )
-    if (
-        cost_model is not None
-        and aggregation.monotone
-        and cost_model.random_weight
-        >= EXPENSIVE_RANDOM_ACCESS_RATIO * cost_model.sorted_weight
-    ):
-        return AlgorithmChoice(
-            NoRandomAccessAlgorithm(),
-            f"random access costs c2/c1 = "
-            f"{cost_model.random_weight / cost_model.sorted_weight:.0f}x "
-            "a sorted access: the sorted-only NRA avoids that spend "
-            "(heuristic calibrated by benchmark E16)",
-        )
-    if isinstance(aggregation, Median) and num_lists >= 3:
-        return AlgorithmChoice(
-            MedianTopK(),
-            "median aggregation: the Remark 6.1 subset-min construction "
-            "beats the strict-query lower bound",
-        )
-    if isinstance(aggregation, MinimumTNorm):
-        return AlgorithmChoice(
-            FaginA0Min(),
-            "standard fuzzy conjunction: A0' restricts random access to "
-            "the candidates (Theorem 4.4)",
-        )
-    if aggregation.monotone:
-        return AlgorithmChoice(
-            FaginA0(),
-            "monotone query: A0 is correct (Theorem 4.2) and optimal when "
-            "also strict (Theorem 6.5)",
-        )
-    return AlgorithmChoice(
-        NaiveAlgorithm(),
-        "non-monotone aggregation: only the naive full scan is guaranteed "
-        "correct (cf. the Theta(N) hard query of Theorem 7.1)",
+    warnings.warn(
+        "choose_algorithm() is deprecated; use "
+        "repro.engine.registry.select_strategy() or the Engine facade",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    choice = select_strategy(
+        aggregation,
+        num_lists,
+        random_access=random_access,
+        cost_model=cost_model,
+    )
+    return AlgorithmChoice(choice.algorithm, choice.reason)

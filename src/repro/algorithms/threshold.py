@@ -93,3 +93,20 @@ class ThresholdAlgorithm(TopKAlgorithm):
             algorithm=self.name,
             details={"rounds": rounds, "threshold": tau, "seen": len(scored)},
         )
+
+
+# ----------------------------------------------------------------------
+# Registry self-registration (manual-only: TA postdates the paper, so
+# auto-selection keeps reproducing the paper's table; force it with
+# ``.strategy("threshold")`` or benchmark E15.)
+# ----------------------------------------------------------------------
+
+from repro.engine.registry import StrategyCapabilities, register_strategy
+
+register_strategy(
+    "threshold",
+    ThresholdAlgorithm,
+    StrategyCapabilities(monotone_only=True, needs_random_access=True),
+    aliases=("TA",),
+    summary="Threshold Algorithm (FLN 2001 successor); adaptive stopping",
+)

@@ -133,3 +133,21 @@ class UllmanAlgorithm(TopKAlgorithm):
             algorithm=self.name,
             details={"objects_seen": seen, "stop_rule": self._stop_rule},
         )
+
+
+# ----------------------------------------------------------------------
+# Registry self-registration (manual-only: Section 9's algorithm shines
+# on skewed grade distributions; the paper does not put it in the
+# general selection table.)
+# ----------------------------------------------------------------------
+
+from repro.engine.registry import StrategyCapabilities, register_strategy
+
+register_strategy(
+    "ullman",
+    UllmanAlgorithm,
+    StrategyCapabilities(
+        monotone_only=True, needs_random_access=True, min_lists=2
+    ),
+    summary="Section 9: sorted access on one list, random on the rest",
+)

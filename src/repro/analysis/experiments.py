@@ -16,6 +16,7 @@ from typing import Callable, Sequence
 from repro.access.scoring_database import ScoringDatabase
 from repro.algorithms.base import TopKAlgorithm, TopKResult
 from repro.core.aggregation import AggregationFunction
+from repro.engine.engine import Engine
 
 __all__ = ["CostSummary", "run_trials", "summarise", "measure_costs"]
 
@@ -67,14 +68,20 @@ def run_trials(
 
     ``make_database(seed)`` builds the trial's scoring database; seeds
     are ``base_seed, base_seed + 1, ...`` so runs are reproducible and
-    trials independent.
+    trials independent. Every trial executes through the unified
+    :class:`~repro.engine.engine.Engine` with the supplied algorithm
+    forced as the strategy — the benchmarks measure the same execution
+    path users run.
     """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
     results: list[TopKResult] = []
     for trial in range(trials):
         database = make_database(base_seed + trial)
-        results.append(algorithm.top_k(database.session(), aggregation, k))
+        engine = Engine.over(database)
+        results.append(
+            engine.query(aggregation).strategy(algorithm).top(k)
+        )
     return results
 
 

@@ -11,6 +11,7 @@ Garlic's (Section 8).
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 
 from repro.core.grades import clamp_grade, validate_grade
@@ -76,7 +77,18 @@ class SugenoNegation(Negation):
 class YagerNegation(Negation):
     """Yager's family: n(x) = (1 - x**w) ** (1/w), w > 0.
 
-    w = 1 recovers the standard negation. Involutive for every w.
+    w = 1 recovers the standard negation. Involutive for every w (as a
+    real function; see the note on floats below).
+
+    The w-th-root round trip is evaluated as
+    ``exp(log1p(-x**w) / w)``, which keeps the full precision of
+    ``x**w`` instead of rounding ``1 - x**w`` first — the naive form
+    loses the entire tail for small grades. Involutiveness still
+    cannot hold exactly in double precision near the corner where
+    ``x**w`` drops below the machine epsilon: there ``n(x)`` is closer
+    to 1 than 1's neighbouring float, so the representable value 1.0
+    is returned and the round trip collapses to 0 — a representability
+    limit, not an algorithmic error.
     """
 
     def __init__(self, w: float) -> None:
@@ -86,7 +98,14 @@ class YagerNegation(Negation):
         self.name = f"yager({w:g})"
 
     def apply(self, grade: float) -> float:
-        return (1.0 - grade**self.w) ** (1.0 / self.w)
+        if grade <= 0.0:
+            return 1.0
+        if grade >= 1.0:
+            return 0.0
+        t = grade**self.w
+        if t >= 1.0:
+            return 0.0
+        return math.exp(math.log1p(-t) / self.w)
 
 
 #: Shared singleton for the standard rule.

@@ -68,7 +68,11 @@ class BoundedDifference(TNorm):
     name = "bounded-difference"
 
     def pair(self, x: float, y: float) -> float:
-        return max(0.0, x + y - 1.0)
+        # (x - 1.0) + y, not x + y - 1.0: x - 1 is exact for x in
+        # [0.5, 1] (Sterbenz), so t(x, y) < 1 whenever x < 1 or y < 1 —
+        # the naive order rounds e.g. 1 + (1 - eps/2) up to 2 and
+        # reports a strict-boundary grade of exactly 1.
+        return max(0.0, (x - 1.0) + y)
 
 
 class EinsteinProduct(TNorm):

@@ -1,0 +1,512 @@
+"""The Engine: one entry point for every way this library answers queries.
+
+Historically the repo exposed three disconnected APIs — raw algorithm
+objects (``FaginA0().top_k(session, agg, k)``), the string-query
+``Garlic`` facade, and an ad-hoc benchmark harness. ``Engine`` unifies
+them behind one fluent surface with pluggable strategies:
+
+String/AST queries over federated subsystems (the Garlic scenario)::
+
+    engine = Engine().register(relational).register(qbic)
+    answer = engine.query('(Artist = "Beatles") AND (Color ~ "red")').top(5)
+
+Raw ranked sources (the Section 5 formal model)::
+
+    engine = Engine.over(independent_database(2, 10_000, seed=0))
+    result = engine.query(MINIMUM).top(10)            # auto-selected A0'
+    result = engine.query(MINIMUM).strategy("fagin").top(10)   # forced A0
+
+Paging (Section 4's "continue where we left off")::
+
+    cursor = engine.query(MINIMUM).cursor()
+    page1, page2 = cursor.next_k(10), cursor.next_k(10)
+
+Batches sharing one session / accounting ledger::
+
+    batch = engine.run_many([MINIMUM, MEDIAN, ARITHMETIC_MEAN], k=10)
+
+Every run flows through the same machinery: the planner's strategy
+table is the engine's :mod:`~repro.engine.registry`, the executor's
+accounting is Section 5's cost model, and ``Garlic`` itself is now a
+thin deprecation shim over this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as _dc_replace
+from typing import Callable, Iterable, Sequence
+
+from repro.access.session import MiddlewareSession
+from repro.access.source import SortedRandomSource
+from repro.algorithms.base import TopKAlgorithm, TopKResult
+from repro.core.aggregation import AggregationFunction
+from repro.core.query import Query
+from repro.engine.batch import BatchResult, stats_of
+from repro.engine.builder import QueryBuilder
+from repro.engine.context import ExecutionContext
+from repro.engine.cursor import ResultCursor
+from repro.engine.registry import StrategyChoice, select_strategy
+from repro.exceptions import EngineConfigurationError, PlanningError
+from repro.middleware.catalog import Catalog
+from repro.middleware.executor import Executor, QueryAnswer
+from repro.middleware.parser import parse_query
+from repro.middleware.plan import AlgorithmPlan, PhysicalPlan
+from repro.middleware.planner import Planner
+from repro.subsystems.base import Subsystem
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """The unified execution engine.
+
+    An engine is backed in exactly one of two ways:
+
+    * **catalog-backed** — subsystems registered via :meth:`register`;
+      queries are strings or ASTs, planned and executed through the
+      middleware (the Garlic deployment scenario);
+    * **source-backed** — built with :meth:`over` from a
+      :class:`~repro.access.scoring_database.ScoringDatabase`, a
+      session factory, or a live session; queries are aggregation
+      functions over the backing's ranked lists (the Section 5 formal
+      model, and what the benchmarks drive).
+
+    Parameters
+    ----------
+    context:
+        The shared :class:`~repro.engine.context.ExecutionContext`
+        (semantics, cost model, planner options, default k).
+    """
+
+    def __init__(self, context: ExecutionContext | None = None) -> None:
+        self.context = context or ExecutionContext()
+        self._catalog = Catalog()
+        self._backing: object | None = None
+        self._random_access = True
+        #: Cursor holding a live shared-session backing, if any. A
+        #: MiddlewareSession backing has stateful sorted cursors, so it
+        #: is single-consumer: once a cursor leases it, further queries
+        #: would silently corrupt the cursor's progress — refuse them.
+        self._session_lease: ResultCursor | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def over(
+        cls,
+        backing: object,
+        context: ExecutionContext | None = None,
+        *,
+        random_access: bool = True,
+    ) -> "Engine":
+        """An engine over raw ranked sources instead of subsystems.
+
+        ``backing`` may be a ``ScoringDatabase`` (anything with a
+        ``session()`` method), a zero-argument session factory, or a
+        live :class:`~repro.access.session.MiddlewareSession` (which
+        the engine then shares across queries — its cost tracker
+        becomes the engine's ledger). ``random_access=False`` restricts
+        strategy selection to sorted-only algorithms (footnote 5's
+        missing capability).
+        """
+        if not (
+            isinstance(backing, MiddlewareSession)
+            or callable(backing)
+            or callable(getattr(backing, "session", None))
+        ):
+            raise EngineConfigurationError(
+                f"cannot back an engine with {type(backing).__name__}; "
+                "expected a ScoringDatabase, a session factory, or a "
+                "MiddlewareSession"
+            )
+        engine = cls(context)
+        engine._backing = backing
+        engine._random_access = random_access
+        return engine
+
+    def register(self, subsystem: Subsystem) -> "Engine":
+        """Register a data server (catalog-backed engines); chains."""
+        if self._backing is not None:
+            raise EngineConfigurationError(
+                "this engine is source-backed; subsystems can only be "
+                "registered on an engine built with Engine()"
+            )
+        self._catalog.register(subsystem)
+        return self
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    @property
+    def semantics(self):
+        return self.context.semantics
+
+    def query(
+        self, query: "str | Query | AggregationFunction | None" = None
+    ) -> QueryBuilder:
+        """Start a fluent query; see :class:`QueryBuilder`.
+
+        ``query`` is a string or AST for catalog-backed engines, an
+        aggregation function (or nothing, with ``.using(...)``) for
+        source-backed ones.
+        """
+        return QueryBuilder(self, query)
+
+    def plan(
+        self, query: "str | Query", conjunction: str | None = None
+    ) -> PhysicalPlan:
+        """Plan a catalog query without executing it."""
+        return self._plan_for(
+            query=self._require_query(query),
+            aggregation=None,
+            strategy=None,
+            conjunction=conjunction,
+        )
+
+    def explain(
+        self, query: "str | Query", conjunction: str | None = None
+    ) -> str:
+        """The plan's human-readable strategy description."""
+        return self.plan(query, conjunction).explain()
+
+    def run_many(
+        self,
+        queries: Iterable[object],
+        k: int | None = None,
+    ) -> BatchResult:
+        """Execute a batch of queries with shared per-engine state.
+
+        Each entry is a query spec (string/AST for catalog-backed
+        engines, aggregation function for source-backed ones) or a
+        ``(spec, k)`` pair overriding the batch-wide ``k``.
+
+        Source-backed batches literally share **one session and one
+        cost tracker**: each run restarts the sorted cursors (a fresh
+        subquery issue, charged as such) and the tracker accumulates
+        the batch-wide S and R. Catalog-backed batches share an
+        atom-evaluation cache, so an atomic subquery appearing in
+        several batch members is issued to its subsystem once.
+        """
+        default_k = k if k is not None else self.context.default_k
+        specs = [self._normalise_spec(entry, default_k) for entry in queries]
+        if self._is_source_backed():
+            return self._run_many_sources(specs)
+        return self._run_many_catalog(specs)
+
+    def __repr__(self) -> str:
+        if self._is_source_backed():
+            return f"Engine(over={type(self._backing).__name__})"
+        return f"Engine({self._catalog!r})"
+
+    # ------------------------------------------------------------------
+    # Spec handling
+    # ------------------------------------------------------------------
+
+    def _is_source_backed(self) -> bool:
+        return self._backing is not None
+
+    def _require_query(self, query: object) -> "str | Query":
+        if not isinstance(query, (str, Query)):
+            raise EngineConfigurationError(
+                f"expected a query string or AST, got {type(query).__name__}"
+            )
+        return query
+
+    def _normalise_spec(
+        self, entry: object, default_k: int
+    ) -> tuple[object, int]:
+        if (
+            isinstance(entry, tuple)
+            and len(entry) == 2
+            and isinstance(entry[1], int)
+        ):
+            return entry[0], entry[1]
+        return entry, default_k
+
+    def _parse(self, query: "str | Query") -> Query:
+        return parse_query(query) if isinstance(query, str) else query
+
+    # ------------------------------------------------------------------
+    # Catalog-backed execution
+    # ------------------------------------------------------------------
+
+    def _planner(self, conjunction: str | None) -> Planner:
+        return Planner(
+            self._catalog,
+            self.context.semantics,
+            self.context.planner_options(conjunction),
+            cost_model=self.context.cost_model,
+        )
+
+    def _executor(
+        self,
+        evaluate: Callable[[object], SortedRandomSource] | None = None,
+    ) -> Executor:
+        return Executor(
+            self._catalog, self.context.semantics, evaluate_atom=evaluate
+        )
+
+    def _random_access_ok(self, atoms: Sequence) -> bool:
+        return all(
+            self._catalog.subsystem_for(a).supports_random_access
+            for a in atoms
+        )
+
+    def _plan_for(
+        self,
+        query: "str | Query | None",
+        aggregation: AggregationFunction | None,
+        strategy: str | None,
+        conjunction: str | None,
+    ) -> PhysicalPlan:
+        if self._is_source_backed():
+            raise PlanningError(
+                "source-backed engines select a strategy, not a physical "
+                "plan; use .explain() or the registry directly"
+            )
+        if query is None:
+            raise EngineConfigurationError(
+                "catalog-backed queries need a query string or AST "
+                "(pass it to engine.query(...))"
+            )
+        if aggregation is not None:
+            raise EngineConfigurationError(
+                "catalog-backed queries compile their aggregation from "
+                "the query under the engine's semantics; .using() is "
+                "for source-backed engines"
+            )
+        plan = self._planner(conjunction).plan(self._parse(query))
+        if strategy is not None:
+            if not isinstance(plan, AlgorithmPlan):
+                raise PlanningError(
+                    f"query plans to {type(plan).__name__}, which does "
+                    "not take a pluggable algorithm; remove .strategy()"
+                )
+            assert plan.aggregation is not None
+            if isinstance(strategy, TopKAlgorithm):
+                choice = StrategyChoice(
+                    strategy, "algorithm instance supplied by caller"
+                )
+            else:
+                choice = select_strategy(
+                    plan.aggregation,
+                    len(plan.atoms),
+                    random_access=self._random_access_ok(plan.atoms),
+                    cost_model=self.context.cost_model,
+                    require=strategy,
+                )
+            plan = _dc_replace(
+                plan, algorithm=choice.algorithm, reason=choice.reason
+            )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Source-backed execution
+    # ------------------------------------------------------------------
+
+    def _fresh_session(self) -> MiddlewareSession:
+        backing = self._backing
+        assert backing is not None
+        if isinstance(backing, MiddlewareSession):
+            if self._session_lease is not None:
+                raise EngineConfigurationError(
+                    "a cursor holds this engine's shared session; an "
+                    "engine over a live MiddlewareSession is single-"
+                    "consumer once a cursor is open (restarting the "
+                    "shared sorted streams would corrupt the cursor's "
+                    "progress). Back the engine with a database or "
+                    "session factory to interleave queries with cursors."
+                )
+            return backing
+        session_method = getattr(backing, "session", None)
+        if callable(session_method):
+            return session_method()
+        assert callable(backing)
+        session = backing()
+        if not isinstance(session, MiddlewareSession):
+            raise EngineConfigurationError(
+                f"session factory returned {type(session).__name__}, "
+                "expected a MiddlewareSession"
+            )
+        return session
+
+    def _select(
+        self,
+        aggregation: AggregationFunction | None,
+        num_lists: int,
+        strategy: "str | TopKAlgorithm | None",
+    ) -> StrategyChoice:
+        if aggregation is None:
+            raise EngineConfigurationError(
+                "source-backed queries need an aggregation: pass it to "
+                "engine.query(...) or chain .using(...)"
+            )
+        if isinstance(strategy, TopKAlgorithm):
+            # A pre-built algorithm (possibly tuned via constructor
+            # args); it validates its own preconditions at run time.
+            return StrategyChoice(
+                strategy, "algorithm instance supplied by caller"
+            )
+        return select_strategy(
+            aggregation,
+            num_lists,
+            random_access=self._random_access,
+            cost_model=self.context.cost_model,
+            require=strategy,
+        )
+
+    # ------------------------------------------------------------------
+    # Terminal operations (called by QueryBuilder)
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self,
+        query: "str | Query | None",
+        aggregation: AggregationFunction | None,
+        strategy: str | None,
+        conjunction: str | None,
+        k: int | None,
+    ):
+        k = k if k is not None else self.context.default_k
+        if self._is_source_backed():
+            if query is not None:
+                raise EngineConfigurationError(
+                    "source-backed engines take an aggregation, not a "
+                    "query string; register subsystems on Engine() for "
+                    "string queries"
+                )
+            session = self._fresh_session()
+            if isinstance(self._backing, MiddlewareSession):
+                session.restart_all()
+            choice = self._select(aggregation, session.num_lists, strategy)
+            return choice.algorithm.top_k(session, aggregation, k)
+        plan = self._plan_for(query, aggregation, strategy, conjunction)
+        return self._executor().execute(plan, k)
+
+    def _open_cursor(
+        self,
+        query: "str | Query | None",
+        aggregation: AggregationFunction | None,
+        strategy: "str | TopKAlgorithm | None",
+        conjunction: str | None,
+    ) -> ResultCursor:
+        if strategy is not None:
+            raise PlanningError(
+                "cursors page with the incremental Fagin machinery "
+                "(Section 4's \"continue where we left off\"); a forced "
+                ".strategy() cannot apply — remove it or use .top()"
+            )
+        if self._is_source_backed():
+            if query is not None:
+                raise EngineConfigurationError(
+                    "source-backed engines take an aggregation, not a "
+                    "query string"
+                )
+            if aggregation is None:
+                raise EngineConfigurationError(
+                    "cursors need an aggregation: pass it to "
+                    "engine.query(...) or chain .using(...)"
+                )
+            session = self._fresh_session()
+            shared = isinstance(self._backing, MiddlewareSession)
+            if shared:
+                session.restart_all()
+            cursor = ResultCursor(
+                session,
+                aggregation,
+                default_k=self.context.default_k,
+                cost_model=self.context.cost_model,
+            )
+            if shared:
+                self._session_lease = cursor
+            return cursor
+        plan = self._plan_for(query, aggregation, None, conjunction)
+        if not isinstance(plan, AlgorithmPlan):
+            raise PlanningError(
+                f"query plans to {type(plan).__name__}, which does "
+                "not support cursors; re-issue with a larger k instead"
+            )
+        assert plan.aggregation is not None
+        raw = [
+            self._catalog.subsystem_for(atom).evaluate(atom)
+            for atom in plan.atoms
+        ]
+        session = MiddlewareSession.over_sources(
+            raw, num_objects=self._catalog.num_objects
+        )
+        return ResultCursor(
+            session,
+            plan.aggregation,
+            default_k=self.context.default_k,
+            query=self._parse(query),  # type: ignore[arg-type]
+            cost_model=self.context.cost_model,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def _run_many_sources(
+        self, specs: Sequence[tuple[object, int]]
+    ) -> BatchResult:
+        session = self._fresh_session()
+        before = session.tracker.snapshot()
+        answers: list[TopKResult] = []
+        for aggregation, k in specs:
+            if not isinstance(aggregation, AggregationFunction):
+                raise EngineConfigurationError(
+                    "source-backed batches take aggregation functions, "
+                    f"got {type(aggregation).__name__}"
+                )
+            # A fresh sorted scan per query — a real re-issued subquery,
+            # charged as such — but one session, one tracker.
+            session.restart_all()
+            choice = self._select(aggregation, session.num_lists, None)
+            answers.append(choice.algorithm.top_k(session, aggregation, k))
+        after = session.tracker.snapshot()
+        return BatchResult(
+            answers=tuple(answers),
+            total_sorted=after.sorted_cost - before.sorted_cost,
+            total_random=after.random_cost - before.random_cost,
+            details={"shared_session": True, "queries": len(answers)},
+        )
+
+    def _run_many_catalog(
+        self, specs: Sequence[tuple[object, int]]
+    ) -> BatchResult:
+        cache: dict[object, SortedRandomSource] = {}
+        counters = {"atom_evaluations": 0, "atom_reuses": 0}
+
+        def evaluate(atom) -> SortedRandomSource:
+            source = cache.get(atom)
+            if source is None:
+                source = self._catalog.subsystem_for(atom).evaluate(atom)
+                cache[atom] = source
+                counters["atom_evaluations"] += 1
+            else:
+                # Re-issuing the subquery from the top; subsequent
+                # accesses are real and charged to the new session.
+                source.restart()
+                counters["atom_reuses"] += 1
+            return source
+
+        executor = self._executor(evaluate=evaluate)
+        answers: list[QueryAnswer] = []
+        for spec, k in specs:
+            plan = self._plan_for(self._require_query(spec), None, None, None)
+            answers.append(executor.execute(plan, k))
+        total_sorted = sum(stats_of(a).sorted_cost for a in answers)
+        total_random = sum(stats_of(a).random_cost for a in answers)
+        return BatchResult(
+            answers=tuple(answers),
+            total_sorted=total_sorted,
+            total_random=total_random,
+            details={**counters, "queries": len(answers)},
+        )

@@ -103,3 +103,9 @@ class PlanningError(ReproError):
 
 class SubsystemCapabilityError(ReproError):
     """A plan required a capability (e.g. random access) a subsystem lacks."""
+
+
+class EngineConfigurationError(ReproError, TypeError):
+    """An :class:`~repro.engine.engine.Engine` was used inconsistently
+    with its backing (e.g. a string query on a source-backed engine, or
+    a subsystem registration on one built with ``Engine.over``)."""

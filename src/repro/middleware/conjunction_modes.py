@@ -67,11 +67,13 @@ def compare_conjunction_modes(
 ) -> ModeComparison:
     """Evaluate ``query`` under both conjunction flavours.
 
-    ``garlic`` is a :class:`repro.middleware.garlic.Garlic` instance;
-    ``query`` is query-language text or a parsed AND-of-atoms whose
-    atoms all live in a subsystem that supports internal conjunction
-    (otherwise the internal run raises).
+    ``garlic`` is a :class:`repro.middleware.garlic.Garlic` or
+    :class:`~repro.engine.engine.Engine` instance; ``query`` is
+    query-language text or a parsed AND-of-atoms whose atoms all live
+    in a subsystem that supports internal conjunction (otherwise the
+    internal run raises).
     """
-    external = garlic.query(query, k=k, conjunction="external")
-    internal = garlic.query(query, k=k, conjunction="internal")
+    engine = getattr(garlic, "engine", garlic)
+    external = engine.query(query).conjunction("external").top(k)
+    internal = engine.query(query).conjunction("internal").top(k)
     return ModeComparison(external=external, internal=internal)

@@ -6,25 +6,27 @@ top k answers, in order to find the next k best answers we can
 cursor: open a monotone query once, then pull pages of answers, with
 each page reusing all sorted-access progress of the previous ones.
 
-Only :class:`~repro.middleware.plan.AlgorithmPlan` queries over
-random-access-capable subsystems support cursors (the incremental
-machinery is A0's); other strategies raise — re-issue the query with a
-larger k instead.
+:class:`QueryCursor` is the historical middleware spelling of the
+engine's :class:`~repro.engine.cursor.ResultCursor` — same machinery,
+plus the plan-type validation and the ``next_page`` method name the
+original API used. Only :class:`~repro.middleware.plan.AlgorithmPlan`
+queries over random-access-capable subsystems support cursors; other
+strategies raise — re-issue the query with a larger k instead.
 """
 
 from __future__ import annotations
 
 from repro.access.session import MiddlewareSession
 from repro.algorithms.base import TopKResult
-from repro.algorithms.fa import IncrementalFagin
 from repro.core.query import Query
+from repro.engine.cursor import ResultCursor
 from repro.exceptions import PlanningError
 from repro.middleware.plan import AlgorithmPlan, PhysicalPlan
 
 __all__ = ["QueryCursor"]
 
 
-class QueryCursor:
+class QueryCursor(ResultCursor):
     """A pageable answer stream for one monotone query.
 
     Created via :meth:`repro.middleware.garlic.Garlic.open_cursor`.
@@ -42,22 +44,8 @@ class QueryCursor:
                 f"random-access subsystems); got {type(plan).__name__}"
             )
         assert plan.aggregation is not None
-        if not plan.aggregation.monotone:
-            raise PlanningError(
-                "cursors require a monotone aggregation (Theorem 4.2)"
-            )
-        self.query = query
+        super().__init__(session, plan.aggregation, query=query)
         self.plan = plan
-        self._incremental = IncrementalFagin(session, plan.aggregation)
-        self._pages = 0
-
-    @property
-    def pages_fetched(self) -> int:
-        return self._pages
-
-    @property
-    def answers_fetched(self) -> int:
-        return len(self._incremental.returned)
 
     def next_page(self, k: int = 10) -> TopKResult:
         """The next ``k`` best answers after everything already paged.
@@ -66,12 +54,10 @@ class QueryCursor:
         the *incremental* access cost — what this page added on top of
         the previous pages' work.
         """
-        result = self._incremental.next_batch(k)
-        self._pages += 1
-        return result
+        return self.next_k(k)
 
     def __repr__(self) -> str:
         return (
-            f"QueryCursor(pages={self._pages}, "
+            f"QueryCursor(pages={self.pages_fetched}, "
             f"answers={self.answers_fetched})"
         )

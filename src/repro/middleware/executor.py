@@ -64,11 +64,28 @@ class QueryAnswer:
 
 
 class Executor:
-    """Executes physical plans over a catalog of subsystems."""
+    """Executes physical plans over a catalog of subsystems.
 
-    def __init__(self, catalog: Catalog, semantics: FuzzySemantics) -> None:
+    Parameters
+    ----------
+    evaluate_atom:
+        Optional hook returning the raw source for an atomic query;
+        defaults to asking the catalog's owning subsystem. Batch
+        execution injects a caching hook here so an atom shared by
+        several queries is evaluated once per batch.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        semantics: FuzzySemantics,
+        evaluate_atom=None,
+    ) -> None:
         self._catalog = catalog
         self._semantics = semantics
+        self._evaluate = evaluate_atom or (
+            lambda atom: catalog.subsystem_for(atom).evaluate(atom)
+        )
 
     def execute(self, plan: PhysicalPlan, k: int) -> QueryAnswer:
         """Run ``plan`` and return the top-k answer with cost accounting."""
@@ -91,9 +108,7 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _session_for(self, atoms) -> MiddlewareSession:
-        raw = [
-            self._catalog.subsystem_for(atom).evaluate(atom) for atom in atoms
-        ]
+        raw = [self._evaluate(atom) for atom in atoms]
         return MiddlewareSession.over_sources(
             raw, num_objects=self._catalog.num_objects
         )
@@ -144,7 +159,7 @@ class Executor:
         sources = {}
         index = 0
         for atom in plan.filter_atoms + plan.graded_atoms:
-            raw = self._catalog.subsystem_for(atom).evaluate(atom)
+            raw = self._evaluate(atom)
             sources[atom] = InstrumentedSource(raw, tracker, index)
             index += 1
 

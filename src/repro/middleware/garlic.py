@@ -1,5 +1,15 @@
 """The Garlic facade: register subsystems, ask queries, get graded sets.
 
+.. deprecated:: 2.0
+    ``Garlic`` is now a thin shim over the unified
+    :class:`~repro.engine.engine.Engine`, which adds fluent query
+    building, pluggable strategies, result cursors, and batch
+    execution. Existing call sites keep working (``query`` emits a
+    :class:`DeprecationWarning`); new code should use the engine::
+
+        engine = Engine().register(subsystem)
+        answer = engine.query('(Artist = "Beatles") AND ...').top(3)
+
 End-to-end usage mirroring the paper's running example:
 
     >>> from repro.middleware.garlic import Garlic
@@ -20,22 +30,28 @@ End-to-end usage mirroring the paper's running example:
 
 from __future__ import annotations
 
-from dataclasses import replace
+import warnings
+from typing import TYPE_CHECKING
 
 from repro.core.query import Query
 from repro.core.semantics import STANDARD_FUZZY, FuzzySemantics
 from repro.middleware.catalog import Catalog
-from repro.middleware.executor import Executor, QueryAnswer
-from repro.middleware.parser import parse_query
+from repro.middleware.executor import QueryAnswer
 from repro.middleware.plan import PhysicalPlan
-from repro.middleware.planner import Planner, PlannerOptions
-from repro.subsystems.base import Subsystem
+from repro.middleware.planner import PlannerOptions
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.engine import Engine
 
 __all__ = ["Garlic"]
 
 
 class Garlic:
-    """A multimedia middleware instance (Sections 1-2).
+    """A multimedia middleware instance (Sections 1-2) — engine shim.
+
+    Every operation delegates to an internal
+    :class:`~repro.engine.engine.Engine`; :attr:`engine` exposes it as
+    the migration path.
 
     Parameters
     ----------
@@ -52,39 +68,47 @@ class Garlic:
         semantics: FuzzySemantics = STANDARD_FUZZY,
         options: PlannerOptions | None = None,
     ) -> None:
-        self.semantics = semantics
-        self.catalog = Catalog()
-        self._options = options or PlannerOptions()
-        self._executor = Executor(self.catalog, semantics)
+        # Imported lazily: the middleware package is a dependency of the
+        # engine (plans, executor), so the facade pulls the engine in at
+        # construction time rather than at import time.
+        from repro.engine.context import ExecutionContext
+        from repro.engine.engine import Engine
 
-    def register(self, subsystem: Subsystem) -> "Garlic":
+        self._engine = Engine(
+            ExecutionContext(
+                semantics=semantics, planner=options or PlannerOptions()
+            )
+        )
+
+    @property
+    def engine(self) -> "Engine":
+        """The unified engine this facade delegates to (migration path)."""
+        return self._engine
+
+    @property
+    def semantics(self) -> FuzzySemantics:
+        return self._engine.semantics
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._engine.catalog
+
+    def register(self, subsystem) -> "Garlic":
         """Register a data server; returns self for chaining."""
-        self.catalog.register(subsystem)
+        self._engine.register(subsystem)
         return self
 
     # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------
 
-    def _parse(self, query: str | Query) -> Query:
-        return parse_query(query) if isinstance(query, str) else query
-
-    def _planner(self, conjunction: str) -> Planner:
-        if conjunction not in ("external", "internal"):
-            raise ValueError(
-                f"conjunction must be 'external' or 'internal', "
-                f"got {conjunction!r}"
-            )
-        options = self._options
-        if conjunction == "internal":
-            options = replace(options, allow_internal_conjunction=True)
-        return Planner(self.catalog, self.semantics, options)
-
     def plan(
         self, query: str | Query, conjunction: str = "external"
     ) -> PhysicalPlan:
         """Plan a query without executing it."""
-        return self._planner(conjunction).plan(self._parse(query))
+        # Conjunction-mode validation happens in
+        # ExecutionContext.planner_options, the single authority.
+        return self._engine.plan(query, conjunction)
 
     def query(
         self,
@@ -94,12 +118,21 @@ class Garlic:
     ) -> QueryAnswer:
         """Evaluate a query and return its top-k graded answer.
 
+        .. deprecated:: 2.0
+            Use ``garlic.engine.query(q).top(k)`` (add
+            ``.conjunction("internal")`` for Section 8 pushdown).
+
         ``conjunction="internal"`` opts into Section 8 pushdown when a
         conjunction's atoms all live in one capable subsystem — with
         that subsystem's own semantics, which may differ from Garlic's.
         """
-        physical = self.plan(query, conjunction)
-        return self._executor.execute(physical, k)
+        warnings.warn(
+            "Garlic.query() is deprecated; use "
+            "Engine.query(...).top(k) (see Garlic.engine)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._engine.query(query).conjunction(conjunction).top(k)
 
     def explain(
         self,
@@ -114,21 +147,22 @@ class Garlic:
         """Open a pageable cursor over a monotone query's answers.
 
         Implements Section 4's "continue where we left off" at the
-        middleware level: each :meth:`QueryCursor.next_page` call
-        reuses all prior sorted-access progress. Only queries that
-        plan to an algorithm strategy (not filtered/internal/full-scan)
-        support cursors.
+        middleware level; the returned
+        :class:`~repro.middleware.cursor.QueryCursor` is the engine's
+        :class:`~repro.engine.cursor.ResultCursor` with the historical
+        ``next_page`` spelling. Only queries that plan to an algorithm
+        strategy (not filtered/internal/full-scan) support cursors.
         """
         from repro.access.session import MiddlewareSession
+        from repro.exceptions import PlanningError
         from repro.middleware.cursor import QueryCursor
-
-        parsed = self._parse(query)
-        physical = self.plan(parsed)
         from repro.middleware.plan import AlgorithmPlan
 
+        parsed = (
+            self._engine._parse(query) if isinstance(query, str) else query
+        )
+        physical = self.plan(parsed)
         if not isinstance(physical, AlgorithmPlan):
-            from repro.exceptions import PlanningError
-
             raise PlanningError(
                 f"query plans to {type(physical).__name__}, which does "
                 "not support cursors; re-issue with a larger k instead"

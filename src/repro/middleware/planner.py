@@ -25,11 +25,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.algorithms.selection import choose_algorithm
+from repro.access.cost import CostModel
 from repro.core.query import And, AtomicQuery, Not, Or, Query, Weighted
 from repro.core.semantics import STANDARD_FUZZY, FuzzySemantics
 from repro.core.tconorms import MaximumTConorm
 from repro.core.tnorms import MinimumTNorm
+from repro.engine.registry import select_strategy
 from repro.middleware.catalog import Catalog
 from repro.middleware.compile import CompiledQueryAggregation
 from repro.middleware.plan import (
@@ -92,10 +93,14 @@ class Planner:
         catalog: Catalog,
         semantics: FuzzySemantics = STANDARD_FUZZY,
         options: PlannerOptions | None = None,
+        cost_model: CostModel | None = None,
     ) -> None:
         self._catalog = catalog
         self._semantics = semantics
         self._options = options or PlannerOptions()
+        #: Optional (c1, c2) weighting handed to strategy selection —
+        #: expensive random access steers monotone queries to NRA.
+        self._cost_model = cost_model
 
     # ------------------------------------------------------------------
     # Rewrites
@@ -163,8 +168,11 @@ class Planner:
 
         if aggregation.monotone:
             run_aggregation = self._pick_table_aggregation(query, aggregation)
-            choice = choose_algorithm(
-                run_aggregation, len(atoms), random_access=random_access_ok
+            choice = select_strategy(
+                run_aggregation,
+                len(atoms),
+                random_access=random_access_ok,
+                cost_model=self._cost_model,
             )
             return AlgorithmPlan(
                 query=query,

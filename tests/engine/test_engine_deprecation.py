@@ -1,0 +1,75 @@
+"""The old surfaces still work — under DeprecationWarning — and agree
+with the engine they now delegate to."""
+
+import warnings
+
+import pytest
+
+from repro.algorithms.selection import AlgorithmChoice, choose_algorithm
+from repro.core.tconorms import MAXIMUM
+from repro.core.tnorms import MINIMUM
+from repro.engine.registry import select_strategy
+from repro.middleware.garlic import Garlic
+from repro.subsystems.qbic import QbicSubsystem
+
+
+@pytest.fixture
+def garlic(albums):
+    return Garlic().register(
+        QbicSubsystem(
+            "qbic",
+            {"Color": {a.album_id: a.cover_rgb for a in albums}},
+        )
+    )
+
+
+class TestGarlicShim:
+    def test_query_emits_deprecation_warning(self, garlic):
+        with pytest.deprecated_call():
+            answer = garlic.query('Color ~ "red"', k=3)
+        assert answer.result.k == 3
+
+    def test_query_matches_engine(self, garlic):
+        with pytest.deprecated_call():
+            old = garlic.query('Color ~ "red"', k=5)
+        new = garlic.engine.query('Color ~ "red"').top(5)
+        assert old.items == new.items
+        assert old.result.algorithm == new.result.algorithm
+
+    def test_plan_and_explain_do_not_warn(self, garlic):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            plan = garlic.plan('Color ~ "red"')
+            text = garlic.explain('Color ~ "red"')
+        assert plan.explain() == text.split("\n")[0] or text
+
+    def test_open_cursor_still_pages(self, garlic):
+        cursor = garlic.open_cursor('Color ~ "red"')
+        page = cursor.next_page(4)
+        assert page.k == 4
+        assert cursor.pages_fetched == 1
+
+    def test_conjunction_validation_preserved(self, garlic):
+        with pytest.raises(ValueError, match="conjunction"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                garlic.query('Color ~ "red"', k=3, conjunction="sideways")
+
+    def test_engine_property_is_the_migration_path(self, garlic):
+        assert garlic.engine.catalog is garlic.catalog
+
+
+class TestChooseAlgorithmShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.deprecated_call():
+            choose_algorithm(MINIMUM, 2)
+
+    @pytest.mark.parametrize("agg", [MINIMUM, MAXIMUM])
+    @pytest.mark.parametrize("random_access", [True, False])
+    def test_matches_registry_selection(self, agg, random_access):
+        with pytest.deprecated_call():
+            old = choose_algorithm(agg, 2, random_access=random_access)
+        new = select_strategy(agg, 2, random_access=random_access)
+        assert isinstance(old, AlgorithmChoice)
+        assert old.name == new.name
+        assert old.reason == new.reason

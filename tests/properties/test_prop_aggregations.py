@@ -6,7 +6,7 @@ cube, complementing the deterministic grid checks in tests/core.
 
 import hypothesis.strategies as st
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 
 from repro.core.aggregation import DualTConorm
 from repro.core.means import (
@@ -122,9 +122,14 @@ class TestNegations:
     @given(x=grades, w=st.floats(min_value=0.25, max_value=8.0))
     def test_yager_involutive(self, x, w):
         # The tolerance is loose because for large w and small x the
-        # computation 1 - x**w underflows and the (1/w)-th root
-        # amplifies the rounding (conditioning, not a bug).
+        # round trip is ill-conditioned: the recovered x carries an
+        # absolute error of about eps / x**(w - 1). Below x**(w-1)
+        # ~ 1e-12 (but above the abs tolerance) n(x) is closer to 1
+        # than 1's neighbouring float, so no double-precision
+        # implementation can invert it — skip that sliver, exactly as
+        # duality_grades above skips the drastic connectives' corner.
         neg = YagerNegation(w)
+        assume(x <= 1e-3 or x ** max(w - 1.0, 0.0) >= 1e-12)
         assert neg(neg(x)) == pytest.approx(x, rel=5e-3, abs=1e-3)
 
 
