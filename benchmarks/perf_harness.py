@@ -1,0 +1,407 @@
+"""Perf-regression harness: wall-clock + access-count trajectory.
+
+Times FA / TA / NRA / naive over independent *and* correlated
+workloads (the FKG-inequality line in PAPERS.md marks positively
+associated lists as the adversarial regime for wall-clock, so rho > 0
+is benchmarked, not just the Section 5 independence model) at several
+(N, m, k) points, on two backings:
+
+* **legacy** — the pre-batching ``MaterializedSource`` path: a session
+  minted from the row-oriented :class:`ScoringDatabase` (full O(N*m)
+  ranking re-validation per mint), every source wrapped in
+  :class:`UnbatchedSource` so every access is a unit access, driven by
+  the ``_prepr_*`` reference runners below — faithful replicas of the
+  seed-commit hot loops (one object per list per round, per-call
+  aggregation validation, full sort of all aggregate grades);
+* **columnar** — :class:`ColumnarScoringDatabase` sessions (O(m)
+  mint) consumed by the current algorithms through the batched access
+  protocol.
+
+Each measurement is the median of ``--repeats`` runs of *mint session
++ run algorithm* (minting is part of the path: the pre-batching code
+re-sorted/re-validated per session). Every config asserts that the two
+backings return identical answers with identical per-list sorted and
+random access counts — batches are an implementation detail; the paper
+cost model is unchanged.
+
+Output goes to ``BENCH_topk.json``. Modes:
+
+    PYTHONPATH=src python benchmarks/perf_harness.py              # full
+    PYTHONPATH=src python benchmarks/perf_harness.py --quick      # CI subset
+    PYTHONPATH=src python benchmarks/perf_harness.py --quick \\
+        --compare BENCH_topk.json                                 # gate
+
+``--compare BASELINE`` fails (exit 1) when, on any config/algorithm
+both files cover, (a) the access counts differ from the baseline's —
+a deterministic semantics change — or (b) the columnar-vs-legacy
+speedup fell more than 20 % below the baseline's. The speedup ratio is
+compared rather than raw milliseconds because both runs of a ratio
+happen on the *same* machine, so the gate is meaningful on CI hardware
+that is slower or faster than wherever the baseline was committed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import MINIMUM  # noqa: E402
+from repro.access import (  # noqa: E402
+    ColumnarScoringDatabase,
+    MaterializedSource,
+    MiddlewareSession,
+    UnbatchedSource,
+    tie_break_key,
+)
+from repro.access.types import GradedItem  # noqa: E402
+from repro.algorithms.fa import FaginA0  # noqa: E402
+from repro.algorithms.naive import NaiveAlgorithm  # noqa: E402
+from repro.algorithms.nra import NoRandomAccessAlgorithm  # noqa: E402
+from repro.algorithms.threshold import ThresholdAlgorithm  # noqa: E402
+from repro.exceptions import ExhaustedSourceError  # noqa: E402
+from repro.workloads import correlated_database, independent_database  # noqa: E402
+
+#: Tolerated relative drop of the columnar-vs-legacy speedup before the
+#: comparison mode fails the run.
+REGRESSION_TOLERANCE = 0.20
+
+#: Speedup ratios built from medians below this are timer noise on a
+#: shared CI runner; such entries keep the (deterministic) access-count
+#: gate but skip the timing gate.
+MIN_GATED_MS = 1.0
+
+#: Very large ratios (TA's legacy lane re-sorts all grades every round,
+#: making its ratio 15-25x and noise-compounded) are clamped before the
+#: 20% comparison: everything above the cap counts as "at the cap", so
+#: jitter between 16x and 13x passes while a real collapse toward 1x
+#: still fails.
+SPEEDUP_CAP = 8.0
+
+
+# ----------------------------------------------------------------------
+# Pre-PR reference runners: the seed-commit implementations, verbatim in
+# structure. These define the "legacy" lane — what the library did
+# before the batched protocol and columnar backend existed — so the
+# reported speedups measure this PR, not a strawman. (The tie key is
+# the library-wide one so answers compare equal item for item; it was
+# already computed once per item in the seed, so costs are unchanged.)
+# ----------------------------------------------------------------------
+
+
+def _prepr_topk(scored, k):
+    items = [GradedItem(obj, grade) for obj, grade in scored.items()]
+    items.sort(key=lambda it: (-it.grade, tie_break_key(it.obj)))
+    return tuple(items[:k])
+
+
+def _prepr_fagin(session, aggregation, k):
+    m = session.num_lists
+    seen, matched = {}, set()
+    while len(matched) < k:
+        progressed = False
+        for i, source in enumerate(session.sources):
+            if source.exhausted:
+                continue
+            item = source.next_sorted()
+            progressed = True
+            by_list = seen.setdefault(item.obj, {})
+            by_list[i] = item.grade
+            if len(by_list) == m:
+                matched.add(item.obj)
+        if not progressed:
+            break
+    for obj, by_list in seen.items():
+        for j in range(m):
+            if j not in by_list:
+                by_list[j] = session.sources[j].random_access(obj)
+    scored = {
+        obj: aggregation(*(by_list[j] for j in range(m)))
+        for obj, by_list in seen.items()
+    }
+    return _prepr_topk(scored, k)
+
+
+def _prepr_threshold(session, aggregation, k):
+    m = session.num_lists
+    scored, bottoms = {}, [1.0] * m
+    while True:
+        any_progress = False
+        for i, source in enumerate(session.sources):
+            if source.exhausted:
+                continue
+            item = source.next_sorted()
+            any_progress = True
+            bottoms[i] = item.grade
+            if item.obj not in scored:
+                grades = [0.0] * m
+                grades[i] = item.grade
+                for j in range(m):
+                    if j != i:
+                        grades[j] = session.sources[j].random_access(item.obj)
+                scored[item.obj] = aggregation(*grades)
+        if not any_progress:
+            break
+        tau = aggregation(*bottoms)
+        if len(scored) >= k:
+            if sorted(scored.values(), reverse=True)[k - 1] >= tau:
+                break
+    return _prepr_topk(scored, k)
+
+
+def _prepr_nra(session, aggregation, k):
+    m = session.num_lists
+    seen, bottoms, exact = {}, [1.0] * m, {}
+    while True:
+        progressed = False
+        for i, source in enumerate(session.sources):
+            if source.exhausted:
+                continue
+            item = source.next_sorted()
+            progressed = True
+            bottoms[i] = item.grade
+            by_list = seen.setdefault(item.obj, {})
+            by_list[i] = item.grade
+            if len(by_list) == m and item.obj not in exact:
+                exact[item.obj] = aggregation(*(by_list[j] for j in range(m)))
+        if not progressed:
+            break
+        if len(exact) < k:
+            continue
+        kth_best = sorted(exact.values(), reverse=True)[k - 1]
+        if aggregation(*bottoms) > kth_best:
+            continue
+        certified = True
+        for obj, by_list in seen.items():
+            if obj in exact:
+                continue
+            upper = aggregation(*(by_list.get(j, bottoms[j]) for j in range(m)))
+            if upper > kth_best:
+                certified = False
+                break
+        if certified:
+            break
+    return _prepr_topk(exact, k)
+
+
+def _prepr_naive(session, aggregation, k):
+    m = session.num_lists
+    grades = {}
+    for i, source in enumerate(session.sources):
+        while True:
+            try:
+                item = source.next_sorted()
+            except ExhaustedSourceError:
+                break
+            grades.setdefault(item.obj, {})[i] = item.grade
+    scored = {
+        obj: aggregation(*(by_list[i] for i in range(m)))
+        for obj, by_list in grades.items()
+    }
+    return _prepr_topk(scored, k)
+
+
+ALGORITHMS = {
+    "fagin": (FaginA0, _prepr_fagin),
+    "threshold": (ThresholdAlgorithm, _prepr_threshold),
+    "nra": (NoRandomAccessAlgorithm, _prepr_nra),
+    "naive": (NaiveAlgorithm, _prepr_naive),
+}
+
+#: (name, workload, rho, N, m, k, seed). The quick set is the CI gate;
+#: the full set adds the larger and negatively-correlated points.
+QUICK_CONFIGS = [
+    ("ind-N2000-m2-k5", "independent", None, 2_000, 2, 5, 101),
+    ("ind-N10000-m3-k10", "independent", None, 10_000, 3, 10, 42),
+    ("corr+0.6-N10000-m3-k10", "correlated", 0.6, 10_000, 3, 10, 42),
+]
+FULL_CONFIGS = QUICK_CONFIGS + [
+    ("corr-0.4-N10000-m2-k10", "correlated", -0.4, 10_000, 2, 10, 42),
+    ("ind-N10000-m3-k100", "independent", None, 10_000, 3, 100, 42),
+    ("ind-N30000-m3-k10", "independent", None, 30_000, 3, 10, 42),
+]
+
+
+def build_database(workload: str, rho, N: int, m: int, seed: int):
+    if workload == "independent":
+        return independent_database(m, N, seed=seed)
+    return correlated_database(m, N, rho, seed=seed)
+
+
+def legacy_session(db) -> MiddlewareSession:
+    """The pre-batching path: per-mint O(N*m) sources, unit accesses only."""
+    raw = [
+        UnbatchedSource(MaterializedSource(f"list-{i}", db.ranking(i)))
+        for i in range(db.num_lists)
+    ]
+    return MiddlewareSession.over_sources(raw, num_objects=db.num_objects)
+
+
+def median_ms(run, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        samples.append((time.perf_counter() - start) * 1e3)
+    return statistics.median(samples)
+
+
+def bench_config(entry, repeats: int) -> dict:
+    name, workload, rho, N, m, k, seed = entry
+    db = build_database(workload, rho, N, m, seed)
+    columnar = ColumnarScoringDatabase.from_scoring_database(db)
+    results: dict[str, dict] = {}
+    for algo_name, (algo_cls, prepr_run) in ALGORITHMS.items():
+        algorithm = algo_cls()
+        # Warm-up runs double as the equivalence check: identical
+        # answers, identical per-list access counts on both lanes.
+        ref_session = legacy_session(db)
+        ref_items = prepr_run(ref_session, MINIMUM, k)
+        ref_stats = ref_session.tracker.snapshot()
+        col = algorithm.top_k(columnar.session(), MINIMUM, k)
+        if [(i.obj, i.grade) for i in ref_items] != [
+            (i.obj, i.grade) for i in col.items
+        ]:
+            raise AssertionError(
+                f"{name}/{algo_name}: columnar answer differs from legacy"
+            )
+        if ref_stats != col.stats:
+            raise AssertionError(
+                f"{name}/{algo_name}: access counts diverge — "
+                f"legacy {ref_stats!r} vs columnar {col.stats!r}"
+            )
+        legacy_ms = median_ms(
+            lambda: prepr_run(legacy_session(db), MINIMUM, k), repeats
+        )
+        columnar_ms = median_ms(
+            lambda: algorithm.top_k(columnar.session(), MINIMUM, k), repeats
+        )
+        results[algo_name] = {
+            "legacy_ms": round(legacy_ms, 3),
+            "columnar_ms": round(columnar_ms, 3),
+            "speedup": round(legacy_ms / columnar_ms, 2),
+            "sorted_by_list": list(ref_stats.sorted_by_list),
+            "random_by_list": list(ref_stats.random_by_list),
+            "sorted": ref_stats.sorted_cost,
+            "random": ref_stats.random_cost,
+            "counts_match": True,
+        }
+        print(
+            f"  {algo_name:<10} legacy {legacy_ms:8.2f} ms   "
+            f"columnar {columnar_ms:8.2f} ms   "
+            f"{legacy_ms / columnar_ms:5.2f}x   "
+            f"S={ref_stats.sorted_cost} R={ref_stats.random_cost}"
+        )
+    return {
+        "config": name,
+        "workload": workload,
+        "rho": rho,
+        "N": N,
+        "m": m,
+        "k": k,
+        "seed": seed,
+        "aggregation": "min",
+        "algorithms": results,
+    }
+
+
+def compare(current: dict, baseline_path: Path) -> list[str]:
+    """Regressions of ``current`` against a committed baseline file."""
+    baseline = json.loads(baseline_path.read_text())
+    base_by_name = {c["config"]: c for c in baseline.get("configs", [])}
+    failures: list[str] = []
+    for config in current["configs"]:
+        base = base_by_name.get(config["config"])
+        if base is None:
+            continue
+        for algo, now in config["algorithms"].items():
+            then = base["algorithms"].get(algo)
+            if then is None:
+                continue
+            for field in ("sorted", "random"):
+                if now[field] != then[field]:
+                    failures.append(
+                        f"{config['config']}/{algo}: {field} access count "
+                        f"changed {then[field]} -> {now[field]} "
+                        "(cost semantics must not drift)"
+                    )
+            if (
+                now["columnar_ms"] < MIN_GATED_MS
+                or then["columnar_ms"] < MIN_GATED_MS
+            ):
+                continue  # sub-millisecond medians gate on counts only
+            floor = min(then["speedup"], SPEEDUP_CAP) * (
+                1.0 - REGRESSION_TOLERANCE
+            )
+            if min(now["speedup"], SPEEDUP_CAP) < floor:
+                failures.append(
+                    f"{config['config']}/{algo}: speedup regressed "
+                    f"{then['speedup']}x -> {now['speedup']}x "
+                    f"(floor {floor:.2f}x)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI subset of the configs"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="runs per median (default 5)"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_topk.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="fail on >20%% speedup regression or any access-count change "
+        "vs this baseline JSON",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.compare) if args.compare else None
+    if baseline_path is not None and not baseline_path.exists():
+        print(f"baseline {baseline_path} not found", file=sys.stderr)
+        return 2
+
+    configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
+    report = {
+        "schema": "bench-topk/v1",
+        "generated_by": "benchmarks/perf_harness.py",
+        "mode": "quick" if args.quick else "full",
+        "repeats": args.repeats,
+        "python": sys.version.split()[0],
+        "configs": [],
+    }
+    started = time.perf_counter()
+    for entry in configs:
+        print(f"{entry[0]} (workload={entry[1]}, rho={entry[2]})")
+        report["configs"].append(bench_config(entry, args.repeats))
+    report["wall_s"] = round(time.perf_counter() - started, 1)
+
+    failures = []
+    if baseline_path is not None:
+        failures = compare(report, baseline_path)
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out} ({report['wall_s']} s)")
+
+    if failures:
+        print("\nPERF REGRESSIONS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if baseline_path is not None:
+        print(f"no regressions vs {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

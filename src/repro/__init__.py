@@ -44,6 +44,7 @@ table, and EXPERIMENTS.md for the reproduced results.
 
 from repro.access import (
     AccessStats,
+    ColumnarScoringDatabase,
     CostModel,
     CostTracker,
     GradedItem,
@@ -140,6 +141,7 @@ __all__ = [
     "SortedRandomSource",
     "MaterializedSource",
     "MiddlewareSession",
+    "ColumnarScoringDatabase",
     "ScoringDatabase",
     "Skeleton",
     # algorithms

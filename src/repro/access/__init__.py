@@ -7,6 +7,7 @@ scoring-database / skeleton framework the paper's probabilistic
 analysis is stated in.
 """
 
+from repro.access.columnar import ColumnarScoringDatabase
 from repro.access.cost import AccessStats, CostModel, CostTracker, combine_stats
 from repro.access.scoring_database import (
     ScoringDatabase,
@@ -18,7 +19,9 @@ from repro.access.source import (
     InstrumentedSource,
     MaterializedSource,
     SortedRandomSource,
+    UnbatchedSource,
     rank_items,
+    tie_break_key,
 )
 from repro.access.ties import (
     consistent_skeletons,
@@ -32,6 +35,7 @@ __all__ = [
     "CostModel",
     "CostTracker",
     "combine_stats",
+    "ColumnarScoringDatabase",
     "ScoringDatabase",
     "Skeleton",
     "prefix_intersection_size",
@@ -39,7 +43,9 @@ __all__ = [
     "SortedRandomSource",
     "MaterializedSource",
     "InstrumentedSource",
+    "UnbatchedSource",
     "rank_items",
+    "tie_break_key",
     "GradedItem",
     "ObjectId",
     "tie_groups",

@@ -1,0 +1,228 @@
+"""Columnar scoring databases: the in-memory fast path.
+
+:class:`~repro.access.scoring_database.ScoringDatabase` stores each of
+the m graded sets as a ``dict[ObjectId, float]`` and mints every
+session by handing a full ranking to ``MaterializedSource``, whose
+constructor re-validates all N items and rebuilds an N-entry grade
+dictionary — O(N * m) of pure Python overhead *per session*, before a
+single access is charged.
+
+:class:`ColumnarScoringDatabase` stores the same formal object
+(Section 5's function from list index to graded set) in columnar form:
+
+* object ids are **interned** once into a dense ``0..N-1`` index;
+* each list's grades live in one ``array('d')`` float column, indexed
+  by interned id;
+* each list's descending rank order (the skeleton permutation realised
+  by the grades, ties broken by
+  :func:`~repro.access.source.tie_break_key` exactly as
+  :func:`~repro.access.source.rank_items` breaks them) is computed
+  **once** and shared.
+
+Sessions are minted in O(m): each source is a cursor over the shared,
+pre-built ranking tuple and grade map (``MaterializedSource.trusted``),
+so repeated runs — the benchmark regime — pay for accesses, not for
+re-sorting. Access-count semantics are untouched: the sources speak
+the same sorted/random (and batched) protocol through the same
+instrumented wrappers.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Mapping, Sequence
+
+from repro.access.session import MiddlewareSession
+from repro.access.source import MaterializedSource, tie_break_key
+from repro.access.types import GradedItem, ObjectId
+from repro.core.aggregation import AggregationFunction
+from repro.core.graded_set import GradedSet
+from repro.core.grades import validate_grade
+
+__all__ = ["ColumnarScoringDatabase"]
+
+
+class ColumnarScoringDatabase:
+    """m graded sets over N objects, stored as float columns.
+
+    Duck-type compatible with the subset of
+    :class:`~repro.access.scoring_database.ScoringDatabase` the engine
+    and benchmarks rely on (``session()``, ``overall_grades``,
+    ``true_top_k``, ``ranking``, dimensions), and produces rankings
+    identical to it item for item — the columnar layout is purely a
+    representation change.
+
+    Parameters
+    ----------
+    lists:
+        One grade assignment per atomic query — mappings (or
+        :class:`~repro.core.graded_set.GradedSet` objects) from object
+        to grade. All lists must grade exactly the same objects.
+    """
+
+    def __init__(
+        self, lists: Sequence[Mapping[ObjectId, float] | GradedSet]
+    ) -> None:
+        if not lists:
+            raise ValueError("a scoring database needs at least one list")
+        first = lists[0]
+        first_map = first.as_dict() if isinstance(first, GradedSet) else first
+        # Intern: index position is the object's dense integer id.
+        objects = tuple(first_map)
+        if not objects:
+            raise ValueError("a scoring database needs at least one object")
+        index = {obj: idx for idx, obj in enumerate(objects)}
+
+        columns: list[array] = []
+        for i, entry in enumerate(lists):
+            mapping = entry.as_dict() if isinstance(entry, GradedSet) else entry
+            if len(mapping) != len(objects) or any(
+                obj not in index for obj in mapping
+            ):
+                raise ValueError(
+                    f"list {i} grades a different object set than list 0; "
+                    "every list must grade all N objects (Section 5 model)"
+                )
+            column = array("d", bytes(8 * len(objects)))
+            for obj, grade in mapping.items():
+                column[index[obj]] = validate_grade(
+                    grade, context=f"list {i}, object {obj!r}"
+                )
+            columns.append(column)
+
+        self._objects = objects
+        self._index = index
+        self._columns = columns
+        # Descending rank orders (interned ids), computed once per list.
+        tie_keys = [tie_break_key(obj) for obj in objects]
+        self._orders: list[array] = [
+            array(
+                "l",
+                sorted(
+                    range(len(objects)),
+                    key=lambda j: (-column[j], tie_keys[j]),
+                ),
+            )
+            for column in columns
+        ]
+        # Lazy shared per-list state minted sessions slice into.
+        self._rankings: list[tuple[GradedItem, ...] | None] = [None] * len(columns)
+        self._grade_maps: list[dict[ObjectId, float] | None] = [None] * len(columns)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_scoring_database(cls, db) -> "ColumnarScoringDatabase":
+        """Columnarise an existing (row-oriented) scoring database."""
+        return cls([db.graded_set(i).as_dict() for i in range(db.num_lists)])
+
+    @classmethod
+    def from_skeleton(
+        cls, skeleton, grade_rows: Sequence[Sequence[float]]
+    ) -> "ColumnarScoringDatabase":
+        """Assign grades along a skeleton's permutations (see
+        :meth:`ScoringDatabase.from_skeleton`); columnar from the start."""
+        from repro.access.scoring_database import ScoringDatabase
+
+        return cls.from_scoring_database(
+            ScoringDatabase.from_skeleton(skeleton, grade_rows)
+        )
+
+    # ------------------------------------------------------------------
+    # Dimensions and direct lookups
+    # ------------------------------------------------------------------
+
+    @property
+    def num_lists(self) -> int:
+        return len(self._columns)
+
+    @property
+    def num_objects(self) -> int:
+        return len(self._objects)
+
+    @property
+    def objects(self) -> frozenset[ObjectId]:
+        return frozenset(self._objects)
+
+    def grade(self, list_index: int, obj: ObjectId) -> float:
+        """mu_Ai(obj) — direct lookup (ground truth, not an access)."""
+        return self._columns[list_index][self._index[obj]]
+
+    def graded_set(self, list_index: int) -> GradedSet:
+        """List ``i`` as a :class:`GradedSet`."""
+        column = self._columns[list_index]
+        return GradedSet(
+            {obj: column[j] for j, obj in enumerate(self._objects)}
+        )
+
+    def ranking(self, list_index: int) -> tuple[GradedItem, ...]:
+        """List ``i`` sorted for sorted access; built once, then shared."""
+        cached = self._rankings[list_index]
+        if cached is None:
+            column = self._columns[list_index]
+            objects = self._objects
+            cached = tuple(
+                GradedItem(objects[j], column[j])
+                for j in self._orders[list_index]
+            )
+            self._rankings[list_index] = cached
+        return cached
+
+    def _grade_map(self, list_index: int) -> dict[ObjectId, float]:
+        cached = self._grade_maps[list_index]
+        if cached is None:
+            column = self._columns[list_index]
+            cached = {obj: column[j] for j, obj in enumerate(self._objects)}
+            self._grade_maps[list_index] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Sessions and ground truth
+    # ------------------------------------------------------------------
+
+    def session(self) -> MiddlewareSession:
+        """A fresh instrumented session, minted without re-sorting.
+
+        Every source shares the database's pre-built ranking tuple and
+        grade map; only the per-session cursor and cost tracker are
+        new, so minting is O(m) instead of O(N * m).
+        """
+        raw = [
+            MaterializedSource.trusted(
+                f"list-{i}", self.ranking(i), self._grade_map(i)
+            )
+            for i in range(self.num_lists)
+        ]
+        return MiddlewareSession.over_sources(raw, num_objects=self.num_objects)
+
+    def overall_grades(self, aggregation: AggregationFunction) -> GradedSet:
+        """Ground-truth mu_Q for every object (bypasses access accounting)."""
+        return GradedSet(
+            {
+                obj: aggregation(*(column[j] for column in self._columns))
+                for j, obj in enumerate(self._objects)
+            }
+        )
+
+    def true_top_k(
+        self, aggregation: AggregationFunction, k: int
+    ) -> tuple[GradedItem, ...]:
+        """Ground-truth top-k answers (deterministic tie-break)."""
+        from repro.algorithms.base import top_k_of
+
+        columns = self._columns
+        return top_k_of(
+            {
+                obj: aggregation(*(column[j] for column in columns))
+                for j, obj in enumerate(self._objects)
+            },
+            k,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarScoringDatabase(m={self.num_lists}, "
+            f"N={self.num_objects})"
+        )

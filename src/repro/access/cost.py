@@ -52,7 +52,7 @@ class CostModel:
 UNWEIGHTED = CostModel()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessStats:
     """An immutable snapshot of access counts, per list and total."""
 
@@ -128,7 +128,11 @@ class CostTracker:
         return len(self._sorted)
 
     def charge_sorted(self, list_index: int, amount: int = 1) -> None:
-        """Record ``amount`` objects obtained by sorted access to a list."""
+        """Record ``amount`` objects obtained by sorted access to a list.
+
+        ``amount > 1`` is the bulk form used by the batched access
+        protocol: a batch of b accesses costs exactly b unit accesses.
+        """
         if amount < 0:
             raise ValueError(f"cannot charge negative amount {amount}")
         self._sorted[list_index] += amount

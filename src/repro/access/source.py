@@ -34,8 +34,26 @@ __all__ = [
     "MaterializedSource",
     "InstrumentedSource",
     "StreamOnlySource",
+    "UnbatchedSource",
     "rank_items",
+    "tie_break_key",
 ]
+
+
+def tie_break_key(obj: ObjectId) -> tuple:
+    """The deterministic tie-break key used wherever equal grades meet.
+
+    Section 5 allows *any* skeleton consistent with a tied graded set;
+    this is the library's one concrete choice: integer object ids sort
+    numerically (object 2 before object 10 — not the lexicographic
+    ``repr`` order that put 10 first), and everything else sorts by its
+    ``repr``. The key is a plain tuple, computed once per item by every
+    caller (decorate-sort-undecorate), so sorting never re-derives it
+    inside a comparison.
+    """
+    if type(obj) is int:
+        return (0, obj, "")
+    return (1, 0, repr(obj))
 
 
 def rank_items(
@@ -43,13 +61,13 @@ def rank_items(
 ) -> tuple[GradedItem, ...]:
     """Sort (object, grade) pairs into a sorted-access ranking.
 
-    Descending by grade; ties broken deterministically by object repr —
-    one concrete choice of the "skeleton" a tied graded set is
-    consistent with (Section 5 allows any).
+    Descending by grade; ties broken deterministically by
+    :func:`tie_break_key` — one concrete choice of the "skeleton" a
+    tied graded set is consistent with (Section 5 allows any).
     """
     pairs = grades.items() if isinstance(grades, Mapping) else grades
     items = [GradedItem(obj, validate_grade(g, context=f"object {obj!r}")) for obj, g in pairs]
-    items.sort(key=lambda it: (-it.grade, repr(it.obj)))
+    items.sort(key=lambda it: (-it.grade, tie_break_key(it.obj)))
     return tuple(items)
 
 
@@ -88,6 +106,46 @@ class SortedRandomSource(ABC):
         Models re-issuing the subquery to the subsystem; any accesses
         after a restart are charged again (they are real accesses).
         """
+
+    # ------------------------------------------------------------------
+    # Batched access protocol
+    #
+    # Batches are an *implementation detail*, not a new kind of access:
+    # a batch of b sorted (random) accesses has exactly the cost of b
+    # unit accesses under the Section 5 model, and the instrumented
+    # wrapper decomposes every batch into unit charges. The default
+    # implementations below loop over the unit methods, so subsystem
+    # adapters that only implement ``next_sorted``/``random_access``
+    # keep working unchanged; in-memory backends override them with
+    # slice/lookup fast paths.
+    # ------------------------------------------------------------------
+
+    def sorted_access_batch(self, count: int) -> Sequence[GradedItem]:
+        """Deliver up to ``count`` further objects under sorted access.
+
+        Returns fewer than ``count`` items (possibly none) when the
+        list runs out — exhaustion is signalled by a short or empty
+        batch, never by :class:`ExhaustedSourceError`.
+        """
+        if count < 0:
+            raise ValueError(f"batch size must be non-negative, got {count}")
+        out: list[GradedItem] = []
+        for _ in range(count):
+            if self.exhausted:
+                break
+            try:
+                out.append(self.next_sorted())
+            except ExhaustedSourceError:  # pragma: no cover - guarded above
+                break
+        return out
+
+    def random_access_many(self, objs: Sequence[ObjectId]) -> list[float]:
+        """The grades of ``objs``, in order, under this source's subquery.
+
+        Raises :class:`UnknownObjectError` for foreign objects; callers
+        should treat a failed batch as all-or-nothing.
+        """
+        return [self.random_access(obj) for obj in objs]
 
     @property
     def exhausted(self) -> bool:
@@ -158,8 +216,48 @@ class MaterializedSource(SortedRandomSource):
         except KeyError:
             raise UnknownObjectError(obj, self.name) from None
 
+    def sorted_access_batch(self, count: int) -> Sequence[GradedItem]:
+        if count < 0:
+            raise ValueError(f"batch size must be non-negative, got {count}")
+        start = self._cursor
+        batch = self._items[start : start + count]
+        self._cursor = start + len(batch)
+        return batch
+
+    def random_access_many(self, objs: Sequence[ObjectId]) -> list[float]:
+        grades = self._grades
+        try:
+            return [grades[obj] for obj in objs]
+        except KeyError:
+            for obj in objs:
+                if obj not in grades:
+                    raise UnknownObjectError(obj, self.name) from None
+            raise  # pragma: no cover - unreachable
+
     def restart(self) -> None:
         self._cursor = 0
+
+    @classmethod
+    def trusted(
+        cls,
+        name: str,
+        items: tuple[GradedItem, ...],
+        grades: Mapping[ObjectId, float],
+    ) -> "MaterializedSource":
+        """A source over pre-validated shared state, minted in O(1).
+
+        The columnar backend calls this with a ranking tuple and grade
+        map it built (and validated) once per database, so minting a
+        fresh session does not re-sort, re-validate, or rebuild the
+        grade dictionary. Callers guarantee ``items`` is sorted
+        non-increasing and ``grades`` matches it.
+        """
+        source = cls.__new__(cls)
+        source.name = name
+        source._items = items
+        source._grades = grades
+        source._cursor = 0
+        return source
 
     def ranking(self) -> tuple[GradedItem, ...]:
         """The full ranking (for tests and ground-truth computation).
@@ -192,6 +290,9 @@ class StreamOnlySource(SortedRandomSource):
 
     def next_sorted(self) -> GradedItem:
         return self._inner.next_sorted()
+
+    def sorted_access_batch(self, count: int) -> Sequence[GradedItem]:
+        return self._inner.sorted_access_batch(count)
 
     def random_access(self, obj: ObjectId) -> float:
         from repro.exceptions import SubsystemCapabilityError
@@ -243,6 +344,52 @@ class InstrumentedSource(SortedRandomSource):
         grade = self._inner.random_access(obj)
         self._tracker.charge_random(self._list_index)
         return grade
+
+    def sorted_access_batch(self, count: int) -> Sequence[GradedItem]:
+        batch = self._inner.sorted_access_batch(count)
+        if batch:
+            # One bulk charge — the tracker decomposes a batch of b
+            # sorted accesses into b unit accesses (same cost model).
+            self._tracker.charge_sorted(self._list_index, len(batch))
+        return batch
+
+    def random_access_many(self, objs: Sequence[ObjectId]) -> list[float]:
+        grades = self._inner.random_access_many(objs)
+        if grades:
+            self._tracker.charge_random(self._list_index, len(grades))
+        return grades
+
+    def restart(self) -> None:
+        self._inner.restart()
+
+
+class UnbatchedSource(SortedRandomSource):
+    """Hides a source's batch overrides, forcing the unit fallbacks.
+
+    Every ``sorted_access_batch``/``random_access_many`` call on this
+    wrapper decomposes into the same sequence of unit accesses the
+    pre-batching implementations performed, because only the unit
+    methods are delegated and the ABC defaults loop over them. Used by
+    the parity tests and by the perf harness's reference ("legacy")
+    path.
+    """
+
+    def __init__(self, inner: SortedRandomSource) -> None:
+        self._inner = inner
+        self.name = inner.name
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    @property
+    def position(self) -> int:
+        return self._inner.position
+
+    def next_sorted(self) -> GradedItem:
+        return self._inner.next_sorted()
+
+    def random_access(self, obj: ObjectId) -> float:
+        return self._inner.random_access(obj)
 
     def restart(self) -> None:
         self._inner.restart()

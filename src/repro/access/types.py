@@ -12,14 +12,15 @@ ObjectId = Hashable
 __all__ = ["ObjectId", "GradedItem"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GradedItem:
     """One (object, grade) pair as delivered by a subsystem.
 
     This is the unit of *sorted access* (Section 4): "the subsystem
     will output the graded set consisting of all objects, one by one,
     along with their grades under the subquery, in sorted order based
-    on grade".
+    on grade". Minted once per access on the hot path, hence
+    ``slots=True`` (no per-instance ``__dict__``).
     """
 
     obj: ObjectId

@@ -15,13 +15,14 @@ construction) plus an aggregation function and k, and produces a
 
 from __future__ import annotations
 
+import heapq
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.access.cost import AccessStats
 from repro.access.session import MiddlewareSession
-from repro.access.source import rank_items
+from repro.access.source import tie_break_key
 from repro.access.types import GradedItem, ObjectId
 from repro.core.aggregation import AggregationFunction
 from repro.core.graded_set import GradedSet
@@ -30,7 +31,7 @@ from repro.exceptions import InsufficientObjectsError
 __all__ = ["TopKResult", "TopKAlgorithm", "is_valid_top_k"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TopKResult:
     """The graded answer of a top-k run, plus its measured access cost.
 
@@ -130,8 +131,25 @@ class TopKAlgorithm(ABC):
 def top_k_of(
     scored: Mapping[ObjectId, float] | Sequence[tuple[ObjectId, float]], k: int
 ) -> tuple[GradedItem, ...]:
-    """The k highest-graded items with the deterministic tie-break."""
-    return rank_items(scored)[:k]
+    """The k highest-graded items with the deterministic tie-break.
+
+    Selection, not sorting: ``heapq.nlargest`` over the bare grades
+    finds the k-th grade at C speed, then only the candidates at or
+    above it (k objects plus any ties on the boundary) get the full
+    ``(-grade, tie_break_key)`` ordering. Identical to the full
+    descending sort truncated to k — same order, same ties — in
+    O(n log k) and without minting :class:`GradedItem` objects for the
+    losers.
+    """
+    if k <= 0:
+        return ()
+    pairs = scored.items() if isinstance(scored, Mapping) else scored
+    candidates = list(pairs)
+    if len(candidates) > k:
+        kth = heapq.nlargest(k, (grade for _, grade in candidates))[-1]
+        candidates = [(obj, grade) for obj, grade in candidates if grade >= kth]
+    candidates.sort(key=lambda og: (-og[1], tie_break_key(og[0])))
+    return tuple(GradedItem(obj, grade) for obj, grade in candidates[:k])
 
 
 def is_valid_top_k(

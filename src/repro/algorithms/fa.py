@@ -41,7 +41,7 @@ from repro.exceptions import ExhaustedSourceError, InsufficientObjectsError
 __all__ = ["SortedPhaseState", "run_sorted_phase", "FaginA0", "IncrementalFagin"]
 
 
-@dataclass
+@dataclass(slots=True)
 class SortedPhaseState:
     """Everything the sorted-access phase of A0 discovers.
 
@@ -93,31 +93,64 @@ def run_sorted_phase(
     m = session.num_lists
     if not state.order_by_list:
         state.order_by_list = [[] for _ in range(m)]
+    sources = session.sources
+    seen = state.seen
+    matched = state.matched
 
-    while len(state.matched) < k:
-        progressed = False
-        for i, source in enumerate(session.sources):
-            if source.exhausted:
-                continue
-            try:
-                item = source.next_sorted()
-            except ExhaustedSourceError:  # pragma: no cover - guarded above
-                continue
-            progressed = True
-            state.order_by_list[i].append(item.obj)
-            by_list = state.seen.setdefault(item.obj, {})
-            by_list[i] = item.grade
-            if len(by_list) == m:
-                state.matched.add(item.obj)
-                if stop_mid_round and len(state.matched) >= k:
-                    break
+    while len(matched) < k:
+        # Each sorted access completes at most one object, so a round of
+        # m accesses adds at most m matches: with |L| matches so far, at
+        # least ceil((k - |L|)/m) further *full* rounds must run before
+        # the phase can stop. Those provably-consumed rounds are fetched
+        # in one batch per list — identical access counts, a fraction of
+        # the per-access overhead. With ``stop_mid_round`` the stop can
+        # land inside the last such round, so one round is held back and
+        # replayed access by access.
+        rounds = -(-(k - len(matched)) // m)
+        if stop_mid_round:
+            rounds -= 1
+        if rounds >= 1:
+            progressed = False
+            for i in range(m):
+                batch = sources[i].sorted_access_batch(rounds)
+                if not batch:
+                    continue
+                progressed = True
+                order = state.order_by_list[i]
+                for item in batch:
+                    obj = item.obj
+                    order.append(obj)
+                    by_list = seen.get(obj)
+                    if by_list is None:
+                        by_list = seen[obj] = {}
+                    by_list[i] = item.grade
+                    if len(by_list) == m:
+                        matched.add(obj)
+        else:
+            # One unit-step round with the mid-round stop check.
+            progressed = False
+            for i, source in enumerate(sources):
+                if source.exhausted:
+                    continue
+                try:
+                    item = source.next_sorted()
+                except ExhaustedSourceError:  # pragma: no cover - guarded above
+                    continue
+                progressed = True
+                state.order_by_list[i].append(item.obj)
+                by_list = seen.setdefault(item.obj, {})
+                by_list[i] = item.grade
+                if len(by_list) == m:
+                    matched.add(item.obj)
+                    if stop_mid_round and len(matched) >= k:
+                        break
         state.depth = max(len(lst) for lst in state.order_by_list)
         if not progressed:
             # All lists exhausted: every object has been seen in every
             # list, so |matched| = N. If that is still below k the
             # caller asked for more answers than objects exist.
-            if len(state.matched) < k:
-                raise InsufficientObjectsError(k, len(state.matched))
+            if len(matched) < k:
+                raise InsufficientObjectsError(k, len(matched))
             break
     return state
 
@@ -132,11 +165,43 @@ def complete_random_phase(
     access are not re-fetched ("if x in X^j_T, then mu_Aj(x) has
     already been determined, so random access is not needed").
     """
+    fill_missing_grades(session, state.seen)
+
+
+def fill_missing_grades(
+    session: MiddlewareSession,
+    by_object: dict[ObjectId, dict[int, float]],
+    objs: "list[ObjectId] | None" = None,
+    skip_list: int | None = None,
+) -> None:
+    """Bulk random access for every missing (object, list) pair.
+
+    ``by_object`` maps each object to its known grades keyed by list
+    index; missing pairs are grouped per list and fetched with one
+    ``random_access_many`` call each — the same pairs a unit loop
+    fetches, charged identically. ``objs`` restricts the scan (A0'
+    completes only its candidates); ``skip_list`` is a list known to
+    need no lookups (A0''s i0, which delivered every candidate).
+    """
     m = session.num_lists
-    for obj, by_list in state.seen.items():
+    missing_by_list: list[list[ObjectId]] = [[] for _ in range(m)]
+    entries = (
+        by_object.items()
+        if objs is None
+        else ((obj, by_object[obj]) for obj in objs)
+    )
+    for obj, by_list in entries:
+        if len(by_list) == m:
+            continue
         for j in range(m):
-            if j not in by_list:
-                by_list[j] = session.sources[j].random_access(obj)
+            if j != skip_list and j not in by_list:
+                missing_by_list[j].append(obj)
+    for j, missing in enumerate(missing_by_list):
+        if not missing:
+            continue
+        grades = session.sources[j].random_access_many(missing)
+        for obj, grade in zip(missing, grades):
+            by_object[obj][j] = grade
 
 
 class FaginA0(TopKAlgorithm):
@@ -169,21 +234,71 @@ class FaginA0(TopKAlgorithm):
                 f"(Theorem 4.2); {aggregation.name!r} is declared "
                 "non-monotone. Pass trust_caller=True to override."
             )
-        state = run_sorted_phase(session, k)
-        complete_random_phase(session, state)
+        # A fused, batch-consuming form of the three phases. Same
+        # accesses in the same per-list quantities as the shared
+        # run_sorted_phase/complete_random_phase pair (which A0', the
+        # variants and IncrementalFagin still use — they need the full
+        # SortedPhaseState), but with flat per-list grade maps and an
+        # incrementally tracked match count instead of per-object dicts
+        # and set rebuilds.
         m = session.num_lists
+        sources = session.sources
+        grades_by_list: list[dict[ObjectId, float]] = [{} for _ in range(m)]
+        counts: dict[ObjectId, int] = {}
+        matched = 0
+        depth = 0
+
+        # Sorted access phase, in provably-consumed chunks (see
+        # run_sorted_phase for the bound).
+        while matched < k:
+            rounds = -(-(k - matched) // m)
+            progressed = 0
+            for i in range(m):
+                batch = sources[i].sorted_access_batch(rounds)
+                if not batch:
+                    continue
+                if len(batch) > progressed:
+                    progressed = len(batch)
+                grades_i = grades_by_list[i]
+                for item in batch:
+                    obj = item.obj
+                    grades_i[obj] = item.grade
+                    seen_in = counts.get(obj, 0) + 1
+                    counts[obj] = seen_in
+                    if seen_in == m:
+                        matched += 1
+            depth += progressed
+            if not progressed:
+                if matched < k:
+                    raise InsufficientObjectsError(k, matched)
+                break
+
+        # Random access phase: per-list bulk lookups of every seen
+        # object the list's prefix did not deliver.
+        for j in range(m):
+            grades_j = grades_by_list[j]
+            if len(grades_j) == len(counts):
+                continue
+            missing = [obj for obj in counts if obj not in grades_j]
+            for obj, grade in zip(missing, sources[j].random_access_many(missing)):
+                grades_j[obj] = grade
+
+        # Computation phase: every grade came through the access layer,
+        # so score with the trusted bulk evaluation (one call per seen
+        # object, no per-argument re-validation).
+        evaluate = aggregation.evaluate_trusted
         scored = {
-            obj: aggregation(*(by_list[j] for j in range(m)))
-            for obj, by_list in state.seen.items()
+            obj: evaluate([grades[obj] for grades in grades_by_list])
+            for obj in counts
         }
         return TopKResult(
             items=top_k_of(scored, k),
             stats=session.tracker.snapshot(),
             algorithm=self.name,
             details={
-                "T": state.depth,
-                "matches": len(state.matched),
-                "seen": len(state.seen),
+                "T": depth,
+                "matches": matched,
+                "seen": len(counts),
             },
         )
 
@@ -217,6 +332,10 @@ class IncrementalFagin:
         self._aggregation = aggregation
         self._state = SortedPhaseState()
         self._returned: list[ObjectId] = []
+        #: Memoised overall grades: an object's grades are complete
+        #: after its first random phase, so its aggregate never changes
+        #: and later batches must not re-evaluate the aggregation.
+        self._scores: dict[ObjectId, float] = {}
 
     @property
     def returned(self) -> tuple[ObjectId, ...]:
@@ -242,13 +361,15 @@ class IncrementalFagin:
         run_sorted_phase(self._session, total_needed, state=self._state)
         complete_random_phase(self._session, self._state)
         m = self._session.num_lists
+        evaluate = self._aggregation.evaluate_trusted
+        scores = self._scores
+        for obj, by_list in self._state.seen.items():
+            if obj not in scores:
+                scores[obj] = evaluate([by_list[j] for j in range(m)])
         excluded = set(self._returned)
-        scored = {
-            obj: self._aggregation(*(by_list[j] for j in range(m)))
-            for obj, by_list in self._state.seen.items()
-            if obj not in excluded
-        }
-        items = top_k_of(scored, k)
+        items = top_k_of(
+            [(obj, g) for obj, g in scores.items() if obj not in excluded], k
+        )
         self._returned.extend(item.obj for item in items)
         after = self._session.tracker.snapshot()
         from repro.access.cost import AccessStats
@@ -284,7 +405,9 @@ def _select_fagin(aggregation, num_lists, random_access, cost_model):
 register_strategy(
     "fagin",
     FaginA0,
-    StrategyCapabilities(monotone_only=True, needs_random_access=True),
+    StrategyCapabilities(
+        monotone_only=True, needs_random_access=True, batch_aware=True
+    ),
     priority=50,
     selector=_select_fagin,
     aliases=("A0", "fa"),

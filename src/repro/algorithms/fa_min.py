@@ -19,8 +19,9 @@ quantified empirically by experiment E11.
 from __future__ import annotations
 
 from repro.access.session import MiddlewareSession
+from repro.access.source import tie_break_key
 from repro.algorithms.base import TopKAlgorithm, TopKResult, top_k_of
-from repro.algorithms.fa import run_sorted_phase
+from repro.algorithms.fa import fill_missing_grades, run_sorted_phase
 from repro.core.aggregation import AggregationFunction
 from repro.core.tnorms import MinimumTNorm
 
@@ -54,13 +55,15 @@ class FaginA0Min(TopKAlgorithm):
 
         # Random access phase (A0' version). Every member of L has been
         # seen in all m lists, so its overall min-grade is known without
-        # any random access; pick x0 minimising it.
-        def overall(obj) -> float:
-            by_list = state.seen[obj]
-            return min(by_list[j] for j in range(m))
-
-        x0 = min(state.matched, key=lambda obj: (overall(obj), repr(obj)))
-        g0 = overall(x0)
+        # any random access; pick x0 minimising it. The min-grades are
+        # memoised so the x0 scan evaluates each matched object once.
+        overall = {
+            obj: min(state.seen[obj].values()) for obj in state.matched
+        }
+        x0 = min(
+            state.matched, key=lambda obj: (overall[obj], tie_break_key(obj))
+        )
+        g0 = overall[x0]
         by_list_x0 = state.seen[x0]
         i0 = next(j for j in range(m) if by_list_x0[j] == g0)
 
@@ -69,15 +72,12 @@ class FaginA0Min(TopKAlgorithm):
             for obj in state.order_by_list[i0]
             if state.seen[obj][i0] >= g0
         ]
-        for obj in candidates:
-            by_list = state.seen[obj]
-            for j in range(m):
-                if j != i0 and j not in by_list:
-                    by_list[j] = session.sources[j].random_access(obj)
+        fill_missing_grades(session, state.seen, objs=candidates, skip_list=i0)
 
         # Computation phase, restricted to the candidates.
+        evaluate = aggregation.evaluate_trusted
         scored = {
-            obj: aggregation(*(state.seen[obj][j] for j in range(m)))
+            obj: evaluate([state.seen[obj][j] for j in range(m)])
             for obj in candidates
         }
         return TopKResult(
@@ -117,6 +117,7 @@ register_strategy(
         monotone_only=True,
         needs_random_access=True,
         aggregation_guard=lambda agg, m: isinstance(agg, MinimumTNorm),
+        batch_aware=True,
     ),
     priority=40,
     selector=_select_fa_min,

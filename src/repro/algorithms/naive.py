@@ -23,7 +23,6 @@ from __future__ import annotations
 from repro.access.session import MiddlewareSession
 from repro.algorithms.base import TopKAlgorithm, TopKResult, top_k_of
 from repro.core.aggregation import AggregationFunction
-from repro.exceptions import ExhaustedSourceError
 
 __all__ = ["NaiveAlgorithm"]
 
@@ -32,6 +31,12 @@ class NaiveAlgorithm(TopKAlgorithm):
     """Full scan of every list; correct for any aggregation function."""
 
     name = "naive"
+
+    #: Sorted accesses fetched per batch while draining a list. The scan
+    #: is unconditional (every list is read to the end), so any chunk
+    #: size yields the same m*N access count; this one keeps batches
+    #: comfortably cache-sized.
+    SCAN_BATCH = 4096
 
     def _run(
         self,
@@ -42,13 +47,17 @@ class NaiveAlgorithm(TopKAlgorithm):
         grades: dict[object, dict[int, float]] = {}
         for i, source in enumerate(session.sources):
             while True:
-                try:
-                    item = source.next_sorted()
-                except ExhaustedSourceError:
+                batch = source.sorted_access_batch(self.SCAN_BATCH)
+                if not batch:
                     break
-                grades.setdefault(item.obj, {})[i] = item.grade
+                for item in batch:
+                    by_list = grades.get(item.obj)
+                    if by_list is None:
+                        by_list = grades[item.obj] = {}
+                    by_list[i] = item.grade
 
         m = session.num_lists
+        evaluate = aggregation.evaluate_trusted
         scored: dict[object, float] = {}
         for obj, by_list in grades.items():
             if len(by_list) != m:
@@ -60,8 +69,10 @@ class NaiveAlgorithm(TopKAlgorithm):
                     f"object {obj!r} missing from list(s) {missing}; "
                     "scoring databases must grade every object in every list"
                 )
-            scored[obj] = aggregation(*(by_list[i] for i in range(m)))
+            scored[obj] = evaluate([by_list[i] for i in range(m)])
 
+        # top_k_of selects with heapq.nlargest semantics — no full sort
+        # of all N aggregate grades, no GradedItem minting for losers.
         return TopKResult(
             items=top_k_of(scored, k),
             stats=session.tracker.snapshot(),
@@ -93,7 +104,9 @@ def _select_naive(aggregation, num_lists, random_access, cost_model):
 register_strategy(
     "naive",
     NaiveAlgorithm,
-    StrategyCapabilities(monotone_only=False, needs_random_access=False),
+    StrategyCapabilities(
+        monotone_only=False, needs_random_access=False, batch_aware=True
+    ),
     priority=100,
     selector=_select_naive,
     summary="full scan; the only fully-general strategy (Theorem 7.1)",

@@ -28,10 +28,11 @@ quantifies the trade under both cheap and expensive random access.
 
 from __future__ import annotations
 
+import heapq
+
 from repro.access.session import MiddlewareSession
 from repro.algorithms.base import TopKAlgorithm, TopKResult, top_k_of
 from repro.core.aggregation import AggregationFunction
-from repro.exceptions import ExhaustedSourceError
 
 __all__ = ["NoRandomAccessAlgorithm"]
 
@@ -58,29 +59,47 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                 f"{aggregation.name!r} is declared non-monotone"
             )
         m = session.num_lists
+        sources = session.sources
         seen: dict[object, dict[int, float]] = {}
         bottoms = [1.0] * m
         rounds = 0
         exact: dict[object, float] = {}
+        # Min-heap of the k best exact grades: exact grades never
+        # change, so the k-th best is maintained incrementally instead
+        # of re-selected from all exact grades per certification round.
+        best: list[float] = []
 
         while True:
-            progressed = False
-            for i, source in enumerate(session.sources):
-                if source.exhausted:
+            # Certification needs k exact grades first, and a round of m
+            # sorted accesses completes at most m objects — so while
+            # |exact| < k, ceil((k - |exact|)/m) lockstep rounds can be
+            # fetched as one batch per list without moving the stopping
+            # point (identical access counts). Once k grades are exact,
+            # the stop check runs after every single round.
+            if len(exact) < k:
+                chunk = -(-(k - len(exact)) // m)
+            else:
+                chunk = 1
+            progressed = 0
+            for i in range(m):
+                batch = sources[i].sorted_access_batch(chunk)
+                if not batch:
                     continue
-                try:
-                    item = source.next_sorted()
-                except ExhaustedSourceError:  # pragma: no cover
-                    continue
-                progressed = True
-                bottoms[i] = item.grade
-                by_list = seen.setdefault(item.obj, {})
-                by_list[i] = item.grade
-                if len(by_list) == m and item.obj not in exact:
-                    exact[item.obj] = aggregation(
-                        *(by_list[j] for j in range(m))
-                    )
-            rounds += 1
+                progressed = max(progressed, len(batch))
+                bottoms[i] = batch[-1].grade
+                for item in batch:
+                    by_list = seen.setdefault(item.obj, {})
+                    by_list[i] = item.grade
+                    if len(by_list) == m and item.obj not in exact:
+                        grade = aggregation.evaluate_trusted(
+                            [by_list[j] for j in range(m)]
+                        )
+                        exact[item.obj] = grade
+                        if len(best) < k:
+                            heapq.heappush(best, grade)
+                        elif grade > best[0]:
+                            heapq.heapreplace(best, grade)
+            rounds += progressed or 1
 
             if not progressed:
                 # Every list exhausted: all grades exact; finish.
@@ -88,18 +107,19 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
             if len(exact) < k:
                 continue
 
-            kth_best = sorted(exact.values(), reverse=True)[k - 1]
+            kth_best = best[0]
             # Upper bound for unseen objects.
-            if aggregation(*bottoms) > kth_best:
+            if aggregation.evaluate_trusted(bottoms) > kth_best:
                 continue
             # Upper bounds for partially-seen objects. (Exactly-known
             # objects are covered by kth_best itself.)
+            evaluate = aggregation.evaluate_trusted
             certified = True
             for obj, by_list in seen.items():
                 if obj in exact:
                     continue
-                upper = aggregation(
-                    *(by_list.get(j, bottoms[j]) for j in range(m))
+                upper = evaluate(
+                    [by_list.get(j, bottoms[j]) for j in range(m)]
                 )
                 if upper > kth_best:
                     certified = False
@@ -156,7 +176,9 @@ def _select_nra(aggregation, num_lists, random_access, cost_model):
 register_strategy(
     "nra",
     NoRandomAccessAlgorithm,
-    StrategyCapabilities(monotone_only=True, needs_random_access=False),
+    StrategyCapabilities(
+        monotone_only=True, needs_random_access=False, batch_aware=True
+    ),
     priority=20,
     selector=_select_nra,
     aliases=("NRA",),

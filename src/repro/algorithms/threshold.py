@@ -26,12 +26,20 @@ Algorithm (for a monotone aggregation t):
 
 from __future__ import annotations
 
+import heapq
+
 from repro.access.session import MiddlewareSession
 from repro.algorithms.base import TopKAlgorithm, TopKResult, top_k_of
 from repro.core.aggregation import AggregationFunction
-from repro.exceptions import ExhaustedSourceError
 
 __all__ = ["ThresholdAlgorithm"]
+
+
+def _seed_grades(m: int, first_list: int, grade: float) -> list[float]:
+    """A grade vector with only the first-sighting list filled in."""
+    grades = [0.0] * m
+    grades[first_list] = grade
+    return grades
 
 
 class ThresholdAlgorithm(TopKAlgorithm):
@@ -55,35 +63,71 @@ class ThresholdAlgorithm(TopKAlgorithm):
                 f"{aggregation.name!r} is declared non-monotone"
             )
         m = session.num_lists
+        sources = session.sources
         scored: dict[object, float] = {}
+        # Min-heap of the k best grades seen so far: an object's grade
+        # never changes once scored, so the k-th best is maintained
+        # incrementally instead of re-selected from all grades per round.
+        best: list[float] = []
         bottoms = [1.0] * m
         rounds = 0
         tau = 1.0
         while True:
-            any_progress = False
-            for i, source in enumerate(session.sources):
-                if source.exhausted:
-                    continue
-                try:
-                    item = source.next_sorted()
-                except ExhaustedSourceError:  # pragma: no cover
-                    continue
-                any_progress = True
-                bottoms[i] = item.grade
-                if item.obj not in scored:
-                    grades = [0.0] * m
-                    grades[i] = item.grade
-                    for j in range(m):
-                        if j != i:
-                            grades[j] = session.sources[j].random_access(item.obj)
-                    scored[item.obj] = aggregation(*grades)
-            rounds += 1
-            if not any_progress:
+            # The stop check needs k scored objects first, and a round of
+            # m sorted accesses surfaces at most m new objects — so while
+            # |scored| < k, ceil((k - |scored|)/m) lockstep rounds can be
+            # fetched as one batch per list without moving the stopping
+            # point. Afterwards the check runs after every single round.
+            if len(scored) < k:
+                chunk = -(-(k - len(scored)) // m)
+            else:
+                chunk = 1
+            batches = [sources[i].sorted_access_batch(chunk) for i in range(m)]
+            delivered = max(len(b) for b in batches)
+            rounds += delivered or 1
+            if delivered == 0:
                 # Every list exhausted: all objects seen and graded.
                 break
-            tau = aggregation(*bottoms)
+            # Replay the chunk round-major so "which list saw the object
+            # first" — and with it the per-list random-access counts —
+            # matches the unit-step interleaving exactly.
+            pending: dict[object, tuple[int, float]] = {}
+            for r in range(delivered):
+                for i in range(m):
+                    batch = batches[i]
+                    if r >= len(batch):
+                        continue
+                    item = batch[r]
+                    bottoms[i] = item.grade
+                    obj = item.obj
+                    if obj not in scored and obj not in pending:
+                        pending[obj] = (i, item.grade)
+            if pending:
+                # Bulk random access, grouped per target list: every new
+                # object is looked up in each list other than the one
+                # that first delivered it, exactly as the unit loop does.
+                grades_by_obj = {
+                    obj: _seed_grades(m, i, grade)
+                    for obj, (i, grade) in pending.items()
+                }
+                for j in range(m):
+                    objs = [o for o, (i, _) in pending.items() if i != j]
+                    if not objs:
+                        continue
+                    looked_up = sources[j].random_access_many(objs)
+                    for obj, grade in zip(objs, looked_up):
+                        grades_by_obj[obj][j] = grade
+                evaluate = aggregation.evaluate_trusted
+                for obj, grades in grades_by_obj.items():
+                    grade = evaluate(grades)
+                    scored[obj] = grade
+                    if len(best) < k:
+                        heapq.heappush(best, grade)
+                    elif grade > best[0]:
+                        heapq.heapreplace(best, grade)
+            tau = aggregation.evaluate_trusted(bottoms)
             if len(scored) >= k:
-                kth_best = sorted(scored.values(), reverse=True)[k - 1]
+                kth_best = best[0]
                 if kth_best >= tau:
                     break
 
@@ -106,7 +150,9 @@ from repro.engine.registry import StrategyCapabilities, register_strategy
 register_strategy(
     "threshold",
     ThresholdAlgorithm,
-    StrategyCapabilities(monotone_only=True, needs_random_access=True),
+    StrategyCapabilities(
+        monotone_only=True, needs_random_access=True, batch_aware=True
+    ),
     aliases=("TA",),
     summary="Threshold Algorithm (FLN 2001 successor); adaptive stopping",
 )

@@ -63,6 +63,22 @@ class AggregationFunction(ABC):
             raise AggregationArityError(self.name, self.arity, m)
         return clamp_grade(self.aggregate(validated))
 
+    def evaluate_trusted(self, grades: Sequence[float]) -> float:
+        """Combine grades the access layer has already validated.
+
+        The top-k hot loops score thousands of objects whose grades all
+        came through :class:`~repro.access.source.SortedRandomSource`
+        (validated at the boundary), so the per-argument re-validation
+        of :meth:`__call__` is pure overhead there. The arity check is
+        kept — a fixed-arity aggregation fed the wrong number of lists
+        must raise, not silently drop grades. Still clamps, because
+        :meth:`aggregate` may overshoot by a rounding error. Same value
+        as ``self(*grades)`` for in-range inputs.
+        """
+        if self.arity is not None and len(grades) != self.arity:
+            raise AggregationArityError(self.name, self.arity, len(grades))
+        return clamp_grade(self.aggregate(grades))
+
     def on_sequence(self, grades: Sequence[float]) -> float:
         """Apply to a sequence (convenience mirror of ``__call__``)."""
         return self(*grades)

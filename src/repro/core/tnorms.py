@@ -50,6 +50,14 @@ class MinimumTNorm(TNorm):
     def pair(self, x: float, y: float) -> float:
         return x if x <= y else y
 
+    def aggregate(self, grades) -> float:
+        # min of validated grades never leaves [0, 1]; skip the
+        # pairwise clamp-fold of BinaryAggregation on the hot path.
+        return min(grades)
+
+    def evaluate_trusted(self, grades) -> float:
+        return min(grades)
+
 
 class DrasticProduct(TNorm):
     """t(x, y) = min(x, y) if max(x, y) = 1, else 0 — the smallest t-norm."""

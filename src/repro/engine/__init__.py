@@ -29,6 +29,7 @@ __all__ = [
     "create_strategy",
     "available_strategies",
     "capable_strategies",
+    "batch_aware_strategies",
     "select_strategy",
 ]
 
@@ -46,6 +47,7 @@ _EXPORTS = {
     "create_strategy": "repro.engine.registry",
     "available_strategies": "repro.engine.registry",
     "capable_strategies": "repro.engine.registry",
+    "batch_aware_strategies": "repro.engine.registry",
     "select_strategy": "repro.engine.registry",
 }
 
@@ -61,6 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
         StrategyRegistration,
         UnknownStrategyError,
         available_strategies,
+        batch_aware_strategies,
         capable_strategies,
         create_strategy,
         register_strategy,

@@ -1,0 +1,130 @@
+"""Parity suite: batched and unit-step access paths are equivalent.
+
+Every algorithm is run on three backings of the same scoring database:
+
+* ``unit`` — sources wrapped in :class:`UnbatchedSource`, so every
+  batched call decomposes into the unit accesses the pre-batching
+  implementations performed;
+* ``row`` — plain ``ScoringDatabase`` sessions (``MaterializedSource``
+  with its slice-based batch overrides);
+* ``columnar`` — ``ColumnarScoringDatabase`` sessions.
+
+All three must produce identical top-k answers and identical per-list
+sorted/random access counts; ``IncrementalFagin`` must additionally
+resume identically batch after batch.
+"""
+
+import pytest
+
+from repro.access import (
+    ColumnarScoringDatabase,
+    MaterializedSource,
+    MiddlewareSession,
+    UnbatchedSource,
+)
+from repro.algorithms.fa import FaginA0, IncrementalFagin
+from repro.algorithms.fa_min import FaginA0Min
+from repro.algorithms.fa_variants import EarlyStopFagin, ShrunkenFagin
+from repro.algorithms.naive import NaiveAlgorithm
+from repro.algorithms.nra import NoRandomAccessAlgorithm
+from repro.algorithms.threshold import ThresholdAlgorithm
+from repro.core.means import ARITHMETIC_MEAN
+from repro.core.tnorms import MINIMUM
+from repro.workloads.correlated import correlated_database
+from repro.workloads.skeletons import independent_database
+
+DATABASES = {
+    "independent-m3": lambda: independent_database(3, 240, seed=13),
+    "correlated+0.7-m2": lambda: correlated_database(2, 200, 0.7, seed=31),
+    "correlated-0.5-m3": lambda: correlated_database(3, 150, -0.4, seed=8),
+}
+
+ALGORITHMS = [
+    ("fagin", FaginA0, (MINIMUM, ARITHMETIC_MEAN)),
+    ("fa-min", FaginA0Min, (MINIMUM,)),
+    ("threshold", ThresholdAlgorithm, (MINIMUM, ARITHMETIC_MEAN)),
+    ("nra", NoRandomAccessAlgorithm, (MINIMUM, ARITHMETIC_MEAN)),
+    ("naive", NaiveAlgorithm, (MINIMUM, ARITHMETIC_MEAN)),
+    ("early-stop", EarlyStopFagin, (MINIMUM,)),
+    ("shrunken", ShrunkenFagin, (MINIMUM,)),
+]
+
+
+def sessions_for(db_factory):
+    db = db_factory()
+    columnar = ColumnarScoringDatabase.from_scoring_database(db)
+    unit = MiddlewareSession.over_sources(
+        [
+            UnbatchedSource(MaterializedSource(f"list-{i}", db.ranking(i)))
+            for i in range(db.num_lists)
+        ],
+        num_objects=db.num_objects,
+    )
+    return {"unit": unit, "row": db.session(), "columnar": columnar.session()}
+
+
+@pytest.mark.parametrize("db_name", DATABASES)
+@pytest.mark.parametrize(
+    "algo_name,algo_cls,aggregations", ALGORITHMS, ids=lambda a: str(a)
+)
+def test_three_paths_agree(db_name, algo_name, algo_cls, aggregations):
+    for aggregation in aggregations:
+        for k in (1, 5, 20):
+            results = {
+                path: algo_cls().top_k(session, aggregation, k)
+                for path, session in sessions_for(DATABASES[db_name]).items()
+            }
+            unit = results["unit"]
+            for path in ("row", "columnar"):
+                other = results[path]
+                assert other.items == unit.items, (
+                    f"{db_name}/{algo_name}/{aggregation.name}/k={k}: "
+                    f"{path} answers diverge from unit-step"
+                )
+                assert other.stats == unit.stats, (
+                    f"{db_name}/{algo_name}/{aggregation.name}/k={k}: "
+                    f"{path} access counts diverge from unit-step "
+                    f"({other.stats!r} vs {unit.stats!r})"
+                )
+
+
+def test_fixed_arity_aggregation_still_raises_on_wrong_list_count():
+    """The trusted scoring path must not silently drop grades when a
+    fixed-arity aggregation meets the wrong number of lists."""
+    from repro.core.weights import FaginWimmersWeighting
+    from repro.exceptions import AggregationArityError
+
+    weighted = FaginWimmersWeighting(MINIMUM, (0.7, 0.3))  # arity 2
+    db = independent_database(3, 30, seed=2)
+    with pytest.raises(AggregationArityError):
+        FaginA0().top_k(db.session(), weighted, 3)
+
+
+def test_top_k_of_zero_k_returns_empty():
+    from repro.algorithms.base import top_k_of
+
+    assert top_k_of({"a": 0.5, "b": 0.9}, 0) == ()
+
+
+@pytest.mark.parametrize("db_name", DATABASES)
+def test_incremental_fagin_resumes_identically(db_name):
+    cursors = {
+        path: IncrementalFagin(session, MINIMUM)
+        for path, session in sessions_for(DATABASES[db_name]).items()
+    }
+    for batch_index in range(4):
+        batches = {
+            path: cursor.next_batch(6) for path, cursor in cursors.items()
+        }
+        unit = batches["unit"]
+        for path in ("row", "columnar"):
+            other = batches[path]
+            assert other.items == unit.items, (
+                f"{db_name} batch {batch_index}: {path} answers diverge"
+            )
+            assert other.stats == unit.stats, (
+                f"{db_name} batch {batch_index}: {path} per-batch access "
+                f"deltas diverge ({other.stats!r} vs {unit.stats!r})"
+            )
+    for path in ("row", "columnar"):
+        assert cursors[path].returned == cursors["unit"].returned

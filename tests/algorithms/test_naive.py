@@ -27,6 +27,15 @@ class TestCorrectness:
         result = NaiveAlgorithm().top_k(tiny_db.session(), MINIMUM, 5)
         assert result.k == 5
 
+    def test_heap_selection_matches_full_sort_ground_truth(self, db3):
+        """naive now selects with heapq.nlargest semantics instead of
+        sorting all N aggregate grades; the result must still equal the
+        ScoringDatabase ground truth (a full deterministic sort),
+        item for item and grade for grade."""
+        for k in (1, 7, 50, 200):
+            result = NaiveAlgorithm().top_k(db3.session(), MINIMUM, k)
+            assert result.items == db3.true_top_k(MINIMUM, k)
+
 
 class TestCost:
     def test_exactly_m_times_n_sorted_accesses(self, db2):
