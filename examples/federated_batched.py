@@ -1,0 +1,117 @@
+"""A cross-subsystem query through the engine's bulk path.
+
+The Garlic scenario of Sections 1-2, at federation scale: a relational
+store owns the crisp attributes, a QBIC-like image server owns the
+cover art, and a synthetic "recommendations" pod owns a graded score —
+three data servers, one query. All three declare
+``supports_batched_access``, so the planner negotiates a batch size
+for the whole federation and the executor mints every source through
+``evaluate_batched``: ranked *pages* per round trip instead of one
+object at a time, with access counts identical to the unit protocol
+(Section 5's cost model counts objects, not messages).
+
+The demo runs the same query three ways and prints the plan, the
+negotiated batch size, the answers, and the per-list access counts:
+
+1. the engine's default bulk path (subsystem-negotiated pages);
+2. the engine capped at tiny 64-object pages (a deployment knob,
+   ``ExecutionContext.batch_size``);
+3. a federation degraded to unit access (batch capability stripped),
+   demonstrating the planner's unit fallback.
+
+Run:  python examples/federated_batched.py
+"""
+
+import random
+
+from repro.engine import Engine, ExecutionContext
+from repro.subsystems import (
+    QbicSubsystem,
+    RelationalSubsystem,
+    SyntheticSubsystem,
+)
+
+NUM_ALBUMS = 4_000
+K = 5
+
+GENRES = ("rock", "soul", "jazz", "folk")
+ARTISTS = ("Beatles", "Aretha Franklin", "Mingus", "Nick Drake")
+
+
+def build_engine(seed: int = 42, context: ExecutionContext | None = None):
+    rng = random.Random(seed)
+    albums = list(range(1, NUM_ALBUMS + 1))
+    relational = RelationalSubsystem(
+        "store-db",
+        {
+            album: {
+                "Artist": rng.choice(ARTISTS),
+                "Genre": rng.choice(GENRES),
+            }
+            for album in albums
+        },
+    )
+    qbic = QbicSubsystem(
+        "qbic",
+        {
+            "AlbumColor": {
+                album: (rng.random(), rng.random(), rng.random())
+                for album in albums
+            }
+        },
+    )
+    recommender = SyntheticSubsystem(
+        "reco-pod",
+        tables={"Affinity": {album: rng.random() for album in albums}},
+    )
+    engine = Engine(context)
+    engine.register(relational).register(qbic).register(recommender)
+    return engine
+
+
+QUERY = '(AlbumColor ~ "red") AND (Affinity ~ "listener-7")'
+
+
+def show(label: str, engine: Engine) -> None:
+    plan = engine.plan(QUERY)
+    answer = engine.query(QUERY).top(K)
+    stats = answer.result.stats
+    batch = getattr(plan, "batch_size", None)
+    transport = f"batched pages of {batch}" if batch else "unit access"
+    print(f"--- {label}")
+    print(f"    plan: {plan.explain()}")
+    print(f"    transport: {transport}")
+    for item in answer.items:
+        print(f"      album {item.obj:>5}  grade {item.grade:.4f}")
+    print(
+        f"    cost: S={stats.sorted_cost} sorted + R={stats.random_cost} "
+        f"random = {stats.sum_cost} accesses "
+        f"(per list S={list(stats.sorted_by_list)})"
+    )
+
+
+def main() -> None:
+    print(f"{NUM_ALBUMS} albums across 3 subsystems; top {K} for {QUERY}\n")
+
+    bulk = build_engine()
+    show("engine bulk path (negotiated batch size)", bulk)
+
+    capped = build_engine(context=ExecutionContext(batch_size=64))
+    show("deployment-capped pages (ExecutionContext.batch_size=64)", capped)
+
+    # Strip batch capability from one member: negotiation falls back to
+    # unit access for the whole query — identical answers and counts.
+    degraded = build_engine()
+    for subsystem in degraded.catalog.subsystems:
+        if subsystem.name == "reco-pod":
+            subsystem.supports_batched_access = False
+    show("degraded federation (one unit-only member)", degraded)
+
+    print(
+        "\nNote: all three transports charge identical access counts — "
+        "batching changes round trips, never the Section 5 cost model."
+    )
+
+
+if __name__ == "__main__":
+    main()

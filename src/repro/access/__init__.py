@@ -18,6 +18,7 @@ from repro.access.session import MiddlewareSession
 from repro.access.source import (
     InstrumentedSource,
     MaterializedSource,
+    PagedBatchSource,
     SortedRandomSource,
     UnbatchedSource,
     rank_items,
@@ -44,6 +45,7 @@ __all__ = [
     "MaterializedSource",
     "InstrumentedSource",
     "UnbatchedSource",
+    "PagedBatchSource",
     "rank_items",
     "tie_break_key",
     "GradedItem",

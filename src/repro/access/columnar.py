@@ -11,13 +11,16 @@ single access is charged.
 (Section 5's function from list index to graded set) in columnar form:
 
 * object ids are **interned** once into a dense ``0..N-1`` index;
-* each list's grades live in one ``array('d')`` float column, indexed
-  by interned id;
+* each list's grades live in one contiguous float64 column — a numpy
+  array when numpy is importable, an ``array('d')`` otherwise (numpy
+  is an accelerator, never a requirement) — indexed by interned id;
 * each list's descending rank order (the skeleton permutation realised
   by the grades, ties broken by
   :func:`~repro.access.source.tie_break_key` exactly as
   :func:`~repro.access.source.rank_items` breaks them) is computed
-  **once** and shared.
+  **once** and shared. All-integer populations sort through
+  ``np.lexsort`` (the tie key for ints is numeric order, which lexsort
+  reproduces directly); anything else falls back to the Python sort.
 
 Sessions are minted in O(m): each source is a cursor over the shared,
 pre-built ranking tuple and grade map (``MaterializedSource.trusted``),
@@ -25,6 +28,13 @@ so repeated runs — the benchmark regime — pay for accesses, not for
 re-sorting. Access-count semantics are untouched: the sources speak
 the same sorted/random (and batched) protocol through the same
 instrumented wrappers.
+
+The numpy columns additionally feed the *computation* phase:
+:meth:`ColumnarScoringDatabase.grades_matrix` gathers any subset of
+objects into an (m, n) matrix in one shot, and
+:meth:`overall_grades` / :meth:`true_top_k` score it through the
+vectorized kernels of :mod:`repro.core.kernels` — ground truth at C
+speed, still outside the access accounting.
 """
 
 from __future__ import annotations
@@ -38,8 +48,49 @@ from repro.access.types import GradedItem, ObjectId
 from repro.core.aggregation import AggregationFunction
 from repro.core.graded_set import GradedSet
 from repro.core.grades import validate_grade
+from repro.core.kernels import HAVE_NUMPY, evaluate_columns
+
+if HAVE_NUMPY:
+    import numpy as _np
 
 __all__ = ["ColumnarScoringDatabase"]
+
+
+def _validated_column(
+    mapping: Mapping[ObjectId, float],
+    objects: tuple[ObjectId, ...],
+    list_index: int,
+):
+    """One list's grades as a float64 column in interned-id order.
+
+    The bulk path converts and range-checks the whole column with numpy
+    (same predicate as :func:`validate_grade`: a real in [0, 1], NaN
+    excluded); on any failure — or without numpy — it falls back to the
+    scalar validator, which produces the precise per-object error.
+    """
+    if HAVE_NUMPY:
+        try:
+            column = _np.asarray(
+                [mapping[obj] for obj in objects], dtype=_np.float64
+            )
+        except (TypeError, ValueError):
+            column = None
+        if column is not None and not (
+            _np.isnan(column).any()
+            or (column < 0.0).any()
+            or (column > 1.0).any()
+        ):
+            return column
+    scalar = array(
+        "d",
+        (
+            validate_grade(
+                mapping[obj], context=f"list {list_index}, object {obj!r}"
+            )
+            for obj in objects
+        ),
+    )
+    return _np.asarray(scalar) if HAVE_NUMPY else scalar
 
 
 class ColumnarScoringDatabase:
@@ -73,7 +124,7 @@ class ColumnarScoringDatabase:
             raise ValueError("a scoring database needs at least one object")
         index = {obj: idx for idx, obj in enumerate(objects)}
 
-        columns: list[array] = []
+        columns = []
         for i, entry in enumerate(lists):
             mapping = entry.as_dict() if isinstance(entry, GradedSet) else entry
             if len(mapping) != len(objects) or any(
@@ -83,19 +134,39 @@ class ColumnarScoringDatabase:
                     f"list {i} grades a different object set than list 0; "
                     "every list must grade all N objects (Section 5 model)"
                 )
-            column = array("d", bytes(8 * len(objects)))
-            for obj, grade in mapping.items():
-                column[index[obj]] = validate_grade(
-                    grade, context=f"list {i}, object {obj!r}"
-                )
-            columns.append(column)
+            columns.append(_validated_column(mapping, objects, i))
 
         self._objects = objects
         self._index = index
         self._columns = columns
-        # Descending rank orders (interned ids), computed once per list.
+        self._orders = self._rank_orders()
+        # Lazy shared per-list state minted sessions slice into.
+        self._rankings: list[tuple[GradedItem, ...] | None] = [None] * len(columns)
+        self._grade_maps: list[dict[ObjectId, float] | None] = [None] * len(columns)
+
+    def _rank_orders(self):
+        """Descending rank order per list, as interned-id permutations.
+
+        When every object id is a plain int, ``tie_break_key`` reduces
+        to numeric order and one ``np.lexsort`` per column replaces the
+        O(N log N) Python sort — identical permutation, C speed. Mixed
+        or non-integer populations keep the key-based sort.
+        """
+        objects = self._objects
+        if HAVE_NUMPY and all(type(obj) is int for obj in objects):
+            try:
+                ids = _np.asarray(objects, dtype=_np.int64)
+            except OverflowError:
+                # Arbitrary-precision ids (beyond int64) keep the
+                # key-based sort below — same ordering, Python speed.
+                ids = None
+            if ids is not None:
+                return [
+                    _np.lexsort((ids, -_np.asarray(column)))
+                    for column in self._columns
+                ]
         tie_keys = [tie_break_key(obj) for obj in objects]
-        self._orders: list[array] = [
+        orders = [
             array(
                 "l",
                 sorted(
@@ -103,11 +174,9 @@ class ColumnarScoringDatabase:
                     key=lambda j: (-column[j], tie_keys[j]),
                 ),
             )
-            for column in columns
+            for column in self._columns
         ]
-        # Lazy shared per-list state minted sessions slice into.
-        self._rankings: list[tuple[GradedItem, ...] | None] = [None] * len(columns)
-        self._grade_maps: list[dict[ObjectId, float] | None] = [None] * len(columns)
+        return orders
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -148,35 +217,74 @@ class ColumnarScoringDatabase:
 
     def grade(self, list_index: int, obj: ObjectId) -> float:
         """mu_Ai(obj) — direct lookup (ground truth, not an access)."""
-        return self._columns[list_index][self._index[obj]]
+        grade = self._columns[list_index][self._index[obj]]
+        return float(grade)
 
     def graded_set(self, list_index: int) -> GradedSet:
         """List ``i`` as a :class:`GradedSet`."""
         column = self._columns[list_index]
-        return GradedSet(
-            {obj: column[j] for j, obj in enumerate(self._objects)}
-        )
+        return GradedSet(dict(zip(self._objects, self._as_floats(column))))
+
+    @staticmethod
+    def _as_floats(column) -> list[float]:
+        """A column as plain Python floats (numpy and array agree)."""
+        return column.tolist()
 
     def ranking(self, list_index: int) -> tuple[GradedItem, ...]:
         """List ``i`` sorted for sorted access; built once, then shared."""
         cached = self._rankings[list_index]
         if cached is None:
-            column = self._columns[list_index]
+            grades = self._as_floats(self._columns[list_index])
             objects = self._objects
             cached = tuple(
-                GradedItem(objects[j], column[j])
-                for j in self._orders[list_index]
+                GradedItem(objects[j], grades[j])
+                for j in self._order_indices(list_index)
             )
             self._rankings[list_index] = cached
         return cached
 
+    def _order_indices(self, list_index: int) -> list[int]:
+        order = self._orders[list_index]
+        return order.tolist()
+
     def _grade_map(self, list_index: int) -> dict[ObjectId, float]:
         cached = self._grade_maps[list_index]
         if cached is None:
-            column = self._columns[list_index]
-            cached = {obj: column[j] for j, obj in enumerate(self._objects)}
+            grades = self._as_floats(self._columns[list_index])
+            cached = dict(zip(self._objects, grades))
             self._grade_maps[list_index] = cached
         return cached
+
+    # ------------------------------------------------------------------
+    # Bulk gather
+    # ------------------------------------------------------------------
+
+    def grades_matrix(self, objs: Sequence[ObjectId] | None = None):
+        """The (m, n) grade matrix for ``objs`` (all objects if None).
+
+        Column j of the result holds ``objs[j]``'s grades across the m
+        lists, gathered with one fancy-index per list — the bulk
+        counterpart of :meth:`grade`, and like it *ground truth*: the
+        matrix bypasses sources entirely, so reading it is not an
+        access. With numpy absent the matrix is a list of per-list
+        ``array('d')`` rows with the same layout.
+
+        Raises :class:`KeyError` for objects this database does not
+        grade (same contract as a plain dict lookup).
+        """
+        if objs is None:
+            if HAVE_NUMPY:
+                return _np.vstack(self._columns)
+            return [array("d", column) for column in self._columns]
+        index = self._index
+        positions = [index[obj] for obj in objs]
+        if HAVE_NUMPY:
+            gather = _np.asarray(positions, dtype=_np.intp)
+            return _np.vstack([column[gather] for column in self._columns])
+        return [
+            array("d", (column[p] for p in positions))
+            for column in self._columns
+        ]
 
     # ------------------------------------------------------------------
     # Sessions and ground truth
@@ -197,14 +305,15 @@ class ColumnarScoringDatabase:
         ]
         return MiddlewareSession.over_sources(raw, num_objects=self.num_objects)
 
+    def _all_scores(self, aggregation: AggregationFunction) -> list[float]:
+        """Every object's overall grade, in interned order (vectorized)."""
+        return evaluate_columns(
+            aggregation, self.grades_matrix(), self.num_objects
+        )
+
     def overall_grades(self, aggregation: AggregationFunction) -> GradedSet:
         """Ground-truth mu_Q for every object (bypasses access accounting)."""
-        return GradedSet(
-            {
-                obj: aggregation(*(column[j] for column in self._columns))
-                for j, obj in enumerate(self._objects)
-            }
-        )
+        return GradedSet(dict(zip(self._objects, self._all_scores(aggregation))))
 
     def true_top_k(
         self, aggregation: AggregationFunction, k: int
@@ -212,13 +321,8 @@ class ColumnarScoringDatabase:
         """Ground-truth top-k answers (deterministic tie-break)."""
         from repro.algorithms.base import top_k_of
 
-        columns = self._columns
         return top_k_of(
-            {
-                obj: aggregation(*(column[j] for column in columns))
-                for j, obj in enumerate(self._objects)
-            },
-            k,
+            list(zip(self._objects, self._all_scores(aggregation))), k
         )
 
     def __repr__(self) -> str:

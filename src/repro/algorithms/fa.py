@@ -284,15 +284,15 @@ class FaginA0(TopKAlgorithm):
                 grades_j[obj] = grade
 
         # Computation phase: every grade came through the access layer,
-        # so score with the trusted bulk evaluation (one call per seen
-        # object, no per-argument re-validation).
-        evaluate = aggregation.evaluate_trusted
-        scored = {
-            obj: evaluate([grades[obj] for grades in grades_by_list])
-            for obj in counts
-        }
+        # so score all seen objects in bulk — the vectorized kernel
+        # when the aggregation has one (one numpy reduction instead of
+        # one Python call per object), the trusted scalar fold
+        # otherwise. Either way no per-argument re-validation.
+        objs = list(counts)
+        rows = [[grades[obj] for obj in objs] for grades in grades_by_list]
+        scores = aggregation.evaluate_columns(rows)
         return TopKResult(
-            items=top_k_of(scored, k),
+            items=top_k_of(list(zip(objs, scores)), k),
             stats=session.tracker.snapshot(),
             algorithm=self.name,
             details={
@@ -361,11 +361,14 @@ class IncrementalFagin:
         run_sorted_phase(self._session, total_needed, state=self._state)
         complete_random_phase(self._session, self._state)
         m = self._session.num_lists
-        evaluate = self._aggregation.evaluate_trusted
         scores = self._scores
-        for obj, by_list in self._state.seen.items():
-            if obj not in scores:
-                scores[obj] = evaluate([by_list[j] for j in range(m)])
+        seen = self._state.seen
+        fresh = [obj for obj in seen if obj not in scores]
+        if fresh:
+            # Bulk-score only the objects this batch completed; earlier
+            # batches' aggregates are memoised and must not be re-derived.
+            rows = [[seen[obj][j] for obj in fresh] for j in range(m)]
+            scores.update(zip(fresh, self._aggregation.evaluate_columns(rows)))
         excluded = set(self._returned)
         items = top_k_of(
             [(obj, g) for obj, g in scores.items() if obj not in excluded], k

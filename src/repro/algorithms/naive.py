@@ -23,6 +23,10 @@ from __future__ import annotations
 from repro.access.session import MiddlewareSession
 from repro.algorithms.base import TopKAlgorithm, TopKResult, top_k_of
 from repro.core.aggregation import AggregationFunction
+from repro.core.kernels import HAVE_NUMPY, evaluate_matrix
+
+if HAVE_NUMPY:
+    import numpy as _np
 
 __all__ = ["NaiveAlgorithm"]
 
@@ -44,32 +48,37 @@ class NaiveAlgorithm(TopKAlgorithm):
         aggregation: AggregationFunction,
         k: int,
     ) -> TopKResult:
-        grades: dict[object, dict[int, float]] = {}
-        for i, source in enumerate(session.sources):
+        # Drain every list, keeping each list's delivery as parallel
+        # (object, grade) columns — the cheapest possible shape to
+        # re-align by object afterwards.
+        deliveries: list[tuple[list, list]] = []
+        for source in session.sources:
+            objs: list = []
+            grades: list[float] = []
             while True:
                 batch = source.sorted_access_batch(self.SCAN_BATCH)
                 if not batch:
                     break
                 for item in batch:
-                    by_list = grades.get(item.obj)
-                    if by_list is None:
-                        by_list = grades[item.obj] = {}
-                    by_list[i] = item.grade
+                    objs.append(item.obj)
+                    grades.append(item.grade)
+            deliveries.append((objs, grades))
 
         m = session.num_lists
-        evaluate = aggregation.evaluate_trusted
-        scored: dict[object, float] = {}
-        for obj, by_list in grades.items():
-            if len(by_list) != m:
-                # An object missing from some list violates the Section 5
-                # model (every list grades all N objects); surface it
-                # rather than silently grading 0.
-                missing = [i for i in range(m) if i not in by_list]
-                raise ValueError(
-                    f"object {obj!r} missing from list(s) {missing}; "
-                    "scoring databases must grade every object in every list"
-                )
-            scored[obj] = evaluate([by_list[i] for i in range(m)])
+        # Intern objects in first-seen order (list 0's delivery order,
+        # then anything later lists add) — the same iteration order the
+        # dict-of-dicts implementation produced.
+        index: dict[object, int] = {}
+        for objs, _ in deliveries:
+            for obj in objs:
+                if obj not in index:
+                    index[obj] = len(index)
+        n = len(index)
+
+        if any(len(objs) != n for objs, _ in deliveries):
+            self._raise_missing(deliveries, index, m)
+
+        scored = self._score(aggregation, deliveries, index, n, m)
 
         # top_k_of selects with heapq.nlargest semantics — no full sort
         # of all N aggregate grades, no GradedItem minting for losers.
@@ -77,7 +86,66 @@ class NaiveAlgorithm(TopKAlgorithm):
             items=top_k_of(scored, k),
             stats=session.tracker.snapshot(),
             algorithm=self.name,
-            details={"objects_scanned": len(scored)},
+            details={"objects_scanned": n},
+        )
+
+    def _score(self, aggregation, deliveries, index, n, m):
+        """Aggregate the aligned grade matrix into (object, score) pairs."""
+        objects = list(index)
+        if HAVE_NUMPY:
+            matrix = _np.empty((m, n), dtype=_np.float64)
+            for i, (objs, grades) in enumerate(deliveries):
+                positions = _np.fromiter(
+                    map(index.__getitem__, objs), dtype=_np.intp, count=n
+                )
+                covered = _np.zeros(n, dtype=bool)
+                covered[positions] = True
+                if not covered.all():
+                    # n items but not n distinct objects: a duplicate is
+                    # hiding a missing (object, list) pair.
+                    self._raise_missing(deliveries, index, m)
+                matrix[i, positions] = grades
+            scores = evaluate_matrix(aggregation, matrix)
+            if scores is not None:
+                return list(zip(objects, scores.tolist()))
+            rows = matrix  # scalar fold below iterates matrix rows
+        else:
+            rows = []
+            for objs, grades in deliveries:
+                row = [None] * n
+                for obj, grade in zip(objs, grades):
+                    row[index[obj]] = grade
+                if any(grade is None for grade in row):
+                    self._raise_missing(deliveries, index, m)
+                rows.append(row)
+        evaluate = aggregation.evaluate_trusted
+        return [
+            (obj, evaluate([row[j] for row in rows]))
+            for j, obj in enumerate(objects)
+        ]
+
+    @staticmethod
+    def _raise_missing(deliveries, index, m):
+        """Replicate the dict-based error for a short list.
+
+        An object missing from some list violates the Section 5 model
+        (every list grades all N objects); surface it — with the same
+        message the pre-vectorization implementation raised — rather
+        than silently grading 0.
+        """
+        by_object: dict[object, dict[int, float]] = {obj: {} for obj in index}
+        for i, (objs, grades) in enumerate(deliveries):
+            for obj, grade in zip(objs, grades):
+                by_object[obj][i] = grade
+        for obj, by_list in by_object.items():
+            if len(by_list) != m:
+                missing = [i for i in range(m) if i not in by_list]
+                raise ValueError(
+                    f"object {obj!r} missing from list(s) {missing}; "
+                    "scoring databases must grade every object in every list"
+                )
+        raise AssertionError(  # pragma: no cover - lists disagreed in size
+            "list lengths diverged without a missing (object, list) pair"
         )
 
 

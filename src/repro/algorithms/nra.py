@@ -33,6 +33,7 @@ import heapq
 from repro.access.session import MiddlewareSession
 from repro.algorithms.base import TopKAlgorithm, TopKResult, top_k_of
 from repro.core.aggregation import AggregationFunction
+from repro.core.kernels import as_grade_matrix, evaluate_matrix, kernel_for
 
 __all__ = ["NoRandomAccessAlgorithm"]
 
@@ -68,6 +69,18 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
         # change, so the k-th best is maintained incrementally instead
         # of re-selected from all exact grades per certification round.
         best: list[float] = []
+        # Partially-seen objects whose upper bound might still exceed
+        # the k-th best exact grade, in first-seen order. Upper bounds
+        # only ever *fall* (bottoms decrease; a discovered grade is at
+        # most the bottom it replaced) and the k-th best only ever
+        # rises, so an object that once certified (upper <= k-th best)
+        # stays certified — the scan may skip it in every later round.
+        # ``cand_start`` is the shared scan head: everything before it
+        # is certified forever (or exact), so a certification round
+        # that fails at its head costs O(1), not O(|seen|).
+        candidates: list[object] = []
+        cand_start = 0
+        vectorized = kernel_for(aggregation) is not None
 
         while True:
             # Certification needs k exact grades first, and a round of m
@@ -88,7 +101,10 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                 progressed = max(progressed, len(batch))
                 bottoms[i] = batch[-1].grade
                 for item in batch:
-                    by_list = seen.setdefault(item.obj, {})
+                    by_list = seen.get(item.obj)
+                    if by_list is None:
+                        by_list = seen[item.obj] = {}
+                        candidates.append(item.obj)
                     by_list[i] = item.grade
                     if len(by_list) == m and item.obj not in exact:
                         grade = aggregation.evaluate_trusted(
@@ -111,19 +127,26 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
             # Upper bound for unseen objects.
             if aggregation.evaluate_trusted(bottoms) > kth_best:
                 continue
-            # Upper bounds for partially-seen objects. (Exactly-known
-            # objects are covered by kth_best itself.)
-            evaluate = aggregation.evaluate_trusted
-            certified = True
-            for obj, by_list in seen.items():
-                if obj in exact:
-                    continue
-                upper = evaluate(
-                    [by_list.get(j, bottoms[j]) for j in range(m)]
+            # Upper bounds for the surviving partially-seen objects.
+            # (Exactly-known objects are covered by kth_best itself;
+            # previously-certified objects stay certified — see the
+            # monotonicity note at ``candidates``.) Advance the scan
+            # head past resolved objects first: amortised O(1), since
+            # the head only moves forward between sweeps.
+            while cand_start < len(candidates) and candidates[cand_start] in exact:
+                cand_start += 1
+            if cand_start >= len(candidates):
+                break  # no partially-seen object is left uncertified
+            if vectorized:
+                certified, candidates, cand_start = self._certify_vectorized(
+                    aggregation, seen, exact, bottoms,
+                    candidates, cand_start, kth_best,
                 )
-                if upper > kth_best:
-                    certified = False
-                    break
+            else:
+                certified, cand_start = self._certify_scalar(
+                    aggregation, seen, exact, bottoms,
+                    candidates, cand_start, kth_best,
+                )
             if certified:
                 break
 
@@ -137,6 +160,76 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                 "exact": len(exact),
             },
         )
+
+    @staticmethod
+    def _certify_vectorized(
+        aggregation, seen, exact, bottoms, candidates, start, kth_best
+    ):
+        """One kernel evaluation certifies (or prunes) every candidate.
+
+        Returns ``(certified, candidates, start)``. Rounds that cannot
+        certify are the common case deep in a run, and the scalar loop
+        dismissed them at its *first* violator; the bulk path must not
+        pay a full matrix build to learn the same thing.
+        ``candidates[start]`` is last round's first violator, so one
+        scalar probe of it restores the early exit — only when the
+        probe passes is the vectorized sweep worth building: the
+        candidates' upper-bound matrix (known grades where available,
+        the current per-list bottom otherwise), scored in one call.
+        The sweep's survivors — exactly the objects still above the
+        k-th best exact grade — become the new candidate list;
+        everything else is certified forever.
+        """
+        m = len(bottoms)
+        head = seen[candidates[start]]
+        if (
+            aggregation.evaluate_trusted(
+                [head.get(j, bottoms[j]) for j in range(m)]
+            )
+            > kth_best
+        ):
+            return False, candidates, start
+        pending = [
+            obj for obj in candidates[start:] if obj not in exact
+        ]
+        rows = [
+            [seen[obj].get(j, bottom) for obj in pending]
+            for j, bottom in enumerate(bottoms)
+        ]
+        uppers = evaluate_matrix(aggregation, as_grade_matrix(rows))
+        assert uppers is not None  # kernel_for gated the vectorized path
+        violations = uppers > kth_best
+        if not violations.any():
+            return True, [], 0
+        survivors = [
+            obj
+            for obj, violating in zip(pending, violations.tolist())
+            if violating
+        ]
+        return False, survivors, 0
+
+    @staticmethod
+    def _certify_scalar(
+        aggregation, seen, exact, bottoms, candidates, start, kth_best
+    ):
+        """Scalar fallback: early-exit scan behind the shared head.
+
+        Returns ``(certified, start)``. Candidates checked before the
+        first violation are certified — the head advances past them
+        forever; the violator and the unchecked tail survive in place
+        (no per-round list rebuilds).
+        """
+        evaluate = aggregation.evaluate_trusted
+        m = len(bottoms)
+        for idx in range(start, len(candidates)):
+            obj = candidates[idx]
+            if obj in exact:
+                continue
+            by_list = seen[obj]
+            upper = evaluate([by_list.get(j, bottoms[j]) for j in range(m)])
+            if upper > kth_best:
+                return False, idx
+        return True, len(candidates)
 
 
 # ----------------------------------------------------------------------

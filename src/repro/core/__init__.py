@@ -17,7 +17,14 @@ from repro.core.aggregation import (
     FunctionAggregation,
     TConorm,
     TNorm,
+    VectorizedAggregation,
     iterated,
+)
+from repro.core.kernels import (
+    HAVE_NUMPY,
+    evaluate_columns,
+    kernel_for,
+    register_kernel,
 )
 from repro.core.equivalence import (
     CANONICAL_IDENTITIES,
@@ -119,7 +126,13 @@ __all__ = [
     "DualTConorm",
     "ConstantAggregation",
     "FunctionAggregation",
+    "VectorizedAggregation",
     "iterated",
+    # vectorized kernels
+    "HAVE_NUMPY",
+    "kernel_for",
+    "register_kernel",
+    "evaluate_columns",
     # t-norms
     "MINIMUM",
     "DRASTIC_PRODUCT",

@@ -83,8 +83,64 @@ class AggregationFunction(ABC):
         """Apply to a sequence (convenience mirror of ``__call__``)."""
         return self(*grades)
 
+    def bulk_kernel(self):
+        """The vectorized kernel for this aggregation, or ``None``.
+
+        Resolution order (see :mod:`repro.core.kernels`): an
+        ``aggregate_columns`` method supplied by the
+        :class:`VectorizedAggregation` capability wins; otherwise the
+        exact-type kernel registry; otherwise ``None`` — callers then
+        use the scalar :meth:`evaluate_trusted` fold, so vectorization
+        is always an accelerator and never a behavioural requirement.
+        """
+        from repro.core.kernels import kernel_for
+
+        return kernel_for(self)
+
+    def evaluate_columns(self, rows: Sequence[Sequence[float]]) -> list[float]:
+        """Bulk-evaluate m per-list grade rows into per-object scores.
+
+        ``rows[i][j]`` is object j's (already validated) grade in list
+        i; the result is one score per object, as plain Python floats.
+        Vectorized through :meth:`bulk_kernel` when possible, with the
+        pure-Python ``evaluate_trusted`` fold as the fallback.
+        """
+        from repro.core.kernels import evaluate_columns
+
+        if self.arity is not None and len(rows) != self.arity:
+            raise AggregationArityError(self.name, self.arity, len(rows))
+        return evaluate_columns(self, rows, len(rows[0]) if rows else 0)
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+class VectorizedAggregation:
+    """Capability mix-in: an aggregation that ships its own bulk kernel.
+
+    The standard families (min/max, the product and Łukasiewicz norms,
+    the mean family and its weighted variants) get kernels from the
+    registry in :mod:`repro.core.kernels`; a *user-defined* aggregation
+    opts into the bulk path by also inheriting this class and
+    implementing :meth:`aggregate_columns`. The contract mirrors
+    :meth:`AggregationFunction.aggregate` lifted to matrices:
+
+    * the input is an (m, n) float64 matrix of validated grades (numpy
+      is guaranteed importable when this is called — the capability is
+      only consulted when :data:`~repro.core.kernels.HAVE_NUMPY` holds);
+    * the output is a length-n vector; callers clip it into [0, 1]
+      exactly as ``clamp_grade`` would;
+    * column j's score must equal ``self.aggregate(matrix[:, j])`` (up
+      to documented floating-point reassociation, which the property
+      suite bounds at 1e-12).
+    """
+
+    def aggregate_columns(self, matrix):
+        """Score every column of an (m, n) grade matrix at once."""
+        raise NotImplementedError(
+            f"{type(self).__name__} declares VectorizedAggregation but "
+            "does not implement aggregate_columns"
+        )
 
 
 class BinaryAggregation(AggregationFunction):

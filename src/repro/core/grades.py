@@ -30,9 +30,11 @@ GRADE_TOLERANCE: float = 1e-12
 def validate_grade(value: object, context: str = "") -> float:
     """Return ``value`` as a float grade, or raise :class:`GradeRangeError`.
 
-    Accepts ints, floats and numpy floating scalars; rejects bools are
-    *accepted* (they are ints 0/1, the crisp grades), but NaN, infinities
-    and out-of-range reals are rejected.
+    Accepts ints, floats and numpy floating scalars (``np.float64`` and
+    friends convert cleanly through ``float()``, so grades read back
+    from the columnar backend's numpy columns validate unchanged).
+    Bools are also accepted — they are ints 0/1, the crisp grades of
+    Section 2. NaN, infinities and out-of-range reals are rejected.
     """
     try:
         grade = float(value)  # type: ignore[arg-type]

@@ -46,6 +46,16 @@ class ExecutionContext:
     default_k:
         The k used when a query does not name one (the usual "page
         size" of a deployment).
+    batch_size:
+        Deployment-wide cap on the federation's negotiated batch size
+        (how many ranked objects a subsystem ships per exchange).
+        ``None`` — the default — lets each query's subsystems agree
+        among themselves
+        (:func:`~repro.subsystems.base.negotiate_batch_size`); the
+        negotiation still falls back to unit access whenever an
+        involved subsystem lacks ``supports_batched_access``, so this
+        knob can shrink pages but never force batching on a subsystem
+        that cannot serve it.
     """
 
     semantics: FuzzySemantics = STANDARD_FUZZY
@@ -53,6 +63,7 @@ class ExecutionContext:
     planner: PlannerOptions = field(default_factory=PlannerOptions)
     conjunction: str = "external"
     default_k: int = 10
+    batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.conjunction not in _CONJUNCTION_MODES:
@@ -63,6 +74,10 @@ class ExecutionContext:
         if self.default_k < 1:
             raise ValueError(
                 f"default_k must be at least 1, got {self.default_k}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be positive (or None), got {self.batch_size}"
             )
 
     def planner_options(self, conjunction: str | None = None) -> PlannerOptions:

@@ -37,7 +37,11 @@ from dataclasses import replace as _dc_replace
 from typing import Callable, Iterable, Sequence
 
 from repro.access.session import MiddlewareSession
-from repro.access.source import SortedRandomSource
+from repro.access.source import (
+    PagedBatchSource,
+    SortedRandomSource,
+    UnbatchedSource,
+)
 from repro.algorithms.base import TopKAlgorithm, TopKResult
 from repro.core.aggregation import AggregationFunction
 from repro.core.query import Query
@@ -243,6 +247,7 @@ class Engine:
             self.context.semantics,
             self.context.planner_options(conjunction),
             cost_model=self.context.cost_model,
+            batch_size=self.context.batch_size,
         )
 
     def _executor(
@@ -435,7 +440,11 @@ class Engine:
             )
         assert plan.aggregation is not None
         raw = [
-            self._catalog.subsystem_for(atom).evaluate(atom)
+            self._catalog.subsystem_for(atom).evaluate_batched(
+                atom, plan.batch_size
+            )
+            if plan.batch_size is not None
+            else self._catalog.subsystem_for(atom).evaluate(atom)
             for atom in plan.atoms
         ]
         session = MiddlewareSession.over_sources(
@@ -484,18 +493,29 @@ class Engine:
         cache: dict[object, SortedRandomSource] = {}
         counters = {"atom_evaluations": 0, "atom_reuses": 0}
 
-        def evaluate(atom) -> SortedRandomSource:
-            source = cache.get(atom)
-            if source is None:
-                source = self._catalog.subsystem_for(atom).evaluate(atom)
-                cache[atom] = source
+        def evaluate(atom, batch_size=None) -> SortedRandomSource:
+            # The cache holds the *raw* evaluation (the expensive part:
+            # the subsystem computing its graded set); each request
+            # then gets its own plan's transport wrapper, so two batch
+            # members that negotiated different transports for a
+            # shared atom still reuse one evaluation without either
+            # bypassing its plan's page cap (or lack thereof).
+            raw = cache.get(atom)
+            if raw is None:
+                raw = self._catalog.subsystem_for(atom).evaluate(atom)
+                cache[atom] = raw
                 counters["atom_evaluations"] += 1
             else:
                 # Re-issuing the subquery from the top; subsequent
                 # accesses are real and charged to the new session.
-                source.restart()
+                raw.restart()
                 counters["atom_reuses"] += 1
-            return source
+            if batch_size is None:
+                return raw
+            # Mirror Subsystem.evaluate_batched over the cached source.
+            if self._catalog.subsystem_for(atom).supports_batched_access:
+                return PagedBatchSource(raw, batch_size)
+            return UnbatchedSource(raw)
 
         executor = self._executor(evaluate=evaluate)
         answers: list[QueryAnswer] = []

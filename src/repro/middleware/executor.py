@@ -8,6 +8,7 @@ the federated level.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 
 from repro.access.cost import CostTracker
@@ -72,7 +73,10 @@ class Executor:
         Optional hook returning the raw source for an atomic query;
         defaults to asking the catalog's owning subsystem. Batch
         execution injects a caching hook here so an atom shared by
-        several queries is evaluated once per batch.
+        several queries is evaluated once per batch. The hook may
+        accept an optional ``batch_size`` keyword; single-argument
+        hooks keep working (the plan's negotiated batch size is then
+        the hook's own business).
     """
 
     def __init__(
@@ -83,8 +87,35 @@ class Executor:
     ) -> None:
         self._catalog = catalog
         self._semantics = semantics
+        self._custom_evaluate = evaluate_atom
+        self._custom_accepts_batch = False
+        if evaluate_atom is not None:
+            parameters = inspect.signature(evaluate_atom).parameters.values()
+            self._custom_accepts_batch = any(
+                p.name == "batch_size" or p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters
+            )
         self._evaluate = evaluate_atom or (
             lambda atom: catalog.subsystem_for(atom).evaluate(atom)
+        )
+
+    def _evaluate_source(self, atom, batch_size: int | None):
+        """Mint the raw source for one atom, honouring the plan's transport.
+
+        With a negotiated batch size the owning subsystem serves the
+        atom through ``evaluate_batched`` (ranked pages, native bulk
+        lookups); without one the unit route applies unchanged. A
+        caller-supplied hook is forwarded the batch size only if its
+        signature takes one.
+        """
+        if self._custom_evaluate is not None:
+            if self._custom_accepts_batch:
+                return self._custom_evaluate(atom, batch_size=batch_size)
+            return self._custom_evaluate(atom)
+        if batch_size is None:
+            return self._evaluate(atom)
+        return self._catalog.subsystem_for(atom).evaluate_batched(
+            atom, batch_size
         )
 
     def execute(self, plan: PhysicalPlan, k: int) -> QueryAnswer:
@@ -107,20 +138,22 @@ class Executor:
     # Strategies
     # ------------------------------------------------------------------
 
-    def _session_for(self, atoms) -> MiddlewareSession:
-        raw = [self._evaluate(atom) for atom in atoms]
+    def _session_for(
+        self, atoms, batch_size: int | None = None
+    ) -> MiddlewareSession:
+        raw = [self._evaluate_source(atom, batch_size) for atom in atoms]
         return MiddlewareSession.over_sources(
             raw, num_objects=self._catalog.num_objects
         )
 
     def _run_algorithm(self, plan: AlgorithmPlan, k: int) -> TopKResult:
         assert plan.algorithm is not None and plan.aggregation is not None
-        session = self._session_for(plan.atoms)
+        session = self._session_for(plan.atoms, plan.batch_size)
         return plan.algorithm.top_k(session, plan.aggregation, k)
 
     def _run_full_scan(self, plan: FullScanPlan, k: int) -> TopKResult:
         assert plan.aggregation is not None
-        session = self._session_for(plan.atoms)
+        session = self._session_for(plan.atoms, plan.batch_size)
         return NaiveAlgorithm().top_k(session, plan.aggregation, k)
 
     def _run_internal(self, plan: InternalConjunctionPlan, k: int) -> TopKResult:

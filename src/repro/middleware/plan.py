@@ -58,13 +58,23 @@ class AlgorithmPlan(PhysicalPlan):
     #: for flat AND/OR under standard semantics (so A0'/B0's type checks
     #: see min/max), otherwise the compiled composite.
     aggregation: AggregationFunction | None = None
+    #: The batch size the planner negotiated across the atoms'
+    #: subsystems (:func:`~repro.subsystems.base.negotiate_batch_size`);
+    #: ``None`` routes the executor through unit access — the fallback
+    #: when any involved subsystem lacks ``supports_batched_access``.
+    batch_size: int | None = None
 
     def explain(self) -> str:
         assert self.algorithm is not None
         atom_list = ", ".join(map(repr, self.atoms))
+        transport = (
+            f"batched x{self.batch_size}"
+            if self.batch_size is not None
+            else "unit access"
+        )
         return (
             f"AlgorithmPlan[{self.algorithm.name}] over atoms [{atom_list}]"
-            f" — {self.reason}"
+            f" ({transport}) — {self.reason}"
         )
 
 
@@ -114,6 +124,8 @@ class FullScanPlan(PhysicalPlan):
     atoms: tuple[AtomicQuery, ...] = ()
     aggregation: CompiledQueryAggregation | None = None
     universe_negation: bool = field(default=False)
+    #: Negotiated federation batch size (see :class:`AlgorithmPlan`).
+    batch_size: int | None = None
 
     def explain(self) -> str:
         return (

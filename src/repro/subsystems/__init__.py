@@ -7,7 +7,12 @@ sorted/random access interface of Section 4 — the only surface the
 algorithms under study ever touch.
 """
 
-from repro.subsystems.base import StreamOnlySubsystem, Subsystem
+from repro.subsystems.base import (
+    DEFAULT_BATCH_SIZE,
+    StreamOnlySubsystem,
+    Subsystem,
+    negotiate_batch_size,
+)
 from repro.subsystems.qbic import (
     QbicSubsystem,
     gaussian_similarity,
@@ -20,6 +25,8 @@ from repro.subsystems.text import TextSubsystem, tokenize
 __all__ = [
     "Subsystem",
     "StreamOnlySubsystem",
+    "DEFAULT_BATCH_SIZE",
+    "negotiate_batch_size",
     "RelationalSubsystem",
     "QbicSubsystem",
     "gaussian_similarity",

@@ -17,19 +17,43 @@ Capability flags record what each subsystem can do:
 * ``supports_internal_conjunction`` — Section 8: a subsystem may be
   able to evaluate a conjunction itself, under *its own* semantics,
   which may differ from Garlic's.
+* ``supports_batched_access`` — the subsystem can stream its ranked
+  result in *batches* (pages of sorted access, bulk random lookups)
+  instead of strictly "one by one". The paper's protocol is unit-
+  granular; batching is the engineering reality of federating over a
+  network, and it changes only round trips, never the Section 5
+  access counts (a batch of b accesses costs exactly b unit
+  accesses). :meth:`Subsystem.evaluate_batched` is the bulk
+  counterpart of :meth:`Subsystem.evaluate`; for subsystems without
+  the capability it degrades to a unit-access source, which is the
+  **unit-fallback contract** the planner relies on.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Iterable, Sequence
 
-from repro.access.source import SortedRandomSource
+from repro.access.source import (
+    PagedBatchSource,
+    SortedRandomSource,
+    UnbatchedSource,
+)
 from repro.access.types import ObjectId
 from repro.core.query import AtomicQuery
 from repro.exceptions import SubsystemCapabilityError
 
-__all__ = ["Subsystem"]
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "Subsystem",
+    "StreamOnlySubsystem",
+    "negotiate_batch_size",
+]
+
+#: Page size assumed for batch-capable subsystems that state no
+#: preference — large enough that in-memory backends are effectively
+#: unpaged, small enough to model a sane federation message size.
+DEFAULT_BATCH_SIZE = 4096
 
 
 class Subsystem(ABC):
@@ -46,6 +70,15 @@ class Subsystem(ABC):
     #: Are this subsystem's grades always crisp (0/1)?
     crisp: bool = False
 
+    #: Can this subsystem serve ranked results in batches (mirrors the
+    #: strategy registry's ``batch_aware`` capability, subsystem-side)?
+    supports_batched_access: bool = False
+
+    #: Largest batch this subsystem is willing to serve per exchange;
+    #: ``None`` means no preference (:data:`DEFAULT_BATCH_SIZE` is
+    #: assumed during negotiation).
+    batch_size_hint: int | None = None
+
     @abstractmethod
     def attributes(self) -> frozenset[str]:
         """The attribute names this subsystem can evaluate."""
@@ -61,6 +94,37 @@ class Subsystem(ABC):
         Every object in :meth:`object_ids` is graded (Section 5 model);
         each call returns an independent source with its own cursor.
         """
+
+    def evaluate_batched(
+        self, query: AtomicQuery, batch_size: int | None = None
+    ) -> SortedRandomSource:
+        """The graded result of ``query`` as a *batch-aware* source.
+
+        The bulk counterpart of :meth:`evaluate`, used by the executor
+        once the planner has negotiated a batch size for the whole
+        federation (:func:`negotiate_batch_size`):
+
+        * a batch-capable subsystem returns a source whose
+          ``sorted_access_batch`` / ``random_access_many`` are served
+          natively, paged at ``batch_size`` objects per exchange when
+          one is negotiated (``None`` leaves the source unpaged);
+        * a subsystem without the capability returns its unit source
+          behind :class:`~repro.access.source.UnbatchedSource`, so
+          every batch request decomposes into the one-by-one accesses
+          the subsystem actually performs — the **unit-fallback
+          contract**. Either way the Section 5 access counts are
+          identical; only round trips differ.
+        """
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(
+                f"batch size must be positive, got {batch_size}"
+            )
+        source = self.evaluate(query)
+        if not self.supports_batched_access:
+            return UnbatchedSource(source)
+        if batch_size is not None:
+            return PagedBatchSource(source, batch_size)
+        return source
 
     def evaluate_conjunction(
         self, queries: Sequence[AtomicQuery]
@@ -104,7 +168,9 @@ class StreamOnlySubsystem(Subsystem):
 
     Useful both for modelling genuinely stream-only data servers and
     for testing the planner's no-random-access strategy selection (the
-    NRA path) against a known-good graded source.
+    NRA path) against a known-good graded source. Batch capability is
+    orthogonal and passes through: a stream-only server may still page
+    its sorted stream.
     """
 
     supports_random_access = False
@@ -113,6 +179,8 @@ class StreamOnlySubsystem(Subsystem):
         self._inner = inner
         self.name = f"{inner.name} (stream-only)"
         self.crisp = inner.crisp
+        self.supports_batched_access = inner.supports_batched_access
+        self.batch_size_hint = inner.batch_size_hint
 
     def attributes(self) -> frozenset[str]:
         return self._inner.attributes()
@@ -125,5 +193,48 @@ class StreamOnlySubsystem(Subsystem):
 
         return StreamOnlySource(self._inner.evaluate(query))
 
+    def evaluate_batched(
+        self, query: AtomicQuery, batch_size: int | None = None
+    ) -> SortedRandomSource:
+        from repro.access.source import StreamOnlySource
+
+        return StreamOnlySource(
+            self._inner.evaluate_batched(query, batch_size)
+        )
+
     def estimate_selectivity(self, query: AtomicQuery) -> float | None:
         return self._inner.estimate_selectivity(query)
+
+
+def negotiate_batch_size(
+    subsystems: Iterable[Subsystem], requested: int | None = None
+) -> int | None:
+    """The batch size a federation of subsystems agrees to serve.
+
+    ``None`` — the unit-access route — unless **every** subsystem
+    involved supports batched access (a federation is only as bulk as
+    its least capable member; anything else would split one query's
+    lists across two protocols for no round-trip win). Otherwise the
+    smallest declared :attr:`~Subsystem.batch_size_hint` wins, with
+    :data:`DEFAULT_BATCH_SIZE` standing in for subsystems that state
+    no preference; ``requested`` (a caller/deployment preference, e.g.
+    ``ExecutionContext.batch_size``) caps the result.
+    """
+    if requested is not None and requested < 1:
+        raise ValueError(f"requested batch size must be positive, got {requested}")
+    agreed: int | None = None
+    empty = True
+    for subsystem in subsystems:
+        empty = False
+        if not subsystem.supports_batched_access:
+            return None
+        hint = subsystem.batch_size_hint
+        if hint is not None and (agreed is None or hint < agreed):
+            agreed = hint
+    if empty:
+        return None
+    if agreed is None:
+        agreed = DEFAULT_BATCH_SIZE
+    if requested is not None:
+        agreed = min(agreed, requested)
+    return agreed

@@ -12,8 +12,12 @@ from __future__ import annotations
 import random
 from typing import Mapping, Sequence
 
-from repro.access.source import MaterializedSource, SortedRandomSource
-from repro.access.types import ObjectId
+from repro.access.source import (
+    MaterializedSource,
+    SortedRandomSource,
+    rank_items,
+)
+from repro.access.types import GradedItem, ObjectId
 from repro.core.query import AtomicQuery
 from repro.subsystems.base import Subsystem
 from repro.workloads.distributions import GradeDistribution, Uniform
@@ -39,7 +43,15 @@ class SyntheticSubsystem(Subsystem):
     objects:
         The object population for generated attributes (required if
         only ``generated`` is given).
+
+    The benchmark substrate speaks the full batched protocol
+    (``supports_batched_access``): its sources are materialised
+    rankings whose batch methods are native slices/lookups, so
+    :meth:`~repro.subsystems.base.Subsystem.evaluate_batched` streams
+    ranked pages at whatever size the federation negotiates.
     """
+
+    supports_batched_access = True
 
     def __init__(
         self,
@@ -74,6 +86,16 @@ class SyntheticSubsystem(Subsystem):
         self._objects = next(iter(populations))
         self._rng = random.Random(seed)
         self._cache: dict[tuple[str, object], dict[ObjectId, float]] = {}
+        #: Materialised rankings, one per distinct atomic query. A
+        #: subsystem's graded set for a fixed query never changes, so
+        #: the descending sort is paid once and every later session is
+        #: minted as an O(1) cursor over the shared tuple — the same
+        #: share-the-ranking trick ``ColumnarScoringDatabase`` plays,
+        #: here on the subsystem side of the federation.
+        self._rankings: dict[
+            tuple[str, object],
+            tuple[tuple[GradedItem, ...], dict[ObjectId, float]],
+        ] = {}
 
     def attributes(self) -> frozenset[str]:
         return frozenset(self._tables) | frozenset(self._generated)
@@ -96,7 +118,15 @@ class SyntheticSubsystem(Subsystem):
 
     def evaluate(self, query: AtomicQuery) -> SortedRandomSource:
         self.validate_query(query)
-        return MaterializedSource(
+        key = (query.attribute, query.target)
+        cached = self._rankings.get(key)
+        if cached is None:
+            grades = self._grades_for(query)
+            cached = (rank_items(grades), dict(grades))
+            self._rankings[key] = cached
+        ranking, grade_map = cached
+        return MaterializedSource.trusted(
             f"{self.name}:{query.attribute}{query.op}{query.target!r}",
-            self._grades_for(query),
+            ranking,
+            grade_map,
         )

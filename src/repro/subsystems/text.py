@@ -50,7 +50,13 @@ class TextSubsystem(Subsystem):
         is served; its graded queries are free-text strings.
     attribute:
         The attribute name queries address, e.g. ``Blurb ~ "raw soul"``.
+
+    Text engines returned ranked hit *pages* long before 1996; the
+    stand-in declares ``supports_batched_access`` and serves its cosine
+    ranking through the native batch slices of its materialised source.
     """
+
+    supports_batched_access = True
 
     def __init__(
         self,

@@ -1,15 +1,20 @@
 """Parity suite: batched and unit-step access paths are equivalent.
 
-Every algorithm is run on three backings of the same scoring database:
+Every algorithm is run on four backings of the same scoring database:
 
 * ``unit`` — sources wrapped in :class:`UnbatchedSource`, so every
   batched call decomposes into the unit accesses the pre-batching
   implementations performed;
 * ``row`` — plain ``ScoringDatabase`` sessions (``MaterializedSource``
   with its slice-based batch overrides);
-* ``columnar`` — ``ColumnarScoringDatabase`` sessions.
+* ``columnar`` — ``ColumnarScoringDatabase`` sessions (numpy columns,
+  shared rank orders, vectorized computation phases downstream);
+* ``federated`` — the same lists served by a batch-capable
+  :class:`~repro.subsystems.synthetic.SyntheticSubsystem` through
+  ``evaluate_batched`` with a deliberately awkward page size, so every
+  protocol exchange is paged.
 
-All three must produce identical top-k answers and identical per-list
+All four must produce identical top-k answers and identical per-list
 sorted/random access counts; ``IncrementalFagin`` must additionally
 resume identically batch after batch.
 """
@@ -22,6 +27,8 @@ from repro.access import (
     MiddlewareSession,
     UnbatchedSource,
 )
+from repro.core.query import AtomicQuery
+from repro.subsystems.synthetic import SyntheticSubsystem
 from repro.algorithms.fa import FaginA0, IncrementalFagin
 from repro.algorithms.fa_min import FaginA0Min
 from repro.algorithms.fa_variants import EarlyStopFagin, ShrunkenFagin
@@ -50,6 +57,26 @@ ALGORITHMS = [
 ]
 
 
+def federated_session(db) -> MiddlewareSession:
+    """The db's lists behind a batch-capable subsystem, paged at 7."""
+    subsystem = SyntheticSubsystem(
+        "fed",
+        tables={
+            f"attr{i}": db.graded_set(i).as_dict()
+            for i in range(db.num_lists)
+        },
+    )
+    return MiddlewareSession.over_sources(
+        [
+            subsystem.evaluate_batched(
+                AtomicQuery(f"attr{i}", None, "~"), batch_size=7
+            )
+            for i in range(db.num_lists)
+        ],
+        num_objects=db.num_objects,
+    )
+
+
 def sessions_for(db_factory):
     db = db_factory()
     columnar = ColumnarScoringDatabase.from_scoring_database(db)
@@ -60,7 +87,12 @@ def sessions_for(db_factory):
         ],
         num_objects=db.num_objects,
     )
-    return {"unit": unit, "row": db.session(), "columnar": columnar.session()}
+    return {
+        "unit": unit,
+        "row": db.session(),
+        "columnar": columnar.session(),
+        "federated": federated_session(db),
+    }
 
 
 @pytest.mark.parametrize("db_name", DATABASES)
@@ -75,7 +107,7 @@ def test_three_paths_agree(db_name, algo_name, algo_cls, aggregations):
                 for path, session in sessions_for(DATABASES[db_name]).items()
             }
             unit = results["unit"]
-            for path in ("row", "columnar"):
+            for path in ("row", "columnar", "federated"):
                 other = results[path]
                 assert other.items == unit.items, (
                     f"{db_name}/{algo_name}/{aggregation.name}/k={k}: "
@@ -117,7 +149,7 @@ def test_incremental_fagin_resumes_identically(db_name):
             path: cursor.next_batch(6) for path, cursor in cursors.items()
         }
         unit = batches["unit"]
-        for path in ("row", "columnar"):
+        for path in ("row", "columnar", "federated"):
             other = batches[path]
             assert other.items == unit.items, (
                 f"{db_name} batch {batch_index}: {path} answers diverge"
@@ -126,5 +158,5 @@ def test_incremental_fagin_resumes_identically(db_name):
                 f"{db_name} batch {batch_index}: {path} per-batch access "
                 f"deltas diverge ({other.stats!r} vs {unit.stats!r})"
             )
-    for path in ("row", "columnar"):
+    for path in ("row", "columnar", "federated"):
         assert cursors[path].returned == cursors["unit"].returned
