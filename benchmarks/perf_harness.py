@@ -4,7 +4,8 @@ Times FA / TA / NRA / naive over independent *and* correlated
 workloads (the FKG-inequality line in PAPERS.md marks positively
 associated lists as the adversarial regime for wall-clock, so rho > 0
 is benchmarked, not just the Section 5 independence model) at several
-(N, m, k) points, on two backings:
+(N, m, k) points, plus the Section 4 filtered-conjunct strategy over a
+crisp + graded federation, on two backings:
 
 * **legacy** — the pre-batching ``MaterializedSource`` path: a session
   minted from the row-oriented :class:`ScoringDatabase` (full O(N*m)
@@ -22,13 +23,22 @@ Three further lanes extend the trajectory:
 * **scalar** (mean-family configs) — the current algorithms with the
   aggregation hidden behind a kernel-less wrapper, isolating what the
   vectorized computation phase alone buys (``kernel_speedup`` =
-  scalar_ms / columnar_ms). The compare gate requires >= 1.5x on the
-  computation-heavy algorithms (NRA, naive) of every N >= 10k
-  mean-family config.
+  scalar_ms / columnar_ms). The compare gate requires >= 1.5x on every
+  algorithm a config lists in ``kernel_gated`` (the computation-heavy
+  ones: the naive scan on the mean-family configs, TA's warm-up sweep
+  on the ``ta-`` config, the filtered strategy's column scoring on the
+  ``filtered-`` configs).
 * **federated** configs — queries spanning two batch-capable
   subsystems through the full engine stack (plan, negotiate batch
   size, ``evaluate_batched``); the legacy lane is the same federation
   behind ``UnbatchedSource`` driven by the seed-replica runner.
+* **filtered** configs — the Section 4 filtered-conjunct strategy
+  (crisp relational filter + graded conjuncts): the batched lane pages
+  the grade-1 block, bulk-looks-up the survivors and scores them in
+  one column sweep; the legacy lane is the pre-PR executor loop (unit
+  accesses, one compiled-aggregation call per survivor); the scalar
+  lane re-runs the batched lane with the compiled aggregation's column
+  plan suppressed.
 
 Each measurement is the median of ``--repeats`` runs of *mint session
 + run algorithm* (minting is part of the path: the pre-batching code
@@ -48,17 +58,19 @@ Output goes to ``BENCH_topk.json``. Modes:
 both files cover, (a) the access counts differ from the baseline's —
 a deterministic semantics change — or (b) the columnar-vs-legacy
 speedup fell more than 20 % below the baseline's, or (c) a
-computation-heavy mean-family config's ``kernel_speedup`` fell below
-the 1.5x floor. The speedup ratio is compared rather than raw
-milliseconds because both runs of a ratio happen on the *same*
-machine, so the gate is meaningful on CI hardware that is slower or
-faster than wherever the baseline was committed.
+``kernel_gated`` algorithm's ``kernel_speedup`` fell below the 1.5x
+floor. The speedup ratio is compared rather than raw milliseconds
+because both runs of a ratio happen on the *same* machine, so the gate
+is meaningful on CI hardware that is slower or faster than wherever
+the baseline was committed.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import random
 import statistics
 import sys
 import time
@@ -74,7 +86,10 @@ from repro.access import (  # noqa: E402
     UnbatchedSource,
     tie_break_key,
 )
+from repro.access.cost import CostTracker  # noqa: E402
+from repro.access.source import InstrumentedSource  # noqa: E402
 from repro.access.types import GradedItem  # noqa: E402
+from repro.algorithms.base import top_k_of  # noqa: E402
 from repro.algorithms.fa import FaginA0  # noqa: E402
 from repro.algorithms.naive import NaiveAlgorithm  # noqa: E402
 from repro.algorithms.nra import NoRandomAccessAlgorithm  # noqa: E402
@@ -82,9 +97,14 @@ from repro.algorithms.threshold import ThresholdAlgorithm  # noqa: E402
 from repro.core.aggregation import AggregationFunction  # noqa: E402
 from repro.core.means import ARITHMETIC_MEAN  # noqa: E402
 from repro.core.query import And, AtomicQuery  # noqa: E402
+from repro.core.semantics import STANDARD_FUZZY  # noqa: E402
 from repro.engine import Engine  # noqa: E402
 from repro.exceptions import ExhaustedSourceError  # noqa: E402
-from repro.subsystems import SyntheticSubsystem  # noqa: E402
+from repro.middleware.compile import CompiledQueryAggregation  # noqa: E402
+from repro.middleware.executor import Executor  # noqa: E402
+from repro.middleware.plan import FilteredConjunctPlan  # noqa: E402
+from repro.middleware.planner import Planner, PlannerOptions  # noqa: E402
+from repro.subsystems import RelationalSubsystem, SyntheticSubsystem  # noqa: E402
 from repro.workloads import correlated_database, independent_database  # noqa: E402
 
 #: Tolerated relative drop of the columnar-vs-legacy speedup before the
@@ -96,13 +116,15 @@ REGRESSION_TOLERANCE = 0.20
 #: mean-family config (the vectorized-kernels acceptance floor).
 KERNEL_SPEEDUP_FLOOR = 1.5
 
-#: The algorithms whose runtime is dominated by the computation phase
-#: on mean-family workloads — where the kernel floor is enforced. The
-#: naive scan *is* the computation phase (m*N aggregate evaluations by
-#: construction); FA/TA/NRA kernel ratios are recorded for visibility
-#: but not gated, since their certification/delivery fixes sped the
-#: scalar lane up along with the vectorized one.
-COMPUTE_HEAVY = ("naive",)
+#: Per-config ``kernel_gated`` lists name the algorithms whose
+#: ``kernel_speedup`` the compare mode holds to the floor — the ones
+#: whose runtime the computation phase dominates on that workload. The
+#: naive scan is gated on the mean-family configs (m*N aggregate
+#: evaluations by construction); TA is gated on the ``ta-`` config
+#: (large-k warm-up, where the pending sweep runs through the kernel
+#: registry); the filtered strategy on the ``filtered-`` configs (all
+#: of S scored in one column sweep). Other ratios are recorded for
+#: visibility but not gated.
 
 #: Speedup ratios built from medians below this are timer noise on a
 #: shared CI runner (a sub-2ms median swings tens of percent run to
@@ -247,7 +269,26 @@ ALGORITHMS = {
     "naive": (NaiveAlgorithm, _prepr_naive),
 }
 
-AGGREGATIONS = {"min": MINIMUM, "mean": ARITHMETIC_MEAN}
+def _tree_aggregation() -> CompiledQueryAggregation:
+    """A compiled Boolean tree — A1 AND (A2 OR A3) — the federated
+    query shape whose scalar evaluation is a per-object dict build +
+    semantics recursion, and whose bulk evaluation is the compiled
+    column plan (min/max kernels composed). The ``ta-tree`` config
+    gates TA's pending sweep on it: with cheap flat means TA stays
+    access-dominated, but real query trees make the computation phase
+    the bottleneck the kernel registry removes."""
+    from repro.core.query import Or, atom
+
+    return CompiledQueryAggregation(
+        And((atom("A1"), Or((atom("A2"), atom("A3"))))), STANDARD_FUZZY
+    )
+
+
+AGGREGATIONS = {
+    "min": MINIMUM,
+    "mean": ARITHMETIC_MEAN,
+    "tree": _tree_aggregation(),  # arity 3: m=3 configs only
+}
 
 
 class ScalarOnly(AggregationFunction):
@@ -272,24 +313,78 @@ class ScalarOnly(AggregationFunction):
         return self._inner.evaluate_trusted(grades)
 
 
-#: (name, workload, rho, N, m, k, seed, aggregation). The quick set is
-#: the CI gate; the full set adds the larger and negatively-correlated
-#: points. The ``mean`` entries are the computation-heavy configs the
-#: vectorized kernels are gated on; ``federated`` entries span two
-#: batch-capable subsystems through the whole engine stack.
+def cfg(
+    name,
+    workload,
+    rho,
+    N,
+    m,
+    k,
+    seed,
+    aggregation,
+    algos=None,
+    kernel_gated=(),
+):
+    """One benchmark point.
+
+    ``rho`` is the list correlation for ``correlated`` workloads and
+    the crisp conjunct's selectivity for ``filtered`` ones. ``algos``
+    restricts which algorithms run (None = all four); ``kernel_gated``
+    names the algorithms whose kernel_speedup the compare mode gates.
+    """
+    return {
+        "name": name,
+        "workload": workload,
+        "rho": rho,
+        "N": N,
+        "m": m,
+        "k": k,
+        "seed": seed,
+        "aggregation": aggregation,
+        "algos": algos,
+        "kernel_gated": tuple(kernel_gated),
+    }
+
+
+#: The quick set is the CI gate; the full set adds the larger and
+#: negatively-correlated points. The ``mean`` entries are the
+#: computation-heavy configs the vectorized kernels are gated on;
+#: ``federated`` entries span two batch-capable subsystems through the
+#: whole engine stack; the ``ta-`` entry is the Threshold Algorithm's
+#: kernel-gated point (aligned lists + large k, so the warm-up's
+#: pending sweep dominates); ``filtered-`` entries run the Section 4
+#: filtered-conjunct strategy over a crisp + graded federation.
 QUICK_CONFIGS = [
-    ("ind-N2000-m2-k5", "independent", None, 2_000, 2, 5, 101, "min"),
-    ("ind-N10000-m3-k10", "independent", None, 10_000, 3, 10, 42, "min"),
-    ("corr+0.6-N10000-m3-k10", "correlated", 0.6, 10_000, 3, 10, 42, "min"),
-    ("mean-N10000-m3-k10", "independent", None, 10_000, 3, 10, 42, "mean"),
-    ("fed-N10000-m3-k10", "federated", None, 10_000, 3, 10, 42, "min"),
+    cfg("ind-N2000-m2-k5", "independent", None, 2_000, 2, 5, 101, "min"),
+    cfg("ind-N10000-m3-k10", "independent", None, 10_000, 3, 10, 42, "min"),
+    cfg("corr+0.6-N10000-m3-k10", "correlated", 0.6, 10_000, 3, 10, 42, "min"),
+    cfg(
+        "mean-N10000-m3-k10", "independent", None, 10_000, 3, 10, 42, "mean",
+        kernel_gated=("naive",),
+    ),
+    cfg("fed-N10000-m3-k10", "federated", None, 10_000, 3, 10, 42, "min"),
+    cfg(
+        "ta-tree-corr0.99-N10000-m3-k3000", "correlated", 0.99, 10_000, 3,
+        3_000, 42, "tree", algos=("threshold",), kernel_gated=("threshold",),
+    ),
+    cfg(
+        "filtered-N20000-sel0.3-m3-k10", "filtered", 0.3, 20_000, 3, 10, 42,
+        "min", kernel_gated=("filtered",),
+    ),
 ]
 FULL_CONFIGS = QUICK_CONFIGS + [
-    ("corr-0.4-N10000-m2-k10", "correlated", -0.4, 10_000, 2, 10, 42, "min"),
-    ("ind-N10000-m3-k100", "independent", None, 10_000, 3, 100, 42, "min"),
-    ("ind-N30000-m3-k10", "independent", None, 30_000, 3, 10, 42, "min"),
-    ("mean-N30000-m3-k10", "independent", None, 30_000, 3, 10, 42, "mean"),
-    ("fed-N30000-m2-k10", "federated", None, 30_000, 2, 10, 7, "min"),
+    cfg("corr-0.4-N10000-m2-k10", "correlated", -0.4, 10_000, 2, 10, 42, "min"),
+    cfg("ind-N10000-m3-k100", "independent", None, 10_000, 3, 100, 42, "min"),
+    cfg("ind-N30000-m3-k10", "independent", None, 30_000, 3, 10, 42, "min"),
+    cfg(
+        "mean-N30000-m3-k10", "independent", None, 30_000, 3, 10, 42, "mean",
+        kernel_gated=("naive",),
+    ),
+    cfg("fed-N30000-m2-k10", "federated", None, 30_000, 2, 10, 7, "min"),
+    cfg(
+        "filtered-N50000-sel0.2-m2-k10", "filtered", 0.2, 50_000, 2, 10, 7,
+        "min", kernel_gated=("filtered",),
+    ),
 ]
 
 
@@ -318,15 +413,22 @@ def median_ms(run, repeats: int) -> float:
 
 
 def bench_config(entry, repeats: int) -> dict:
-    name, workload, rho, N, m, k, seed, agg_name = entry
+    name = entry["name"]
+    workload = entry["workload"]
+    rho, N, m, k = entry["rho"], entry["N"], entry["m"], entry["k"]
+    seed, agg_name = entry["seed"], entry["aggregation"]
     if workload == "federated":
         return bench_federated(entry, repeats)
+    if workload == "filtered":
+        return bench_filtered(entry, repeats)
     aggregation = AGGREGATIONS[agg_name]
     scalar_aggregation = ScalarOnly(aggregation)
     db = build_database(workload, rho, N, m, seed)
     columnar = ColumnarScoringDatabase.from_scoring_database(db)
     results: dict[str, dict] = {}
-    for algo_name, (algo_cls, prepr_run) in ALGORITHMS.items():
+    selected = entry["algos"] or tuple(ALGORITHMS)
+    for algo_name in selected:
+        algo_cls, prepr_run = ALGORITHMS[algo_name]
         algorithm = algo_cls()
         # Warm-up runs double as the equivalence check: identical
         # answers, identical per-list access counts on both lanes.
@@ -399,6 +501,7 @@ def bench_config(entry, repeats: int) -> dict:
         "k": k,
         "seed": seed,
         "aggregation": agg_name,
+        "kernel_gated": list(entry["kernel_gated"]),
         "algorithms": results,
     }
 
@@ -444,7 +547,9 @@ def bench_federated(entry, repeats: int) -> dict:
     every source behind ``UnbatchedSource``. Answers and per-list
     counts must match exactly.
     """
-    name, workload, rho, N, m, k, seed, agg_name = entry
+    name, workload = entry["name"], entry["workload"]
+    rho, N, m, k = entry["rho"], entry["N"], entry["m"], entry["k"]
+    seed, agg_name = entry["seed"], entry["aggregation"]
     assert agg_name == "min", "federated configs run the standard AND"
     db = build_database(workload, rho, N, m, seed)
     engine = federated_engine(db, m)
@@ -507,6 +612,174 @@ def bench_federated(entry, repeats: int) -> dict:
         "aggregation": agg_name,
         "subsystems": 2,
         "negotiated_batch_size": plan.batch_size,
+        "kernel_gated": list(entry["kernel_gated"]),
+        "algorithms": results,
+    }
+
+
+# ----------------------------------------------------------------------
+# The filtered-conjunct configs: Section 4's crisp-filter strategy over
+# a relational + synthetic federation.
+# ----------------------------------------------------------------------
+
+
+def _prepr_filtered(catalog, plan, k, compiled):
+    """The pre-batching ``Executor._run_filtered``, verbatim in
+    structure: unit sources, one sorted access at a time off the crisp
+    stream, per-object random access, one validating compiled-
+    aggregation call per survivor. Returns (items, stats)."""
+    all_atoms = compiled.atoms
+    tracker = CostTracker(len(plan.filter_atoms) + len(plan.graded_atoms))
+    sources = {}
+    for index, atom in enumerate(plan.filter_atoms + plan.graded_atoms):
+        raw = UnbatchedSource(catalog.subsystem_for(atom).evaluate(atom))
+        sources[atom] = InstrumentedSource(raw, tracker, index)
+    survivors = None
+    for atom in plan.filter_atoms:
+        source = sources[atom]
+        matches = set()
+        while not source.exhausted:
+            item = source.next_sorted()
+            if item.grade >= 1.0:
+                matches.add(item.obj)
+            else:
+                break
+        survivors = matches if survivors is None else (survivors & matches)
+        if not survivors:
+            break
+    scored = {}
+    for obj in survivors:
+        grades = []
+        for atom in all_atoms:
+            if atom in plan.filter_atoms:
+                grades.append(1.0)
+            else:
+                grades.append(sources[atom].random_access(obj))
+        scored[obj] = compiled(*grades)
+    items = tuple(top_k_of(scored, min(k, len(scored))))
+    return items, tracker.snapshot()
+
+
+def filtered_setup(entry):
+    """Catalog, executor, and the three plan lanes for a filtered config."""
+    selectivity, N, m, seed = (
+        entry["rho"], entry["N"], entry["m"], entry["seed"],
+    )
+    rng = random.Random(seed)
+    objs = list(range(N))
+    matches = int(selectivity * N)
+    from repro.middleware.catalog import Catalog
+
+    catalog = Catalog()
+    catalog.register(
+        RelationalSubsystem(
+            "rel",
+            {
+                o: {"Artist": "hit" if o < matches else f"a{o % 97}"}
+                for o in objs
+            },
+        )
+    )
+    catalog.register(
+        SyntheticSubsystem(
+            "syn",
+            tables={
+                f"g{i}": {o: rng.random() for o in objs}
+                for i in range(m - 1)
+            },
+        )
+    )
+    query = And(
+        (
+            AtomicQuery("Artist", "hit", "="),
+            *(AtomicQuery(f"g{i}", None, "~") for i in range(m - 1)),
+        )
+    )
+    planner = Planner(
+        catalog, options=PlannerOptions(selectivity_threshold=1.0)
+    )
+    plan = planner.plan(query)
+    assert isinstance(plan, FilteredConjunctPlan), plan.explain()
+    assert plan.batch_size is not None, "federation must negotiate batching"
+    scalar_plan = dataclasses.replace(
+        plan,
+        aggregation=CompiledQueryAggregation(
+            plan.query, STANDARD_FUZZY, vectorize=False
+        ),
+    )
+    return catalog, Executor(catalog, STANDARD_FUZZY), plan, scalar_plan
+
+
+def bench_filtered(entry, repeats: int) -> dict:
+    """The filtered-conjunct strategy: batched + column-swept vs the
+    pre-PR unit loop, with a kernel-less scalar lane in between.
+
+    All three lanes must return identical items with identical
+    per-list access counts — paging the crisp block and bulk random
+    access change round trips, never the Section 5 accounting.
+    """
+    name, k = entry["name"], entry["k"]
+    catalog, executor, plan, scalar_plan = filtered_setup(entry)
+
+    # Warm-up + equivalence across all three lanes.
+    batched = executor.execute(plan, k)
+    scalar = executor.execute(scalar_plan, k)
+    ref_items, ref_stats = _prepr_filtered(
+        catalog, plan, k, scalar_plan.aggregation
+    )
+    if [(i.obj, i.grade) for i in ref_items] != [
+        (i.obj, i.grade) for i in batched.items
+    ]:
+        raise AssertionError(f"{name}: batched answer differs from legacy")
+    if ref_stats != batched.result.stats:
+        raise AssertionError(
+            f"{name}: filtered access counts diverge — "
+            f"legacy {ref_stats!r} vs batched {batched.result.stats!r}"
+        )
+    if scalar.items != batched.items or scalar.result.stats != batched.result.stats:
+        raise AssertionError(f"{name}: scalar lane diverges from kernels")
+
+    legacy_ms = median_ms(
+        lambda: _prepr_filtered(catalog, plan, k, scalar_plan.aggregation),
+        repeats,
+    )
+    columnar_ms = median_ms(lambda: executor.execute(plan, k), repeats)
+    scalar_ms = median_ms(lambda: executor.execute(scalar_plan, k), repeats)
+    stats = batched.result.stats
+    results = {
+        "filtered": {
+            "legacy_ms": round(legacy_ms, 3),
+            "columnar_ms": round(columnar_ms, 3),
+            "speedup": round(legacy_ms / columnar_ms, 2),
+            "scalar_ms": round(scalar_ms, 3),
+            "kernel_speedup": round(scalar_ms / columnar_ms, 2),
+            "sorted_by_list": list(stats.sorted_by_list),
+            "random_by_list": list(stats.random_by_list),
+            "sorted": stats.sorted_cost,
+            "random": stats.random_cost,
+            "counts_match": True,
+        }
+    }
+    print(
+        f"  {'filtered':<10} legacy {legacy_ms:8.2f} ms   "
+        f"batched  {columnar_ms:8.2f} ms   "
+        f"{legacy_ms / columnar_ms:5.2f}x   "
+        f"S={stats.sorted_cost} R={stats.random_cost}   "
+        f"kernel {scalar_ms / columnar_ms:4.2f}x   "
+        f"(|S|={batched.result.details['filter_set_size']}, "
+        f"batch {plan.batch_size})"
+    )
+    return {
+        "config": name,
+        "workload": entry["workload"],
+        "rho": entry["rho"],
+        "N": entry["N"],
+        "m": entry["m"],
+        "k": k,
+        "seed": entry["seed"],
+        "aggregation": entry["aggregation"],
+        "negotiated_batch_size": plan.batch_size,
+        "kernel_gated": list(entry["kernel_gated"]),
         "algorithms": results,
     }
 
@@ -545,17 +818,19 @@ def compare(current: dict, baseline_path: Path) -> list[str]:
                     f"{then['speedup']}x -> {now['speedup']}x "
                     f"(floor {floor:.2f}x)"
                 )
-        if config.get("aggregation") == "mean" and config.get("N", 0) >= 10_000:
-            # The vectorized-kernels acceptance floor: on computation-
-            # heavy mean-family configs the kernel lane must keep
-            # beating the scalar lane by at least 1.5x.
-            for algo in COMPUTE_HEAVY:
-                gain = config["algorithms"].get(algo, {}).get("kernel_speedup")
-                if gain is not None and gain < KERNEL_SPEEDUP_FLOOR:
-                    failures.append(
-                        f"{config['config']}/{algo}: kernel speedup {gain}x "
-                        f"below the {KERNEL_SPEEDUP_FLOOR}x floor"
-                    )
+        # The vectorized-kernels acceptance floor: on every algorithm a
+        # config explicitly gates (all current gated configs are
+        # N >= 10k), the kernel lane must keep beating the scalar lane
+        # by at least 1.5x. The gate is opt-in per config, so it is
+        # enforced whenever declared — a config too small to time
+        # meaningfully should simply not declare one.
+        for algo in config.get("kernel_gated", ()):
+            gain = config["algorithms"].get(algo, {}).get("kernel_speedup")
+            if gain is not None and gain < KERNEL_SPEEDUP_FLOOR:
+                failures.append(
+                    f"{config['config']}/{algo}: kernel speedup {gain}x "
+                    f"below the {KERNEL_SPEEDUP_FLOOR}x floor"
+                )
     return failures
 
 
@@ -585,7 +860,7 @@ def main(argv=None) -> int:
 
     configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
     report = {
-        "schema": "bench-topk/v2",
+        "schema": "bench-topk/v3",
         "generated_by": "benchmarks/perf_harness.py",
         "mode": "quick" if args.quick else "full",
         "repeats": args.repeats,
@@ -594,7 +869,10 @@ def main(argv=None) -> int:
     }
     started = time.perf_counter()
     for entry in configs:
-        print(f"{entry[0]} (workload={entry[1]}, rho={entry[2]})")
+        print(
+            f"{entry['name']} (workload={entry['workload']}, "
+            f"rho={entry['rho']})"
+        )
         report["configs"].append(bench_config(entry, args.repeats))
     report["wall_s"] = round(time.perf_counter() - started, 1)
 

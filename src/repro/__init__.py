@@ -109,7 +109,7 @@ from repro.subsystems import (
     TextSubsystem,
 )
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "__version__",

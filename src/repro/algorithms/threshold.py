@@ -31,8 +31,16 @@ import heapq
 from repro.access.session import MiddlewareSession
 from repro.algorithms.base import TopKAlgorithm, TopKResult, top_k_of
 from repro.core.aggregation import AggregationFunction
+from repro.core.kernels import kernel_for
 
 __all__ = ["ThresholdAlgorithm"]
+
+#: Pending batches smaller than this are scored by the scalar fold even
+#: when a kernel exists: a (m, n) numpy round-trip costs more than n
+#: scalar evaluations for tiny n, and post-warm-up TA rounds surface at
+#: most m new objects each. Warm-up chunks (k not yet reached) are the
+#: batches the kernel sweep is for.
+_KERNEL_MIN_PENDING = 16
 
 
 def _seed_grades(m: int, first_list: int, grade: float) -> list[float]:
@@ -72,6 +80,7 @@ class ThresholdAlgorithm(TopKAlgorithm):
         bottoms = [1.0] * m
         rounds = 0
         tau = 1.0
+        vectorized = kernel_for(aggregation) is not None
         while True:
             # The stop check needs k scored objects first, and a round of
             # m sorted accesses surfaces at most m new objects — so while
@@ -84,10 +93,13 @@ class ThresholdAlgorithm(TopKAlgorithm):
                 chunk = 1
             batches = [sources[i].sorted_access_batch(chunk) for i in range(m)]
             delivered = max(len(b) for b in batches)
-            rounds += delivered or 1
             if delivered == 0:
-                # Every list exhausted: all objects seen and graded.
+                # Every list exhausted: all objects seen and graded. The
+                # exhaustion probe performed no sorted accesses, so it is
+                # not a round — ``rounds`` reports only depths actually
+                # reached (== the per-list maximum sorted depth).
                 break
+            rounds += delivered
             # Replay the chunk round-major so "which list saw the object
             # first" — and with it the per-list random-access counts —
             # matches the unit-step interleaving exactly.
@@ -117,9 +129,24 @@ class ThresholdAlgorithm(TopKAlgorithm):
                     looked_up = sources[j].random_access_many(objs)
                     for obj, grade in zip(objs, looked_up):
                         grades_by_obj[obj][j] = grade
-                evaluate = aggregation.evaluate_trusted
-                for obj, grades in grades_by_obj.items():
-                    grade = evaluate(grades)
+                if vectorized and len(pending) >= _KERNEL_MIN_PENDING:
+                    # Kernel sweep: transpose the per-object grade
+                    # vectors into (m, n) rows — column idx is the
+                    # idx-th pending object in first-seen order — and
+                    # score the whole batch in one matrix evaluation
+                    # (warm-up chunks are the large batches this is
+                    # for; the zip transpose is C-speed).
+                    rows = list(zip(*grades_by_obj.values()))
+                    scores = aggregation.evaluate_columns(rows)
+                else:
+                    # Scalar fallback: no kernel, or a batch too small
+                    # to amortise the numpy round-trip.
+                    evaluate = aggregation.evaluate_trusted
+                    scores = [
+                        evaluate(grades)
+                        for grades in grades_by_obj.values()
+                    ]
+                for obj, grade in zip(grades_by_obj, scores):
                     scored[obj] = grade
                     if len(best) < k:
                         heapq.heappush(best, grade)

@@ -60,6 +60,7 @@ __all__ = [
     "register_kernel",
     "kernel_for",
     "as_grade_matrix",
+    "stack_rows",
     "evaluate_matrix",
     "evaluate_columns",
 ]
@@ -109,6 +110,18 @@ def as_grade_matrix(rows: Sequence[Sequence[float]]) -> "np.ndarray":
     """Stack m per-list grade rows into an (m, n) float64 matrix."""
     assert HAVE_NUMPY, "as_grade_matrix needs numpy; gate on HAVE_NUMPY"
     return _np.asarray(rows, dtype=_np.float64)
+
+
+def stack_rows(vectors: Sequence["np.ndarray"]) -> "np.ndarray":
+    """Gather per-child score vectors into an (m, n) kernel input.
+
+    The helper compositional kernels use (e.g. the compiled query
+    column plans of :mod:`repro.middleware.compile`): each child node
+    evaluates to a length-n vector, and the parent connective's kernel
+    wants them stacked as a matrix, rows in child order.
+    """
+    assert HAVE_NUMPY, "stack_rows needs numpy; gate on HAVE_NUMPY"
+    return _np.stack(vectors)
 
 
 def evaluate_matrix(

@@ -9,14 +9,27 @@ are (composition of monotone functions), which is exactly what
 Theorem 4.2 needs. :class:`CompiledQueryAggregation` performs that
 compilation, inheriting its monotone/strict flags from the semantics'
 conservative classification.
+
+Compilation also targets the bulk pipeline: when every connective in
+the tree has a vectorized kernel (:mod:`repro.core.kernels`), the
+compiled aggregation assembles a *column plan* — a composition of
+kernels that scores a whole (m, n) grade matrix at once — and exposes
+it through the instance-level ``aggregate_columns`` capability, so the
+filtered-conjunct executor and the naive scan evaluate the query tree
+in a handful of numpy sweeps instead of one Python recursion per
+object. Any node without a kernel (an exotic norm, a non-standard
+negation, a weighted node) declines vectorization entirely and the
+scalar fold applies unchanged — same answers either way.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.aggregation import AggregationFunction
-from repro.core.query import AtomicQuery, Query
+from repro.core.kernels import HAVE_NUMPY, kernel_for, stack_rows
+from repro.core.negations import StandardNegation
+from repro.core.query import And, AtomicQuery, Ft, Not, Or, Query
 from repro.core.semantics import FuzzySemantics
 
 __all__ = ["CompiledQueryAggregation"]
@@ -30,9 +43,18 @@ class CompiledQueryAggregation(AggregationFunction):
     An atom appearing several times in the tree (e.g. ``A AND (A OR
     B)``) is still a *single* argument — its grade is shared, exactly
     as the semantics of Section 3 prescribe.
+
+    ``vectorize=False`` suppresses the column plan even when every
+    connective has a kernel — the lane the perf harness uses to
+    isolate what the vectorized computation phase buys.
     """
 
-    def __init__(self, query: Query, semantics: FuzzySemantics) -> None:
+    def __init__(
+        self,
+        query: Query,
+        semantics: FuzzySemantics,
+        vectorize: bool = True,
+    ) -> None:
         self.query = query
         self.semantics = semantics
         self.atoms: tuple[AtomicQuery, ...] = query.atoms()
@@ -43,7 +65,63 @@ class CompiledQueryAggregation(AggregationFunction):
         self.monotone = classification.monotone
         self.strict = classification.strict
         self.name = f"compiled({query!r})"
+        if vectorize and HAVE_NUMPY:
+            column_plan = self._compile_columns(
+                query, {atom: i for i, atom in enumerate(self.atoms)}
+            )
+            if column_plan is not None:
+                # Instance-level VectorizedAggregation capability: set
+                # only when the *whole* tree kernelised, so kernel_for
+                # never sees a partial plan.
+                self.aggregate_columns = column_plan
 
     def aggregate(self, grades: Sequence[float]) -> float:
         valuation = dict(zip(self.atoms, grades))
         return self.semantics.evaluate(self.query, valuation)
+
+    # ------------------------------------------------------------------
+    # Column-plan compilation
+    # ------------------------------------------------------------------
+
+    def _compile_columns(
+        self, query: Query, index: dict[AtomicQuery, int]
+    ) -> Callable | None:
+        """A kernel composition scoring every matrix column, or None.
+
+        Mirrors :meth:`~repro.core.semantics.FuzzySemantics.evaluate`
+        node for node: atoms read their matrix row, And/Or apply the
+        semantics' connective kernel to the stacked child vectors, Ft
+        applies its own aggregation's kernel, Not applies the standard
+        negation (the only one with a closed vector form we vectorize).
+        Returns ``None`` — decline, scalar fold — as soon as any node
+        lacks a kernel, so vectorization is all-or-nothing per query.
+        """
+        if isinstance(query, AtomicQuery):
+            row = index[query]
+            return lambda matrix: matrix[row]
+        if isinstance(query, Not):
+            if not isinstance(self.semantics.negation, StandardNegation):
+                return None
+            operand = self._compile_columns(query.operand, index)
+            if operand is None:
+                return None
+            return lambda matrix: 1.0 - operand(matrix)
+        if isinstance(query, And):
+            connective: AggregationFunction = self.semantics.tnorm
+        elif isinstance(query, Or):
+            connective = self.semantics.conorm
+        elif isinstance(query, Ft):
+            connective = query.aggregation
+        else:  # Weighted (and future node types): scalar evaluation only
+            return None
+        kernel = kernel_for(connective)
+        if kernel is None:
+            return None
+        children = [self._compile_columns(c, index) for c in query.children()]
+        if any(child is None for child in children):
+            return None
+
+        def run(matrix, kernel=kernel, children=tuple(children)):
+            return kernel(stack_rows([child(matrix) for child in children]))
+
+        return run

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.access.cost import CostTracker
 from repro.access.session import MiddlewareSession
-from repro.access.source import InstrumentedSource
+from repro.access.source import InstrumentedSource, tie_break_key
 from repro.access.types import GradedItem
 from repro.algorithms.base import TopKResult, top_k_of
 from repro.algorithms.naive import NaiveAlgorithm
@@ -183,53 +183,66 @@ class Executor:
            0 (some crisp conjunct is 0 and every t-norm annihilates at
            0), so if |S| < k the answer is padded with grade-0 objects
            — no further accesses needed.
+
+        With a negotiated ``plan.batch_size`` the same three phases run
+        bulk: sources are minted through ``evaluate_batched``, the
+        grade-1 blocks are paged off the filter streams, the survivors
+        are bulk-looked-up per graded atom via ``random_access_many``,
+        and S is scored in one column sweep. Access counts match the
+        unit route (a batch of b accesses costs b unit accesses).
         """
         assert plan.aggregation is not None
         compiled = plan.aggregation
         all_atoms = compiled.atoms  # argument order of the aggregation
+        batch_size = plan.batch_size
         tracker = CostTracker(len(plan.filter_atoms) + len(plan.graded_atoms))
 
         sources = {}
-        index = 0
-        for atom in plan.filter_atoms + plan.graded_atoms:
-            raw = self._evaluate(atom)
+        for index, atom in enumerate(plan.filter_atoms + plan.graded_atoms):
+            raw = self._evaluate_source(atom, batch_size)
             sources[atom] = InstrumentedSource(raw, tracker, index)
-            index += 1
 
         # Phase 1: crisp match sets off the top of each filter stream.
         survivors: set | None = None
         for atom in plan.filter_atoms:
-            source = sources[atom]
-            matches = set()
-            while not source.exhausted:
-                item = source.next_sorted()
-                if item.grade >= 1.0:
-                    matches.add(item.obj)
-                else:
-                    break  # crisp stream: everything after is graded 0
+            if batch_size is None:
+                matches = self._crisp_block_unit(sources[atom])
+            else:
+                matches = self._crisp_block_batched(
+                    sources[atom], atom, batch_size
+                )
             survivors = matches if survivors is None else (survivors & matches)
             if not survivors:
                 break
         assert survivors is not None
 
-        # Phase 2: random access the graded conjuncts for S's members.
-        scored: dict[object, float] = {}
-        for obj in survivors:
-            grades = []
-            for atom in all_atoms:
-                if atom in plan.filter_atoms:
-                    grades.append(1.0)
-                else:
-                    grades.append(sources[atom].random_access(obj))
-            scored[obj] = compiled(*grades)
+        # Phase 2: random access the graded conjuncts for S's members,
+        # then score the whole set in one column sweep (vectorized when
+        # the compiled aggregation carries a kernel plan). ``ordered``
+        # fixes a deterministic column order; the scores themselves are
+        # order-independent.
+        ordered = sorted(survivors, key=tie_break_key)
+        rows: list[list[float]] = []
+        for atom in all_atoms:
+            if atom in plan.filter_atoms:
+                rows.append([1.0] * len(ordered))
+            elif batch_size is None:
+                source = sources[atom]
+                rows.append([source.random_access(obj) for obj in ordered])
+            else:
+                rows.append(sources[atom].random_access_many(ordered))
+        scores = compiled.evaluate_columns(rows) if ordered else []
+        scored = dict(zip(ordered, scores))
 
         items = list(top_k_of(scored, min(k, len(scored))))
 
-        # Phase 3: pad with certified grade-0 objects if needed.
+        # Phase 3: pad with certified grade-0 objects if needed, in the
+        # library-wide deterministic tie order (integer populations pad
+        # numerically, not by the lexicographic repr that put 10 < 2).
         if len(items) < k:
             padding = sorted(
                 (obj for obj in self._catalog.objects if obj not in survivors),
-                key=repr,
+                key=tie_break_key,
             )
             for obj in padding[: k - len(items)]:
                 items.append(GradedItem(obj, 0.0))
@@ -238,5 +251,67 @@ class Executor:
             items=tuple(items),
             stats=tracker.snapshot(),
             algorithm="filtered-conjunct",
-            details={"filter_set_size": len(survivors)},
+            details={
+                "filter_set_size": len(survivors),
+                "batch_size": batch_size,
+            },
         )
+
+    @staticmethod
+    def _crisp_block_unit(source) -> set:
+        """The grade-1 block of a crisp stream, one sorted access at a
+        time — the paper's literal protocol: read matches off the top,
+        stop at the first non-match."""
+        matches = set()
+        while not source.exhausted:
+            item = source.next_sorted()
+            if item.grade >= 1.0:
+                matches.add(item.obj)
+            else:
+                break  # crisp stream: everything after is graded 0
+        return matches
+
+    def _crisp_block_batched(self, source, atom, batch_size: int) -> set:
+        """The grade-1 block, read in sorted-access pages.
+
+        The page sizing keeps the Section 5 accounting identical to the
+        unit route. When the owning subsystem declares its selectivity
+        statistic *exact* (``selectivity_is_exact``), the statistic (a
+        catalogue lookup, not a charged access — the planner already
+        consulted it to pick this strategy) gives the block length B,
+        and the reads total exactly the block plus the one probe item
+        that proves it ended — ``B + 1`` accesses, precisely what the
+        unit loop performs (a short count degrades to unit-sized probe
+        pages past the predicted prefix and still lands on B + 1).
+        Without an exactness declaration the estimate is not trusted
+        for sizing at all — an over-estimate would over-read and
+        inflate the sorted count — and the block is read in unit-sized
+        pages: one object per exchange, the unit lane's accounting by
+        construction. The same caution applies when a caller-supplied
+        evaluation hook minted the stream: the hook may serve data the
+        catalogue's statistics do not describe (a snapshot, a cache, a
+        test double), so its blocks are always probed unit-sized.
+        """
+        matches: set = set()
+        subsystem = self._catalog.subsystem_for(atom)
+        selectivity = (
+            subsystem.estimate_selectivity(atom)
+            if self._custom_evaluate is None and subsystem.selectivity_is_exact
+            else None
+        )
+        expected = (
+            int(round(selectivity * len(source)))
+            if selectivity is not None
+            else 0
+        )
+        while not source.exhausted:
+            want = min(max(expected - len(matches), 0) + 1, batch_size)
+            page = source.sorted_access_batch(want)
+            if not page:
+                break
+            for item in page:
+                if item.grade >= 1.0:
+                    matches.add(item.obj)
+                else:
+                    return matches  # block ended inside this page
+        return matches

@@ -91,13 +91,25 @@ class FilteredConjunctPlan(PhysicalPlan):
     filter_atoms: tuple[AtomicQuery, ...] = ()
     graded_atoms: tuple[AtomicQuery, ...] = ()
     aggregation: CompiledQueryAggregation | None = None
+    #: Negotiated federation batch size (see :class:`AlgorithmPlan`):
+    #: with one, the executor pages the crisp grade-1 block off the top
+    #: of each filter stream and bulk-looks-up the survivors per graded
+    #: atom; ``None`` keeps the unit-access route. Access counts are
+    #: identical either way (Section 5's model counts accesses, not
+    #: round trips).
+    batch_size: int | None = None
 
     def explain(self) -> str:
         filters = ", ".join(map(repr, self.filter_atoms))
         graded = ", ".join(map(repr, self.graded_atoms))
+        transport = (
+            f"batched x{self.batch_size}"
+            if self.batch_size is not None
+            else "unit access"
+        )
         return (
             f"FilteredConjunctPlan: filter on [{filters}], random-access "
-            f"grades for [{graded}] — {self.reason}"
+            f"grades for [{graded}] ({transport}) — {self.reason}"
         )
 
 

@@ -21,14 +21,14 @@ Strategy selection follows the paper's decision points:
    exists).
 
 Orthogonally to strategy choice, the planner negotiates the
-federation's *transport*: when every subsystem an algorithm plan
-touches declares ``supports_batched_access``, the plan records the
-agreed batch size (:func:`~repro.subsystems.base.negotiate_batch_size`)
-and the executor mints sources through
-``Subsystem.evaluate_batched`` — ranked pages instead of one object
-per round trip. Any non-batched member drops the whole plan to unit
-access (the unit-fallback contract); access *counts* are identical
-either way, per Section 5's model.
+federation's *transport*: when every subsystem a plan touches —
+algorithm, full-scan, and filtered-conjunct plans alike — declares
+``supports_batched_access``, the plan records the agreed batch size
+(:func:`~repro.subsystems.base.negotiate_batch_size`) and the executor
+mints sources through ``Subsystem.evaluate_batched`` — ranked pages
+instead of one object per round trip. Any non-batched member drops the
+whole plan to unit access (the unit-fallback contract); access
+*counts* are identical either way, per Section 5's model.
 """
 
 from __future__ import annotations
@@ -287,6 +287,7 @@ class Planner:
                 filter_atoms=tuple(crisp_selective),
                 graded_atoms=graded,
                 aggregation=aggregation,
+                batch_size=self._negotiated_batch_size(atoms),
             )
         return None
 
@@ -335,5 +336,6 @@ class Planner:
                 filter_atoms=tuple(crisp),
                 graded_atoms=graded,
                 aggregation=aggregation,
+                batch_size=self._negotiated_batch_size(atoms),
             )
         return None

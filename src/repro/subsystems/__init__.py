@@ -9,6 +9,8 @@ algorithms under study ever touch.
 
 from repro.subsystems.base import (
     DEFAULT_BATCH_SIZE,
+    DEFAULT_RANKING_CACHE_CAPACITY,
+    RankingCache,
     StreamOnlySubsystem,
     Subsystem,
     negotiate_batch_size,
@@ -26,6 +28,8 @@ __all__ = [
     "Subsystem",
     "StreamOnlySubsystem",
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_RANKING_CACHE_CAPACITY",
+    "RankingCache",
     "negotiate_batch_size",
     "RelationalSubsystem",
     "QbicSubsystem",

@@ -32,19 +32,24 @@ Capability flags record what each subsystem can do:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Sequence
+from collections import OrderedDict
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.access.source import (
+    MaterializedSource,
     PagedBatchSource,
     SortedRandomSource,
     UnbatchedSource,
+    rank_items,
 )
-from repro.access.types import ObjectId
+from repro.access.types import GradedItem, ObjectId
 from repro.core.query import AtomicQuery
 from repro.exceptions import SubsystemCapabilityError
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_RANKING_CACHE_CAPACITY",
+    "RankingCache",
     "Subsystem",
     "StreamOnlySubsystem",
     "negotiate_batch_size",
@@ -54,6 +59,89 @@ __all__ = [
 #: preference — large enough that in-memory backends are effectively
 #: unpaged, small enough to model a sane federation message size.
 DEFAULT_BATCH_SIZE = 4096
+
+#: Distinct atomic queries whose materialised rankings a subsystem
+#: retains by default. Federated workloads re-issue a handful of atoms
+#: over and over (run_many batches, repeated dashboards), so a small
+#: LRU makes every repeat an O(1) session mint.
+DEFAULT_RANKING_CACHE_CAPACITY = 32
+
+
+class RankingCache:
+    """An LRU of materialised rankings, keyed by the atom's cache key.
+
+    A subsystem's graded set for a fixed atomic query never changes, so
+    the descending sort (and the grade map for random access) can be
+    paid once and shared by every later session —
+    :meth:`~repro.access.source.MaterializedSource.trusted` mints an
+    O(1) cursor over the cached tuple. Eviction is safe by the same
+    determinism: a re-miss only re-pays the sort, it cannot change the
+    graded set. ``hits`` / ``misses`` are surfaced for tests and
+    capacity tuning; ``capacity=None`` means unbounded.
+    """
+
+    def __init__(
+        self, capacity: int | None = DEFAULT_RANKING_CACHE_CAPACITY
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(
+                f"ranking cache capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[
+            object, tuple[tuple[GradedItem, ...], Mapping[ObjectId, float]]
+        ] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def source(
+        self,
+        name: str,
+        query: AtomicQuery,
+        build_grades: Callable[[], Mapping[ObjectId, float]],
+    ) -> SortedRandomSource:
+        """A fresh source for ``query``, ranked at most once per entry.
+
+        On a hit the cached ranking backs an O(1)
+        :meth:`~repro.access.source.MaterializedSource.trusted` mint; on
+        a miss ``build_grades`` is invoked, its result ranked (and
+        validated) once, and the entry stored. An unhashable cache key
+        (an exotic target object) bypasses the cache entirely rather
+        than failing the query.
+        """
+        key: object = (query.attribute, query.op, query.target)
+        try:
+            entry = self._entries.get(key)
+        except TypeError:  # unhashable target: serve uncached
+            return MaterializedSource(name, build_grades())
+        if entry is None:
+            grades = build_grades()
+            self.misses += 1
+            entry = (rank_items(grades), dict(grades))
+            self._entries[key] = entry
+            if self.capacity is not None and len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        ranking, grade_map = entry
+        return MaterializedSource.trusted(name, ranking, grade_map)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they describe traffic)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"RankingCache({len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
 
 
 class Subsystem(ABC):
@@ -78,6 +166,26 @@ class Subsystem(ABC):
     #: ``None`` means no preference (:data:`DEFAULT_BATCH_SIZE` is
     #: assumed during negotiation).
     batch_size_hint: int | None = None
+
+    #: Capacity of :attr:`ranking_cache`
+    #: (:data:`DEFAULT_RANKING_CACHE_CAPACITY` unless a subsystem's
+    #: constructor overrides it; ``None`` means unbounded).
+    ranking_cache_capacity: int | None = DEFAULT_RANKING_CACHE_CAPACITY
+
+    @property
+    def ranking_cache(self) -> RankingCache:
+        """This subsystem's per-query ranking LRU (lazily created).
+
+        Concrete subsystems route their :meth:`evaluate` through
+        :meth:`RankingCache.source`, so repeated federated queries are
+        O(1) session mints instead of per-call re-sorts. The property is
+        the tests' window onto the hit/miss counters.
+        """
+        cache = self.__dict__.get("_ranking_cache")
+        if cache is None:
+            cache = RankingCache(self.ranking_cache_capacity)
+            self.__dict__["_ranking_cache"] = cache
+        return cache
 
     @abstractmethod
     def attributes(self) -> frozenset[str]:
@@ -139,6 +247,15 @@ class Subsystem(ABC):
             f"subsystem {self.name!r} cannot evaluate conjunctions internally"
         )
 
+    #: Does :meth:`estimate_selectivity` return *exact* fractions
+    #: (true matches / population) rather than estimates? Only an
+    #: exact declaration lets the filtered-conjunct executor size its
+    #: paged block reads from the statistic — an over-estimate would
+    #: over-read and inflate the Section 5 sorted counts relative to
+    #: the unit route. Subsystems with approximate statistics keep the
+    #: default (False) and are served count-exact unit-sized pages.
+    selectivity_is_exact: bool = False
+
     def estimate_selectivity(self, query: AtomicQuery) -> float | None:
         """Optional statistics hook: the expected fraction of objects
         with a non-zero grade under ``query``.
@@ -147,7 +264,9 @@ class Subsystem(ABC):
         Section 4 ("Under the reasonable assumption that there are not
         many objects that satisfy the first conjunct …"). ``None``
         means no estimate is available. This models a catalogue-
-        statistics lookup, so it is not charged as an access.
+        statistics lookup, so it is not charged as an access. Declare
+        :attr:`selectivity_is_exact` when the returned fraction is a
+        true count, not an estimate.
         """
         return None
 
@@ -181,6 +300,7 @@ class StreamOnlySubsystem(Subsystem):
         self.crisp = inner.crisp
         self.supports_batched_access = inner.supports_batched_access
         self.batch_size_hint = inner.batch_size_hint
+        self.selectivity_is_exact = inner.selectivity_is_exact
 
     def attributes(self) -> frozenset[str]:
         return self._inner.attributes()

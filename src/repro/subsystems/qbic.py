@@ -33,7 +33,7 @@ from repro.access.source import MaterializedSource, SortedRandomSource
 from repro.access.types import ObjectId
 from repro.core.query import AtomicQuery
 from repro.exceptions import SubsystemCapabilityError, UnknownObjectError
-from repro.subsystems.base import Subsystem
+from repro.subsystems.base import DEFAULT_RANKING_CACHE_CAPACITY, Subsystem
 from repro.workloads.datasets import NAMED_COLORS
 
 __all__ = ["QbicSubsystem", "gaussian_similarity", "histogram_intersection"]
@@ -110,6 +110,12 @@ class QbicSubsystem(Subsystem):
         Euclidean distance) or ``"histogram"`` (Swain-Ballard
         histogram intersection — feature vectors must then be
         normalised histograms, the [SO95] colour-matching style).
+    cache_capacity:
+        Distinct similarity queries whose materialised rankings are
+        kept in the subsystem's
+        :class:`~repro.subsystems.base.RankingCache` (``None`` =
+        unbounded). Unhashable targets (raw vectors given as lists)
+        are served uncached.
     """
 
     supports_internal_conjunction = True
@@ -127,10 +133,12 @@ class QbicSubsystem(Subsystem):
         bandwidths: Mapping[str, float] | None = None,
         named_targets: Mapping[str, Mapping[str, Sequence[float]]] | None = None,
         scoring: Mapping[str, str] | None = None,
+        cache_capacity: int | None = DEFAULT_RANKING_CACHE_CAPACITY,
     ) -> None:
         if not features:
             raise ValueError("a QBIC subsystem needs at least one feature")
         self.name = name
+        self.ranking_cache_capacity = cache_capacity
         self._features = {
             feat: {obj: tuple(map(float, vec)) for obj, vec in table.items()}
             for feat, table in features.items()
@@ -190,7 +198,11 @@ class QbicSubsystem(Subsystem):
             if target in table:
                 return table[target]
             raise UnknownObjectError(target, f"{self.name}:{feature}")
-        if target in table:  # query by example with a non-string id
+        try:
+            known = target in table  # query by example with a non-string id
+        except TypeError:  # unhashable target (e.g. a raw vector as list)
+            known = False
+        if known:
             return table[target]  # type: ignore[index]
         try:
             return tuple(float(v) for v in target)  # type: ignore[union-attr]
@@ -224,9 +236,10 @@ class QbicSubsystem(Subsystem):
         }
 
     def evaluate(self, query: AtomicQuery) -> SortedRandomSource:
-        grades = self._grades_for(query)
-        return MaterializedSource(
-            f"{self.name}:{query.attribute}~{query.target!r}", grades
+        return self.ranking_cache.source(
+            f"{self.name}:{query.attribute}~{query.target!r}",
+            query,
+            lambda: self._grades_for(query),
         )
 
     def evaluate_conjunction(

@@ -16,10 +16,10 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from repro.access.source import MaterializedSource, SortedRandomSource
+from repro.access.source import SortedRandomSource
 from repro.access.types import ObjectId
 from repro.core.query import AtomicQuery
-from repro.subsystems.base import Subsystem
+from repro.subsystems.base import DEFAULT_RANKING_CACHE_CAPACITY, Subsystem
 
 __all__ = ["RelationalSubsystem"]
 
@@ -34,6 +34,10 @@ class RelationalSubsystem(Subsystem):
     records:
         object id -> {attribute: value}. All records must have the
         same attribute set (a single relation schema).
+    cache_capacity:
+        Distinct predicates whose materialised rankings are kept in the
+        subsystem's :class:`~repro.subsystems.base.RankingCache`
+        (``None`` = unbounded).
     """
 
     crisp = True
@@ -44,11 +48,15 @@ class RelationalSubsystem(Subsystem):
     supports_batched_access = True
 
     def __init__(
-        self, name: str, records: Mapping[ObjectId, Mapping[str, object]]
+        self,
+        name: str,
+        records: Mapping[ObjectId, Mapping[str, object]],
+        cache_capacity: int | None = DEFAULT_RANKING_CACHE_CAPACITY,
     ) -> None:
         if not records:
             raise ValueError("a relational subsystem needs at least one record")
         self.name = name
+        self.ranking_cache_capacity = cache_capacity
         self._records = {obj: dict(attrs) for obj, attrs in records.items()}
         schemas = {frozenset(attrs) for attrs in self._records.values()}
         if len(schemas) != 1:
@@ -71,13 +79,18 @@ class RelationalSubsystem(Subsystem):
                 f"relational subsystem {self.name!r} evaluates crisp "
                 f"equality only; got op {query.op!r}"
             )
-        grades = {
-            obj: 1.0 if attrs[query.attribute] == query.target else 0.0
-            for obj, attrs in self._records.items()
-        }
-        return MaterializedSource(
-            f"{self.name}:{query.attribute}={query.target!r}", grades
+        return self.ranking_cache.source(
+            f"{self.name}:{query.attribute}={query.target!r}",
+            query,
+            lambda: {
+                obj: 1.0 if attrs[query.attribute] == query.target else 0.0
+                for obj, attrs in self._records.items()
+            },
         )
+
+    #: The "estimate" is a literal count over the relation — exact, so
+    #: the filtered-conjunct executor may size block reads from it.
+    selectivity_is_exact = True
 
     def estimate_selectivity(self, query: AtomicQuery) -> float | None:
         """Exact selectivity from the relation's statistics."""

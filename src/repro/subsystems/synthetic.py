@@ -12,14 +12,10 @@ from __future__ import annotations
 import random
 from typing import Mapping, Sequence
 
-from repro.access.source import (
-    MaterializedSource,
-    SortedRandomSource,
-    rank_items,
-)
-from repro.access.types import GradedItem, ObjectId
+from repro.access.source import SortedRandomSource
+from repro.access.types import ObjectId
 from repro.core.query import AtomicQuery
-from repro.subsystems.base import Subsystem
+from repro.subsystems.base import DEFAULT_RANKING_CACHE_CAPACITY, Subsystem
 from repro.workloads.distributions import GradeDistribution, Uniform
 
 __all__ = ["SyntheticSubsystem"]
@@ -43,6 +39,12 @@ class SyntheticSubsystem(Subsystem):
     objects:
         The object population for generated attributes (required if
         only ``generated`` is given).
+    cache_capacity:
+        Distinct atomic queries whose materialised rankings the
+        subsystem's :class:`~repro.subsystems.base.RankingCache`
+        retains (``None`` = unbounded). Evictions are safe even for
+        generated attributes: the drawn grades live in their own
+        table, so a re-miss re-sorts the *same* graded set.
 
     The benchmark substrate speaks the full batched protocol
     (``supports_batched_access``): its sources are materialised
@@ -60,8 +62,10 @@ class SyntheticSubsystem(Subsystem):
         generated: Mapping[str, GradeDistribution] | None = None,
         objects: Sequence[ObjectId] | None = None,
         seed: int = 0,
+        cache_capacity: int | None = DEFAULT_RANKING_CACHE_CAPACITY,
     ) -> None:
         self.name = name
+        self.ranking_cache_capacity = cache_capacity
         self._tables = {
             attr: dict(grades) for attr, grades in (tables or {}).items()
         }
@@ -86,16 +90,6 @@ class SyntheticSubsystem(Subsystem):
         self._objects = next(iter(populations))
         self._rng = random.Random(seed)
         self._cache: dict[tuple[str, object], dict[ObjectId, float]] = {}
-        #: Materialised rankings, one per distinct atomic query. A
-        #: subsystem's graded set for a fixed query never changes, so
-        #: the descending sort is paid once and every later session is
-        #: minted as an O(1) cursor over the shared tuple — the same
-        #: share-the-ranking trick ``ColumnarScoringDatabase`` plays,
-        #: here on the subsystem side of the federation.
-        self._rankings: dict[
-            tuple[str, object],
-            tuple[tuple[GradedItem, ...], dict[ObjectId, float]],
-        ] = {}
 
     def attributes(self) -> frozenset[str]:
         return frozenset(self._tables) | frozenset(self._generated)
@@ -117,16 +111,13 @@ class SyntheticSubsystem(Subsystem):
         return self._cache[key]
 
     def evaluate(self, query: AtomicQuery) -> SortedRandomSource:
+        # The shared RankingCache plays ColumnarScoringDatabase's
+        # share-the-ranking trick on the subsystem side: the descending
+        # sort is paid once per distinct query and every later session
+        # is an O(1) cursor over the cached tuple.
         self.validate_query(query)
-        key = (query.attribute, query.target)
-        cached = self._rankings.get(key)
-        if cached is None:
-            grades = self._grades_for(query)
-            cached = (rank_items(grades), dict(grades))
-            self._rankings[key] = cached
-        ranking, grade_map = cached
-        return MaterializedSource.trusted(
+        return self.ranking_cache.source(
             f"{self.name}:{query.attribute}{query.op}{query.target!r}",
-            ranking,
-            grade_map,
+            query,
+            lambda: self._grades_for(query),
         )

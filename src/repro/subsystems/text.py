@@ -19,10 +19,10 @@ import re
 from collections import Counter
 from typing import Mapping
 
-from repro.access.source import MaterializedSource, SortedRandomSource
+from repro.access.source import SortedRandomSource
 from repro.access.types import ObjectId
 from repro.core.query import AtomicQuery
-from repro.subsystems.base import Subsystem
+from repro.subsystems.base import DEFAULT_RANKING_CACHE_CAPACITY, Subsystem
 
 __all__ = ["TextSubsystem", "tokenize"]
 
@@ -50,6 +50,10 @@ class TextSubsystem(Subsystem):
         is served; its graded queries are free-text strings.
     attribute:
         The attribute name queries address, e.g. ``Blurb ~ "raw soul"``.
+    cache_capacity:
+        Distinct query strings whose materialised rankings are kept in
+        the subsystem's :class:`~repro.subsystems.base.RankingCache`
+        (``None`` = unbounded).
 
     Text engines returned ranked hit *pages* long before 1996; the
     stand-in declares ``supports_batched_access`` and serves its cosine
@@ -63,10 +67,12 @@ class TextSubsystem(Subsystem):
         name: str,
         documents: Mapping[ObjectId, str],
         attribute: str = "text",
+        cache_capacity: int | None = DEFAULT_RANKING_CACHE_CAPACITY,
     ) -> None:
         if not documents:
             raise ValueError("a text subsystem needs at least one document")
         self.name = name
+        self.ranking_cache_capacity = cache_capacity
         self._attribute = attribute
         self._docs = dict(documents)
         self._doc_tokens = {obj: tokenize(t) for obj, t in self._docs.items()}
@@ -114,13 +120,15 @@ class TextSubsystem(Subsystem):
             raise ValueError(
                 f"text queries take a string target, got {query.target!r}"
             )
-        query_vec = self._vectorise(tokenize(query.target))
-        grades = {
-            obj: self._cosine(query_vec, doc_vec)
-            for obj, doc_vec in self._doc_vectors.items()
-        }
-        return MaterializedSource(
-            f"{self.name}:{self._attribute}~{query.target!r}", grades
+        def build() -> dict[ObjectId, float]:
+            query_vec = self._vectorise(tokenize(query.target))
+            return {
+                obj: self._cosine(query_vec, doc_vec)
+                for obj, doc_vec in self._doc_vectors.items()
+            }
+
+        return self.ranking_cache.source(
+            f"{self.name}:{self._attribute}~{query.target!r}", query, build
         )
 
     @staticmethod

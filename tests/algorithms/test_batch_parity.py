@@ -35,6 +35,7 @@ from repro.algorithms.fa_variants import EarlyStopFagin, ShrunkenFagin
 from repro.algorithms.naive import NaiveAlgorithm
 from repro.algorithms.nra import NoRandomAccessAlgorithm
 from repro.algorithms.threshold import ThresholdAlgorithm
+from repro.core.aggregation import AggregationFunction
 from repro.core.means import ARITHMETIC_MEAN
 from repro.core.tnorms import MINIMUM
 from repro.workloads.correlated import correlated_database
@@ -118,6 +119,59 @@ def test_three_paths_agree(db_name, algo_name, algo_cls, aggregations):
                     f"{path} access counts diverge from unit-step "
                     f"({other.stats!r} vs {unit.stats!r})"
                 )
+
+
+class _ScalarOnly(AggregationFunction):
+    """A kernel-less clone of an aggregation: same answers, scalar fold.
+
+    Its type is not in the kernel registry and it carries no
+    ``aggregate_columns``, so every bulk scoring phase falls back to
+    the per-object ``evaluate_trusted`` loop — the lane that isolates
+    the vectorized computation phase.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = inner.name
+        self.arity = inner.arity
+        self.monotone = inner.monotone
+        self.strict = inner.strict
+
+    def aggregate(self, grades):
+        return self._inner.aggregate(grades)
+
+    def evaluate_trusted(self, grades):
+        return self._inner.evaluate_trusted(grades)
+
+
+@pytest.mark.parametrize("db_name", DATABASES)
+@pytest.mark.parametrize("aggregation", (MINIMUM, ARITHMETIC_MEAN),
+                         ids=lambda a: a.name)
+def test_threshold_kernel_lane_parity(db_name, aggregation):
+    """TA's three lanes — unit access, batched access with the kernel
+    sweep, batched access with the scalar fallback — must agree item
+    for item and count for count, including on the exhaustion path
+    (k past the population, every list drained)."""
+    db = DATABASES[db_name]()
+    scalar = _ScalarOnly(aggregation)
+    # k = N is the exhaustion path: the lists are drained completely.
+    for k in (1, 5, 20, db.num_objects):
+        sessions = sessions_for(DATABASES[db_name])
+        unit = ThresholdAlgorithm().top_k(sessions["unit"], aggregation, k)
+        kernel = ThresholdAlgorithm().top_k(
+            sessions["columnar"], aggregation, k
+        )
+        scalar_run = ThresholdAlgorithm().top_k(
+            sessions["federated"], scalar, k
+        )
+        assert kernel.items == unit.items
+        assert kernel.stats == unit.stats
+        assert scalar_run.items == unit.items
+        assert scalar_run.stats == unit.stats
+        assert kernel.details["rounds"] == unit.details["rounds"]
+        if k == db.num_objects:
+            # Full drain: rounds reports the real sorted depth.
+            assert unit.details["rounds"] == unit.stats.max_sorted_depth()
 
 
 def test_fixed_arity_aggregation_still_raises_on_wrong_list_count():

@@ -61,6 +61,41 @@ class TestStoppingBehaviour:
         result = ThresholdAlgorithm().top_k(db2.session(), MINIMUM, 5)
         assert result.stats.max_sorted_depth() == result.details["rounds"]
 
+    def test_exhaustion_round_not_counted(self):
+        """Regression: the final empty exchange (every list exhausted)
+        performs no sorted accesses and must not inflate ``rounds`` —
+        the detail reports depths actually reached, so it equals the
+        maximum per-list sorted depth even on an exhausted-lists query.
+
+        The middleware believes more objects exist than the lists
+        deliver (a subsystem under-covering the population), which is
+        exactly the situation that forces TA through its exhaustion
+        round: the stop rule can never certify k answers, so the run
+        terminates on an exchange that delivers nothing.
+        """
+        from repro.access import MaterializedSource, MiddlewareSession
+
+        n = 12
+        grades = {i: (n - i) / (n + 1) for i in range(n)}
+        session = MiddlewareSession.over_sources(
+            [
+                MaterializedSource("l0", dict(grades)),
+                MaterializedSource("l1", dict(grades)),
+            ],
+            num_objects=n + 5,
+        )
+        result = ThresholdAlgorithm().top_k(session, MINIMUM, n + 3)
+        assert result.details["rounds"] == n
+        assert result.stats.max_sorted_depth() == n
+        assert result.details["seen"] == n
+
+    def test_full_drain_rounds_equal_depth(self, tiny_db):
+        """k = N drains the lists completely; rounds still reports the
+        true sorted depth (no phantom exhaustion round)."""
+        n = tiny_db.num_objects
+        result = ThresholdAlgorithm().top_k(tiny_db.session(), MINIMUM, n)
+        assert result.details["rounds"] == result.stats.max_sorted_depth()
+
 
 class TestAblationVsFA:
     def test_never_dramatically_worse_than_a0(self):

@@ -134,6 +134,187 @@ class TestFilteredPlanExecution:
         assert is_valid_top_k(answer.items, truth, 5)
 
 
+class TestFilteredBatchedExecution:
+    """The filtered-conjunct strategy on the negotiated bulk transport."""
+
+    @pytest.fixture
+    def int_catalog(self):
+        """An integer-id population: crisp relation + graded synthetic."""
+        from repro.subsystems.synthetic import SyntheticSubsystem
+
+        objs = list(range(1, 13))
+        cat = Catalog()
+        cat.register(
+            RelationalSubsystem(
+                "rel",
+                {
+                    i: {"Artist": "Beatles" if i == 1 else f"a{i % 3}"}
+                    for i in objs
+                },
+            )
+        )
+        cat.register(
+            SyntheticSubsystem(
+                "syn", tables={"Score": {i: i / 20 for i in objs}}
+            )
+        )
+        return cat
+
+    def _filtered_plan(self, cat):
+        from repro.core.query import And, AtomicQuery
+        from repro.middleware.plan import FilteredConjunctPlan
+
+        query = And(
+            (
+                AtomicQuery("Artist", "Beatles", "="),
+                AtomicQuery("Score", None, "~"),
+            )
+        )
+        plan = Planner(cat).plan(query)
+        assert isinstance(plan, FilteredConjunctPlan)
+        return plan
+
+    def test_planner_negotiates_filtered_batch_size(self, int_catalog):
+        from repro.subsystems import DEFAULT_BATCH_SIZE
+
+        plan = self._filtered_plan(int_catalog)
+        assert plan.batch_size == DEFAULT_BATCH_SIZE
+        assert "batched" in plan.explain()
+
+    def test_padding_sorts_int_ids_numerically(self, int_catalog):
+        """Regression: phase-3 padding used ``repr`` order, so integer
+        populations padded 10 < 2; the numeric tie_break_key pads
+        2, 3, 4, ... after the single survivor."""
+        executor = Executor(int_catalog, STANDARD_FUZZY)
+        answer = executor.execute(self._filtered_plan(int_catalog), 5)
+        assert [item.obj for item in answer.items] == [1, 2, 3, 4, 5]
+        assert [item.grade for item in answer.items[1:]] == [0.0] * 4
+
+    def test_filtered_routes_through_evaluate_batched(self, int_catalog):
+        """With a negotiated batch size every filtered-plan source is
+        minted through ``evaluate_batched``; the unit lane
+        (batch_size=None) sticks to ``evaluate``. Both lanes must
+        return identical items and identical per-list access counts."""
+        import dataclasses
+
+        calls = {"batched": 0, "unit_mints": 0}
+        for sub in int_catalog.subsystems:
+            original = sub.evaluate_batched
+
+            def spy(query, batch_size=None, _original=original):
+                calls["batched"] += 1
+                return _original(query, batch_size)
+
+            sub.evaluate_batched = spy
+        executor = Executor(int_catalog, STANDARD_FUZZY)
+        plan = self._filtered_plan(int_catalog)
+
+        batched = executor.execute(plan, 3)
+        assert calls["batched"] == 2  # one mint per atom, both subsystems
+
+        unit_plan = dataclasses.replace(plan, batch_size=None)
+        unit = executor.execute(unit_plan, 3)
+        assert calls["batched"] == 2  # the unit lane never touched it
+
+        assert unit.items == batched.items
+        assert unit.result.stats == batched.result.stats
+
+    def test_inexact_selectivity_never_over_reads(self):
+        """A subsystem whose statistics are estimates (no
+        ``selectivity_is_exact`` declaration) must not have them
+        trusted for block sizing: a wild over-estimate would charge a
+        whole page of sorted accesses where the unit lane charges
+        |S| + 1. The batched lane falls back to unit-sized probe
+        pages, so counts stay identical."""
+        import dataclasses
+
+        from repro.subsystems.synthetic import SyntheticSubsystem
+
+        class OverEstimating(RelationalSubsystem):
+            selectivity_is_exact = False
+
+            def estimate_selectivity(self, query):
+                exact = super().estimate_selectivity(query)
+                return None if exact is None else min(1.0, exact * 50)
+
+        objs = list(range(1, 13))
+        cat = Catalog()
+        cat.register(
+            OverEstimating(
+                "rel",
+                {
+                    i: {"Artist": "Beatles" if i <= 2 else f"a{i % 3}"}
+                    for i in objs
+                },
+            )
+        )
+        cat.register(
+            SyntheticSubsystem(
+                "syn", tables={"Score": {i: i / 20 for i in objs}}
+            )
+        )
+        from repro.core.query import And, AtomicQuery
+        from repro.middleware.plan import FilteredConjunctPlan
+
+        query = And(
+            (
+                AtomicQuery("Artist", "Beatles", "="),
+                AtomicQuery("Score", None, "~"),
+            )
+        )
+        plan = Planner(
+            cat, options=PlannerOptions(selectivity_threshold=1.0)
+        ).plan(query)
+        assert isinstance(plan, FilteredConjunctPlan)
+        assert plan.batch_size is not None
+        executor = Executor(cat, STANDARD_FUZZY)
+        batched = executor.execute(plan, 3)
+        unit = executor.execute(
+            dataclasses.replace(plan, batch_size=None), 3
+        )
+        match_size = batched.result.details["filter_set_size"]
+        assert match_size == 2
+        assert batched.result.stats.sorted_cost == match_size + 1
+        assert batched.result.stats == unit.result.stats
+        assert batched.items == unit.items
+
+    def test_custom_hook_lane_keeps_counts(self, int_catalog):
+        """A caller-supplied evaluation hook may serve data the
+        catalogue's statistics do not describe, so the batched block
+        read must not size pages from them — it probes unit-sized and
+        charges exactly what the hook-free unit lane charges."""
+        import dataclasses
+
+        def hook(atom, batch_size=None):
+            return int_catalog.subsystem_for(atom).evaluate_batched(
+                atom, batch_size
+            )
+
+        plan = self._filtered_plan(int_catalog)
+        hooked = Executor(int_catalog, STANDARD_FUZZY, evaluate_atom=hook)
+        plain = Executor(int_catalog, STANDARD_FUZZY)
+        via_hook = hooked.execute(plan, 3)
+        unit = plain.execute(dataclasses.replace(plan, batch_size=None), 3)
+        assert via_hook.items == unit.items
+        assert via_hook.result.stats == unit.result.stats
+
+    def test_tiny_page_cap_preserves_counts(self, int_catalog):
+        """A deployment cap far below the block size pages the crisp
+        block in several exchanges without moving the Section 5 counts:
+        |S| + 1 sorted on the filter stream, |S| random per graded
+        conjunct."""
+        plan = Planner(int_catalog, batch_size=2).plan(
+            self._filtered_plan(int_catalog).query
+        )
+        assert plan.batch_size == 2
+        executor = Executor(int_catalog, STANDARD_FUZZY)
+        answer = executor.execute(plan, 1)
+        match_size = answer.result.details["filter_set_size"]
+        assert match_size == 1
+        assert answer.result.stats.sorted_cost == match_size + 1
+        assert answer.result.stats.random_cost == match_size
+
+
 class TestInternalPlanExecution:
     def test_internal_conjunction_cost_is_k(self, setup):
         cat, __, executor = setup

@@ -1,0 +1,185 @@
+"""The subsystem-side ranking cache (LRU of materialised rankings).
+
+Every concrete subsystem — relational, text, QBIC, synthetic — now
+routes ``evaluate`` through a shared
+:class:`~repro.subsystems.base.RankingCache`: the descending sort of a
+query's graded set is paid once, later sessions are O(1) mints over
+the cached ranking, and the hit/miss counters make the behaviour
+observable. Repeated federated queries (``run_many`` batches issued
+again and again) must hit across the board.
+"""
+
+import pytest
+
+from repro.core.query import AtomicQuery
+from repro.engine import Engine
+from repro.subsystems import (
+    DEFAULT_RANKING_CACHE_CAPACITY,
+    QbicSubsystem,
+    RankingCache,
+    RelationalSubsystem,
+    SyntheticSubsystem,
+    TextSubsystem,
+)
+
+OBJS = [f"o{i}" for i in range(24)]
+
+
+def relational():
+    return RelationalSubsystem(
+        "rel",
+        {o: {"Artist": "Beatles" if i < 3 else f"a{i % 5}"}
+         for i, o in enumerate(OBJS)},
+    )
+
+
+def text():
+    return TextSubsystem(
+        "txt",
+        {o: f"doc {i} raw soul energy {'beat' * (i % 4)}"
+         for i, o in enumerate(OBJS)},
+        attribute="Blurb",
+    )
+
+
+def qbic():
+    return QbicSubsystem(
+        "img",
+        {"Color": {o: (i / 24, 0.2, 0.1) for i, o in enumerate(OBJS)}},
+    )
+
+
+SUBSYSTEM_QUERIES = [
+    (relational, AtomicQuery("Artist", "Beatles", "=")),
+    (text, AtomicQuery("Blurb", "raw soul", "~")),
+    (qbic, AtomicQuery("Color", "red", "~")),
+]
+
+
+class TestPerSubsystemCaching:
+    @pytest.mark.parametrize(
+        "factory,query", SUBSYSTEM_QUERIES, ids=("relational", "text", "qbic")
+    )
+    def test_repeat_evaluate_hits_and_preserves_ranking(self, factory, query):
+        sub = factory()
+        first = sub.evaluate(query)
+        assert sub.ranking_cache.misses == 1
+        assert sub.ranking_cache.hits == 0
+        second = sub.evaluate(query)
+        assert sub.ranking_cache.misses == 1
+        assert sub.ranking_cache.hits == 1
+        # Independent cursors over the same graded set.
+        a = [first.next_sorted() for _ in range(5)]
+        b = [second.next_sorted() for _ in range(5)]
+        assert a == b
+        assert first.random_access(OBJS[7]) == second.random_access(OBJS[7])
+
+    @pytest.mark.parametrize(
+        "factory,query", SUBSYSTEM_QUERIES, ids=("relational", "text", "qbic")
+    )
+    def test_evaluate_batched_shares_the_cache(self, factory, query):
+        sub = factory()
+        sub.evaluate_batched(query, 8)
+        sub.evaluate_batched(query, 8)
+        assert sub.ranking_cache.misses == 1
+        assert sub.ranking_cache.hits == 1
+
+    def test_distinct_queries_miss_independently(self):
+        sub = relational()
+        sub.evaluate(AtomicQuery("Artist", "Beatles", "="))
+        sub.evaluate(AtomicQuery("Artist", "a1", "="))
+        assert sub.ranking_cache.misses == 2
+        assert sub.ranking_cache.hits == 0
+
+    def test_capacity_is_configurable_and_lru_evicts(self):
+        sub = RelationalSubsystem(
+            "rel",
+            {o: {"Artist": f"a{i % 5}"} for i, o in enumerate(OBJS)},
+            cache_capacity=2,
+        )
+        assert sub.ranking_cache.capacity == 2
+        q = [AtomicQuery("Artist", f"a{i}", "=") for i in range(3)]
+        sub.evaluate(q[0])
+        sub.evaluate(q[1])
+        sub.evaluate(q[0])  # refresh q0: q1 becomes the LRU entry
+        sub.evaluate(q[2])  # evicts q1
+        assert len(sub.ranking_cache) == 2
+        sub.evaluate(q[1])  # re-miss after eviction
+        assert sub.ranking_cache.misses == 4
+        assert sub.ranking_cache.hits == 1
+
+    def test_default_capacity(self):
+        assert relational().ranking_cache.capacity == (
+            DEFAULT_RANKING_CACHE_CAPACITY
+        )
+
+    def test_unhashable_target_bypasses_cache(self):
+        sub = qbic()
+        query = AtomicQuery("Color", [0.5, 0.5, 0.5], "~")  # list target
+        first = sub.evaluate(query)
+        second = sub.evaluate(query)
+        assert sub.ranking_cache.hits == 0
+        assert sub.ranking_cache.misses == 0
+        assert first.next_sorted() == second.next_sorted()
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RankingCache(0)
+
+    def test_synthetic_generated_attribute_survives_eviction(self):
+        """Evicting a generated attribute's ranking must not redraw its
+        grades — the drawn table lives outside the ranking cache."""
+        from repro.workloads.distributions import Uniform
+
+        sub = SyntheticSubsystem(
+            "syn",
+            generated={"score": Uniform()},
+            objects=OBJS,
+            cache_capacity=1,
+        )
+        q_score = AtomicQuery("score", "t1", "~")
+        before = [sub.evaluate(q_score).next_sorted() for _ in range(1)]
+        sub.evaluate(AtomicQuery("score", "t2", "~"))  # evicts t1
+        after = [sub.evaluate(q_score).next_sorted() for _ in range(1)]
+        assert before == after
+
+
+class TestFederatedRunManyCaching:
+    def _engine(self):
+        engine = Engine()
+        engine.register(relational())
+        engine.register(text())
+        engine.register(qbic())
+        return engine
+
+    def test_repeated_run_many_batches_hit_every_subsystem(self):
+        engine = self._engine()
+        queries = [
+            '(Artist = "Beatles") AND (Color ~ "red")',
+            '(Blurb ~ "raw soul") OR (Color ~ "red")',
+        ]
+        engine.run_many(queries, k=5)
+        caches = {
+            sub.name: sub.ranking_cache for sub in engine.catalog.subsystems
+        }
+        # First batch: every distinct atom minted once (run_many's own
+        # per-batch source cache prevents duplicate evaluation of the
+        # shared Color atom within the batch).
+        assert caches["rel"].misses == 1
+        assert caches["txt"].misses == 1
+        assert caches["img"].misses == 1
+        assert all(c.hits == 0 for c in caches.values())
+
+        first = engine.run_many(queries, k=5)
+        # Second identical batch: pure hits, O(1) mints across the board.
+        assert caches["rel"].misses == 1
+        assert caches["txt"].misses == 1
+        assert caches["img"].misses == 1
+        assert caches["rel"].hits == 1
+        assert caches["txt"].hits == 1
+        assert caches["img"].hits == 1
+
+        second = engine.run_many(queries, k=5)
+        for a, b in zip(first.answers, second.answers):
+            assert a.items == b.items
+            assert a.result.stats == b.result.stats
