@@ -90,6 +90,8 @@ from repro.core import (
     atom,
 )
 from repro.engine import (
+    AsyncEngine,
+    AsyncResultCursor,
     BatchResult,
     Engine,
     ExecutionContext,
@@ -109,7 +111,7 @@ from repro.subsystems import (
     TextSubsystem,
 )
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 __all__ = [
     "__version__",
@@ -159,6 +161,8 @@ __all__ = [
     "is_valid_top_k",
     # engine (the unified API)
     "Engine",
+    "AsyncEngine",
+    "AsyncResultCursor",
     "QueryBuilder",
     "ExecutionContext",
     "ResultCursor",

@@ -35,10 +35,23 @@ objects into an (m, n) matrix in one shot, and
 :meth:`overall_grades` / :meth:`true_top_k` score it through the
 vectorized kernels of :mod:`repro.core.kernels` — ground truth at C
 speed, still outside the access accounting.
+
+**Concurrency contract.** A columnar database is a *shared read-only
+store*: after ``__init__`` returns, its columns, interned index and
+rank orders never change (the numpy arrays are marked non-writeable to
+enforce it), so any number of threads may mint sessions and read
+ground truth concurrently. All mutable state — sorted cursors, cost
+trackers — lives in the per-query :class:`MiddlewareSession` objects
+:meth:`session` mints, which are single-consumer and must not be
+shared between threads. The only writes after construction are the
+lazy, idempotent memoisations of :meth:`ranking` / :meth:`_grade_map`,
+which are double-checked under an internal lock; once warm, minting a
+session is lock-free O(m).
 """
 
 from __future__ import annotations
 
+import threading
 from array import array
 from typing import Mapping, Sequence
 
@@ -140,7 +153,20 @@ class ColumnarScoringDatabase:
         self._index = index
         self._columns = columns
         self._orders = self._rank_orders()
-        # Lazy shared per-list state minted sessions slice into.
+        if HAVE_NUMPY:
+            # Enforce the shared-read-only contract: sessions and
+            # ground-truth readers in any thread see frozen columns.
+            for column in self._columns:
+                if isinstance(column, _np.ndarray):
+                    column.flags.writeable = False
+            for order in self._orders:
+                if isinstance(order, _np.ndarray):
+                    order.flags.writeable = False
+        # Lazy shared per-list state minted sessions slice into. The
+        # builds are idempotent (pure functions of the frozen columns)
+        # and double-checked under the lock, so concurrent first mints
+        # neither duplicate work nor observe partial state.
+        self._mint_lock = threading.Lock()
         self._rankings: list[tuple[GradedItem, ...] | None] = [None] * len(columns)
         self._grade_maps: list[dict[ObjectId, float] | None] = [None] * len(columns)
 
@@ -234,13 +260,16 @@ class ColumnarScoringDatabase:
         """List ``i`` sorted for sorted access; built once, then shared."""
         cached = self._rankings[list_index]
         if cached is None:
-            grades = self._as_floats(self._columns[list_index])
-            objects = self._objects
-            cached = tuple(
-                GradedItem(objects[j], grades[j])
-                for j in self._order_indices(list_index)
-            )
-            self._rankings[list_index] = cached
+            with self._mint_lock:
+                cached = self._rankings[list_index]
+                if cached is None:
+                    grades = self._as_floats(self._columns[list_index])
+                    objects = self._objects
+                    cached = tuple(
+                        GradedItem(objects[j], grades[j])
+                        for j in self._order_indices(list_index)
+                    )
+                    self._rankings[list_index] = cached
         return cached
 
     def _order_indices(self, list_index: int) -> list[int]:
@@ -250,9 +279,12 @@ class ColumnarScoringDatabase:
     def _grade_map(self, list_index: int) -> dict[ObjectId, float]:
         cached = self._grade_maps[list_index]
         if cached is None:
-            grades = self._as_floats(self._columns[list_index])
-            cached = dict(zip(self._objects, grades))
-            self._grade_maps[list_index] = cached
+            with self._mint_lock:
+                cached = self._grade_maps[list_index]
+                if cached is None:
+                    grades = self._as_floats(self._columns[list_index])
+                    cached = dict(zip(self._objects, grades))
+                    self._grade_maps[list_index] = cached
         return cached
 
     # ------------------------------------------------------------------
@@ -295,7 +327,10 @@ class ColumnarScoringDatabase:
 
         Every source shares the database's pre-built ranking tuple and
         grade map; only the per-session cursor and cost tracker are
-        new, so minting is O(m) instead of O(N * m).
+        new, so minting is O(m) instead of O(N * m). Minting is safe
+        from any thread (lock-free once the shared ranking is warm);
+        the returned session itself is single-consumer — give each
+        concurrent query its own.
         """
         raw = [
             MaterializedSource.trusted(

@@ -6,6 +6,14 @@ the shared cost tracker, and the object-population size. Algorithms in
 through its sources — mirroring how Garlic "receives answers to
 subqueries from various subsystems, which can be accessed only in
 limited ways" (Abstract).
+
+A session is the unit of *mutable* state in the concurrency model:
+its sorted cursors and cost tracker belong to exactly one query run
+and must not be shared between threads. The stores sessions are
+minted from (:class:`~repro.access.columnar.ColumnarScoringDatabase`,
+the subsystems' ranking caches) are shared read-only, so serving many
+queries in parallel means one cheap session per query, never one
+session across queries.
 """
 
 from __future__ import annotations

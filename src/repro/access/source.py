@@ -108,6 +108,25 @@ class SortedRandomSource(ABC):
         after a restart are charged again (they are real accesses).
         """
 
+    def fork(self) -> "SortedRandomSource":
+        """An independent cursor over the same graded set, at the top.
+
+        Like :meth:`restart`, a fork models re-issuing the subquery —
+        its accesses are fresh and charged to whichever session
+        instruments it — but it leaves *this* source's cursor
+        untouched, so several plans (or threads) can each consume
+        their own fork of one cached evaluation without corrupting
+        each other's progress. Sources whose state cannot be shared
+        read-only keep the default, which declines loudly; callers
+        then fall back to a fresh evaluation.
+        """
+        from repro.exceptions import SubsystemCapabilityError
+
+        raise SubsystemCapabilityError(
+            f"source {self.name!r} ({type(self).__name__}) cannot fork; "
+            "re-evaluate the subquery instead"
+        )
+
     # ------------------------------------------------------------------
     # Batched access protocol
     #
@@ -238,6 +257,10 @@ class MaterializedSource(SortedRandomSource):
     def restart(self) -> None:
         self._cursor = 0
 
+    def fork(self) -> "MaterializedSource":
+        """A fresh cursor sharing this source's (immutable) ranking."""
+        return MaterializedSource.trusted(self.name, self._items, self._grades)
+
     @classmethod
     def trusted(
         cls,
@@ -304,6 +327,9 @@ class StreamOnlySource(SortedRandomSource):
 
     def restart(self) -> None:
         self._inner.restart()
+
+    def fork(self) -> "StreamOnlySource":
+        return StreamOnlySource(self._inner.fork())
 
 
 class InstrumentedSource(SortedRandomSource):
@@ -417,6 +443,9 @@ class PagedBatchSource(SortedRandomSource):
     def restart(self) -> None:
         self._inner.restart()
 
+    def fork(self) -> "PagedBatchSource":
+        return PagedBatchSource(self._inner.fork(), self.page_size)
+
 
 class UnbatchedSource(SortedRandomSource):
     """Hides a source's batch overrides, forcing the unit fallbacks.
@@ -448,3 +477,6 @@ class UnbatchedSource(SortedRandomSource):
 
     def restart(self) -> None:
         self._inner.restart()
+
+    def fork(self) -> "UnbatchedSource":
+        return UnbatchedSource(self._inner.fork())

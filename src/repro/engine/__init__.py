@@ -17,6 +17,8 @@ from typing import TYPE_CHECKING
 
 __all__ = [
     "Engine",
+    "AsyncEngine",
+    "AsyncResultCursor",
     "QueryBuilder",
     "ExecutionContext",
     "ResultCursor",
@@ -35,6 +37,8 @@ __all__ = [
 
 _EXPORTS = {
     "Engine": "repro.engine.engine",
+    "AsyncEngine": "repro.engine.async_engine",
+    "AsyncResultCursor": "repro.engine.async_engine",
     "QueryBuilder": "repro.engine.builder",
     "ExecutionContext": "repro.engine.context",
     "ResultCursor": "repro.engine.cursor",
@@ -52,6 +56,7 @@ _EXPORTS = {
 }
 
 if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
+    from repro.engine.async_engine import AsyncEngine, AsyncResultCursor
     from repro.engine.batch import BatchResult
     from repro.engine.builder import QueryBuilder
     from repro.engine.context import ExecutionContext

@@ -51,7 +51,9 @@ class BatchResult:
     details:
         Batch diagnostics: ``shared_session`` (source-backed),
         ``atom_evaluations`` / ``atom_reuses`` (catalog-backed cache
-        accounting).
+        accounting), ``parallel`` (worker count, when the batch ran on
+        a thread pool — the totals are then per-member stats summed
+        after the fact, equal to the serial shared-ledger totals).
     """
 
     answers: tuple[object, ...]

@@ -12,6 +12,8 @@ either valid answer set), which is what makes paging honest.
 
 from __future__ import annotations
 
+import operator
+
 from repro.access.cost import AccessStats, CostModel, UNWEIGHTED
 from repro.access.session import MiddlewareSession
 from repro.algorithms.base import TopKResult
@@ -20,7 +22,29 @@ from repro.core.aggregation import AggregationFunction
 from repro.core.query import Query
 from repro.exceptions import PlanningError
 
-__all__ = ["ResultCursor"]
+__all__ = ["ResultCursor", "validate_k"]
+
+
+def validate_k(k: object, what: str = "k") -> int:
+    """``k`` as a positive built-in int, or a clear boundary error.
+
+    ``bool`` is an int subclass (``True < 1`` is False), so without
+    the explicit rejection ``k=True`` would silently run as k=1; a
+    float k would instead fail deep in the paging machinery. Anything
+    implementing ``__index__`` (numpy integers included) is accepted
+    and normalised.
+    """
+    if isinstance(k, bool):
+        raise ValueError(f"{what} must be an integer, got {k!r}")
+    try:
+        k = operator.index(k)
+    except TypeError:
+        raise ValueError(
+            f"{what} must be an integer, got {type(k).__name__}"
+        ) from None
+    if k < 1:
+        raise ValueError(f"{what} must be at least 1, got {k}")
+    return k
 
 
 class ResultCursor:
@@ -58,6 +82,7 @@ class ResultCursor:
             raise PlanningError(
                 "cursors require a monotone aggregation (Theorem 4.2)"
             )
+        default_k = validate_k(default_k, "default page size")
         self.query = query
         self._session = session
         self._aggregation = aggregation
@@ -76,7 +101,13 @@ class ResultCursor:
         The page's :class:`~repro.algorithms.base.TopKResult` carries
         the *incremental* access cost — what this page added on top of
         the previous pages' work.
+
+        ``k`` must be positive: the cursor validates it up front (a
+        clear error at the API boundary) rather than relying on the
+        paging machinery to reject it mid-flight.
         """
+        if k is not None:
+            k = validate_k(k)
         page = self._incremental.next_batch(
             self._default_k if k is None else k
         )
@@ -88,12 +119,27 @@ class ResultCursor:
     # ------------------------------------------------------------------
 
     @property
+    def default_k(self) -> int:
+        """Page size used when :meth:`next_k` is called without one."""
+        return self._default_k
+
+    @property
     def pages_fetched(self) -> int:
         return len(self._pages)
 
     @property
     def answers_fetched(self) -> int:
         return len(self._incremental.returned)
+
+    @property
+    def remaining(self) -> int:
+        """Answers the population can still yield (N minus fetched).
+
+        Paging past this raises ``InsufficientObjectsError``; iterators
+        (e.g. the async facade's ``async for``) use it to clamp the
+        final page and stop cleanly instead.
+        """
+        return self._session.num_objects - len(self._incremental.returned)
 
     @property
     def fetched(self) -> tuple:

@@ -25,6 +25,12 @@ Batches sharing one session / accounting ledger::
 
     batch = engine.run_many([MINIMUM, MEDIAN, ARITHMETIC_MEAN], k=10)
 
+Concurrent serving (per-query sessions, one summed ledger; see also
+:class:`~repro.engine.async_engine.AsyncEngine` for the awaitable
+facade)::
+
+    batch = engine.run_many(queries, k=10, parallel=8)
+
 Every run flows through the same machinery: the planner's strategy
 table is the engine's :mod:`~repro.engine.registry`, the executor's
 accounting is Section 5's cost model, and ``Garlic`` itself is now a
@@ -33,6 +39,8 @@ thin deprecation shim over this class.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace as _dc_replace
 from typing import Callable, Iterable, Sequence
 
@@ -48,9 +56,13 @@ from repro.core.query import Query
 from repro.engine.batch import BatchResult, stats_of
 from repro.engine.builder import QueryBuilder
 from repro.engine.context import ExecutionContext
-from repro.engine.cursor import ResultCursor
+from repro.engine.cursor import ResultCursor, validate_k
 from repro.engine.registry import StrategyChoice, select_strategy
-from repro.exceptions import EngineConfigurationError, PlanningError
+from repro.exceptions import (
+    EngineConfigurationError,
+    PlanningError,
+    SubsystemCapabilityError,
+)
 from repro.middleware.catalog import Catalog
 from repro.middleware.executor import Executor, QueryAnswer
 from repro.middleware.parser import parse_query
@@ -184,6 +196,7 @@ class Engine:
         self,
         queries: Iterable[object],
         k: int | None = None,
+        parallel: int | None = None,
     ) -> BatchResult:
         """Execute a batch of queries with shared per-engine state.
 
@@ -191,18 +204,44 @@ class Engine:
         engines, aggregation function for source-backed ones) or a
         ``(spec, k)`` pair overriding the batch-wide ``k``.
 
-        Source-backed batches literally share **one session and one
-        cost tracker**: each run restarts the sorted cursors (a fresh
-        subquery issue, charged as such) and the tracker accumulates
-        the batch-wide S and R. Catalog-backed batches share an
-        atom-evaluation cache, so an atomic subquery appearing in
-        several batch members is issued to its subsystem once.
+        Serial (``parallel=None``) source-backed batches literally
+        share **one session and one cost tracker**: each run restarts
+        the sorted cursors (a fresh subquery issue, charged as such)
+        and the tracker accumulates the batch-wide S and R.
+        Catalog-backed batches share an atom-evaluation cache, so an
+        atomic subquery appearing in several batch members is issued
+        to its subsystem once per batch; every consumer gets its own
+        forked cursor over that one evaluation.
+
+        ``parallel=N`` executes the batch members on a thread pool of
+        ``N`` workers. Each member runs in its **own session** (its
+        own cursors and cost tracker); the batch ledger is the sum of
+        the per-member :class:`~repro.access.cost.AccessStats`, which
+        makes the Section 5 accounting bit-identical to the serial
+        path — a member performs the same accesses whether its fresh
+        session was minted concurrently or after a restart. The shared
+        atom cache stays shared, with single-flight evaluation per
+        atom. A source-backed engine over a live
+        :class:`~repro.access.session.MiddlewareSession` cannot mint
+        per-member sessions and refuses ``parallel``.
         """
-        default_k = k if k is not None else self.context.default_k
+        if parallel is not None and (
+            isinstance(parallel, bool)
+            or not isinstance(parallel, int)
+            or parallel < 1
+        ):
+            raise EngineConfigurationError(
+                f"parallel must be a positive int or None, got {parallel!r}"
+            )
+        default_k = validate_k(
+            k if k is not None else self.context.default_k
+        )
         specs = [self._normalise_spec(entry, default_k) for entry in queries]
         if self._is_source_backed():
-            return self._run_many_sources(specs)
-        return self._run_many_catalog(specs)
+            if parallel is None:
+                return self._run_many_sources(specs)
+            return self._run_many_sources_parallel(specs, parallel)
+        return self._run_many_catalog(specs, parallel)
 
     def __repr__(self) -> str:
         if self._is_source_backed():
@@ -226,11 +265,20 @@ class Engine:
     def _normalise_spec(
         self, entry: object, default_k: int
     ) -> tuple[object, int]:
+        # bool is an int subclass, so without the explicit exclusion a
+        # (spec, True) pair would silently run with k=1 instead of
+        # falling through as a malformed spec.
         if (
             isinstance(entry, tuple)
             and len(entry) == 2
             and isinstance(entry[1], int)
+            and not isinstance(entry[1], bool)
         ):
+            if entry[1] < 1:
+                raise ValueError(
+                    f"k must be at least 1, got {entry[1]} "
+                    f"(spec {entry[0]!r})"
+                )
             return entry[0], entry[1]
         return entry, default_k
 
@@ -379,7 +427,11 @@ class Engine:
         conjunction: str | None,
         k: int | None,
     ):
-        k = k if k is not None else self.context.default_k
+        # Validate before any session is minted or plan executed, so
+        # .top(0) / .top(True) fails fast with a clear message on both
+        # backings (previously only the algorithm/executor layer caught
+        # non-positive k, after side effects — and bools not at all).
+        k = validate_k(k if k is not None else self.context.default_k)
         if self._is_source_backed():
             if query is not None:
                 raise EngineConfigurationError(
@@ -487,11 +539,116 @@ class Engine:
             details={"shared_session": True, "queries": len(answers)},
         )
 
-    def _run_many_catalog(
-        self, specs: Sequence[tuple[object, int]]
+    def _run_many_sources_parallel(
+        self, specs: Sequence[tuple[object, int]], parallel: int
     ) -> BatchResult:
-        cache: dict[object, SortedRandomSource] = {}
+        """Source-backed batch on a thread pool: one session per member.
+
+        The backing must be able to mint independent sessions (a
+        database or session factory); the per-member
+        :class:`~repro.algorithms.base.TopKResult` stats are summed
+        after the fact into the batch ledger, which equals the serial
+        shared-tracker totals exactly (each member performs the same
+        accesses either way).
+        """
+        if isinstance(self._backing, MiddlewareSession):
+            raise EngineConfigurationError(
+                "an engine over a live MiddlewareSession is single-"
+                "consumer and cannot run batch members in parallel; "
+                "back the engine with a database or session factory"
+            )
+        for aggregation, _ in specs:
+            if not isinstance(aggregation, AggregationFunction):
+                raise EngineConfigurationError(
+                    "source-backed batches take aggregation functions, "
+                    f"got {type(aggregation).__name__}"
+                )
+
+        def run_one(spec: tuple[object, int]) -> TopKResult:
+            aggregation, k = spec
+            session = self._fresh_session()
+            choice = self._select(aggregation, session.num_lists, None)
+            return choice.algorithm.top_k(session, aggregation, k)
+
+        with ThreadPoolExecutor(
+            max_workers=parallel, thread_name_prefix="repro-run-many"
+        ) as pool:
+            answers = list(pool.map(run_one, specs))
+        return BatchResult(
+            answers=tuple(answers),
+            total_sorted=sum(a.stats.sorted_cost for a in answers),
+            total_random=sum(a.stats.random_cost for a in answers),
+            details={
+                "shared_session": False,
+                "parallel": parallel,
+                "queries": len(answers),
+            },
+        )
+
+    def _run_many_catalog(
+        self, specs: Sequence[tuple[object, int]], parallel: int | None = None
+    ) -> BatchResult:
+        #: One pristine raw evaluation per atom; every consumer reads
+        #: through its own forked cursor, so the cached source's state
+        #: is never mutated (the previous restart()-based reuse broke
+        #: as soon as two plans interleaved — e.g. on a thread pool).
+        #: Entries are (template, forkable): sources that cannot fork
+        #: are still reused serially via restart() — sound when plans
+        #: run to completion one after another — but re-evaluated per
+        #: use on the parallel path, where interleaving is real.
+        cache: dict[object, tuple[SortedRandomSource, bool]] = {}
+        cache_lock = threading.Lock()
+        atom_locks: dict[object, threading.Lock] = {}
         counters = {"atom_evaluations": 0, "atom_reuses": 0}
+        serial = parallel is None
+
+        def reuse(template: SortedRandomSource, forkable: bool):
+            """A fresh-cursor view of a cached evaluation, or None when
+            the template cannot be shared safely (unforkable + parallel).
+            Called under ``cache_lock``."""
+            if forkable:
+                counters["atom_reuses"] += 1
+                return template.fork()
+            if serial:
+                # Re-issuing the subquery from the top; subsequent
+                # accesses are real and charged to the new session.
+                template.restart()
+                counters["atom_reuses"] += 1
+                return template
+            return None
+
+        def raw_for(atom) -> SortedRandomSource:
+            """A fresh-cursor source for one use of ``atom``.
+
+            Single-flight: concurrent first requests for the same atom
+            evaluate it once (per-atom lock); everyone mints a fork.
+            """
+            with cache_lock:
+                entry = cache.get(atom)
+                if entry is not None:
+                    reused = reuse(*entry)
+                    if reused is not None:
+                        return reused
+                build_lock = atom_locks.setdefault(atom, threading.Lock())
+            with build_lock:
+                with cache_lock:
+                    entry = cache.get(atom)
+                    if entry is not None:
+                        reused = reuse(*entry)
+                        if reused is not None:
+                            return reused
+                raw = self._catalog.subsystem_for(atom).evaluate(atom)
+                try:
+                    out = raw.fork()
+                    forkable = True
+                except SubsystemCapabilityError:
+                    out = raw
+                    forkable = False
+                with cache_lock:
+                    counters["atom_evaluations"] += 1
+                    if forkable or serial:
+                        cache[atom] = (raw, forkable)
+                return out
 
         def evaluate(atom, batch_size=None) -> SortedRandomSource:
             # The cache holds the *raw* evaluation (the expensive part:
@@ -500,16 +657,7 @@ class Engine:
             # members that negotiated different transports for a
             # shared atom still reuse one evaluation without either
             # bypassing its plan's page cap (or lack thereof).
-            raw = cache.get(atom)
-            if raw is None:
-                raw = self._catalog.subsystem_for(atom).evaluate(atom)
-                cache[atom] = raw
-                counters["atom_evaluations"] += 1
-            else:
-                # Re-issuing the subquery from the top; subsequent
-                # accesses are real and charged to the new session.
-                raw.restart()
-                counters["atom_reuses"] += 1
+            raw = raw_for(atom)
             if batch_size is None:
                 return raw
             # Mirror Subsystem.evaluate_batched over the cached source.
@@ -518,15 +666,27 @@ class Engine:
             return UnbatchedSource(raw)
 
         executor = self._executor(evaluate=evaluate)
-        answers: list[QueryAnswer] = []
-        for spec, k in specs:
+
+        def run_one(spec_k: tuple[object, int]) -> QueryAnswer:
+            spec, k = spec_k
             plan = self._plan_for(self._require_query(spec), None, None, None)
-            answers.append(executor.execute(plan, k))
+            return executor.execute(plan, k)
+
+        if parallel is None:
+            answers = [run_one(spec_k) for spec_k in specs]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=parallel, thread_name_prefix="repro-run-many"
+            ) as pool:
+                answers = list(pool.map(run_one, specs))
         total_sorted = sum(stats_of(a).sorted_cost for a in answers)
         total_random = sum(stats_of(a).random_cost for a in answers)
+        details: dict[str, object] = {**counters, "queries": len(answers)}
+        if parallel is not None:
+            details["parallel"] = parallel
         return BatchResult(
             answers=tuple(answers),
             total_sorted=total_sorted,
             total_random=total_random,
-            details={**counters, "queries": len(answers)},
+            details=details,
         )

@@ -77,6 +77,13 @@ class Executor:
         accept an optional ``batch_size`` keyword; single-argument
         hooks keep working (the plan's negotiated batch size is then
         the hook's own business).
+
+    An executor holds no per-execution state — ``execute`` builds a
+    fresh session/tracker per plan — so one instance may serve plans
+    from several threads, *provided* the hook (if any) is itself
+    thread-safe and every call returns a source no other plan is
+    consuming (``Engine.run_many`` hands out forked cursors for
+    exactly this reason).
     """
 
     def __init__(

@@ -31,6 +31,7 @@ Capability flags record what each subsystem can do:
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import Callable, Iterable, Mapping, Sequence
@@ -78,6 +79,14 @@ class RankingCache:
     determinism: a re-miss only re-pays the sort, it cannot change the
     graded set. ``hits`` / ``misses`` are surfaced for tests and
     capacity tuning; ``capacity=None`` means unbounded.
+
+    The cache is **thread-safe with single-flight misses**: the LRU
+    dict and the hit/miss counters mutate only under an internal lock,
+    and a miss takes a per-key build lock so that concurrent requests
+    for the *same* atom run ``build_grades`` (and the descending sort)
+    exactly once — the losers of the race block briefly, then mint off
+    the winner's entry. Requests for *different* atoms build in
+    parallel; hits never block on a build.
     """
 
     def __init__(
@@ -93,12 +102,23 @@ class RankingCache:
         self._entries: OrderedDict[
             object, tuple[tuple[GradedItem, ...], Mapping[ObjectId, float]]
         ] = OrderedDict()
+        self._lock = threading.Lock()
+        #: In-flight builds: key -> the lock its first requester holds.
+        self._building: dict[object, threading.Lock] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
         return key in self._entries
+
+    def _hit(self, key: object):
+        """Under ``self._lock``: the entry for ``key``, LRU-refreshed."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return entry
 
     def source(
         self,
@@ -113,29 +133,61 @@ class RankingCache:
         a miss ``build_grades`` is invoked, its result ranked (and
         validated) once, and the entry stored. An unhashable cache key
         (an exotic target object) bypasses the cache entirely rather
-        than failing the query.
+        than failing the query. Safe to call from any thread; the same
+        atom is never built twice concurrently (single-flight).
         """
         key: object = (query.attribute, query.op, query.target)
         try:
-            entry = self._entries.get(key)
+            hash(key)
         except TypeError:  # unhashable target: serve uncached
             return MaterializedSource(name, build_grades())
-        if entry is None:
+        # Single-flight: exactly one designated builder per key at a
+        # time. Waiters block on the builder's lock, then *re-check* —
+        # never build off a captured lock reference — so a failed build
+        # neither leaks its lock nor lets two racers build at once (one
+        # waiter is promoted to the next builder instead).
+        while True:
+            with self._lock:
+                entry = self._hit(key)
+                if entry is not None:
+                    ranking, grade_map = entry
+                    return MaterializedSource.trusted(name, ranking, grade_map)
+                build_lock = self._building.get(key)
+                if build_lock is None:
+                    build_lock = threading.Lock()
+                    build_lock.acquire()
+                    self._building[key] = build_lock
+                    break  # this thread is the builder
+            # Another thread is building this key: wait for it to
+            # finish (success or failure), then loop and re-check.
+            build_lock.acquire()
+            build_lock.release()
+        try:
             grades = build_grades()
-            self.misses += 1
             entry = (rank_items(grades), dict(grades))
-            self._entries[key] = entry
-            if self.capacity is not None and len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-        else:
-            self.hits += 1
-            self._entries.move_to_end(key)
+            with self._lock:
+                self.misses += 1
+                self._entries[key] = entry
+                if (
+                    self.capacity is not None
+                    and len(self._entries) > self.capacity
+                ):
+                    self._entries.popitem(last=False)
+        finally:
+            with self._lock:
+                self._building.pop(key, None)
+            build_lock.release()
         ranking, grade_map = entry
         return MaterializedSource.trusted(name, ranking, grade_map)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they describe traffic)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            # Dropping in-flight build locks is safe: a racer holding
+            # one re-checks the entries dict and, at worst, rebuilds
+            # the same deterministic graded set.
+            self._building.clear()
 
     def __repr__(self) -> str:
         return (
@@ -183,8 +235,11 @@ class Subsystem(ABC):
         """
         cache = self.__dict__.get("_ranking_cache")
         if cache is None:
-            cache = RankingCache(self.ranking_cache_capacity)
-            self.__dict__["_ranking_cache"] = cache
+            # setdefault is atomic under the GIL: when two threads race
+            # the first mint, both end up with the same cache instance.
+            cache = self.__dict__.setdefault(
+                "_ranking_cache", RankingCache(self.ranking_cache_capacity)
+            )
         return cache
 
     @abstractmethod

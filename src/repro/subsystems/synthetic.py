@@ -10,6 +10,7 @@ code paths as the "real" subsystems.
 from __future__ import annotations
 
 import random
+import threading
 from typing import Mapping, Sequence
 
 from repro.access.source import SortedRandomSource
@@ -90,6 +91,13 @@ class SyntheticSubsystem(Subsystem):
         self._objects = next(iter(populations))
         self._rng = random.Random(seed)
         self._cache: dict[tuple[str, object], dict[ObjectId, float]] = {}
+        # Generated attributes draw from the one seeded rng; the lock
+        # keeps concurrent first draws of *different* (attribute,
+        # target) pairs from interleaving rng consumption (table-backed
+        # attributes never take it). Note the drawn grades still depend
+        # on draw *order*: identical across runs only when the draw
+        # sequence is (e.g. single-threaded, or cache-warmed) the same.
+        self._draw_lock = threading.Lock()
 
     def attributes(self) -> frozenset[str]:
         return frozenset(self._tables) | frozenset(self._generated)
@@ -101,14 +109,15 @@ class SyntheticSubsystem(Subsystem):
         if query.attribute in self._tables:
             return self._tables[query.attribute]
         key = (query.attribute, query.target)
-        if key not in self._cache:
-            dist = self._generated.get(query.attribute, Uniform())
-            self._cache[key] = {
-                obj: dist.sample(self._rng) for obj in sorted(
-                    self._objects, key=repr
-                )
-            }
-        return self._cache[key]
+        with self._draw_lock:
+            if key not in self._cache:
+                dist = self._generated.get(query.attribute, Uniform())
+                self._cache[key] = {
+                    obj: dist.sample(self._rng) for obj in sorted(
+                        self._objects, key=repr
+                    )
+                }
+            return self._cache[key]
 
     def evaluate(self, query: AtomicQuery) -> SortedRandomSource:
         # The shared RankingCache plays ColumnarScoringDatabase's

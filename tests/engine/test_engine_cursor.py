@@ -6,6 +6,7 @@ from repro.core.means import ARITHMETIC_MEAN
 from repro.core.tnorms import MINIMUM
 from repro.core.aggregation import FunctionAggregation
 from repro.engine import Engine
+from repro.engine.cursor import ResultCursor
 from repro.exceptions import InsufficientObjectsError, PlanningError
 from repro.workloads.skeletons import independent_database
 
@@ -126,3 +127,42 @@ class TestCursorValidation:
         cursor = engine.query('Color ~ "red"').cursor()
         paged = list(cursor.next_k(3).items) + list(cursor.next_k(3).items)
         assert {i.obj for i in paged} == {i.obj for i in one_shot.items}
+
+
+class TestNonPositiveK:
+    """Regression: k <= 0 must fail loudly at the API boundary."""
+
+    @pytest.mark.parametrize("k", [0, -1, -10])
+    def test_next_k_rejects_nonpositive(self, db, k):
+        cursor = Engine.over(db).query(MINIMUM).cursor()
+        with pytest.raises(ValueError, match="k must be at least 1"):
+            cursor.next_k(k)
+        assert cursor.pages_fetched == 0  # nothing was consumed
+
+    @pytest.mark.parametrize("k", [0, -5])
+    def test_engine_top_rejects_nonpositive(self, db, k):
+        with pytest.raises(ValueError, match="k must be at least 1"):
+            Engine.over(db).query(MINIMUM).top(k)
+
+    def test_catalog_top_rejects_nonpositive(self, albums):
+        from repro.subsystems.qbic import QbicSubsystem
+
+        engine = Engine().register(
+            QbicSubsystem(
+                "qbic",
+                {"Color": {a.album_id: a.cover_rgb for a in albums}},
+            )
+        )
+        with pytest.raises(ValueError, match="k must be at least 1"):
+            engine.query('Color ~ "red"').top(0)
+
+    def test_cursor_rejects_nonpositive_default_page(self, db):
+        session = db.session()
+        with pytest.raises(ValueError, match="default page size"):
+            ResultCursor(session, MINIMUM, default_k=0)
+
+    def test_remaining_counts_down(self, db):
+        cursor = Engine.over(db).query(MINIMUM).cursor()
+        before = cursor.remaining
+        cursor.next_k(4)
+        assert cursor.remaining == before - 4

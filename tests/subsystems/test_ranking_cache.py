@@ -183,3 +183,81 @@ class TestFederatedRunManyCaching:
         for a, b in zip(first.answers, second.answers):
             assert a.items == b.items
             assert a.result.stats == b.result.stats
+
+
+class TestThreadSafety:
+    """Concurrent evaluate calls must not corrupt the LRU or counters."""
+
+    def test_concurrent_evaluate_single_flight(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        calls = {"builds": 0}
+        lock = threading.Lock()
+        cache = RankingCache(capacity=None)
+        query = AtomicQuery("Artist", "Beatles", "=")
+        grades = {o: i / len(OBJS) for i, o in enumerate(OBJS)}
+
+        def build():
+            with lock:
+                calls["builds"] += 1
+            return grades
+
+        barrier = threading.Barrier(8)
+
+        def evaluate(_):
+            barrier.wait()
+            return cache.source("rel", query, build)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            sources = list(pool.map(evaluate, range(8)))
+
+        # Single-flight: eight racing threads, one build, one miss.
+        assert calls["builds"] == 1
+        assert cache.misses == 1
+        assert cache.hits == 7
+        first = [sources[0].next_sorted() for _ in range(3)]
+        for src in sources[1:]:
+            assert [src.next_sorted() for _ in range(3)] == first
+
+    def test_concurrent_mixed_keys_keep_exact_counters(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        sub = relational()
+        queries = [AtomicQuery("Artist", f"a{i % 5}", "=") for i in range(40)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(sub.evaluate, queries))
+        cache = sub.ranking_cache
+        assert cache.misses == 5  # one per distinct atom
+        assert cache.hits == 35
+        assert len(cache) == 5
+
+
+class TestFailedBuilds:
+    def test_failed_build_releases_per_key_state_and_retries(self):
+        cache = RankingCache()
+        query = AtomicQuery("Artist", "x", "=")
+        attempts = {"n": 0}
+
+        def flaky_build():
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise RuntimeError("subsystem hiccup")
+            return {"a": 0.5, "b": 0.25}
+
+        with pytest.raises(RuntimeError):
+            cache.source("rel", query, flaky_build)
+        # The failed build must not leak its in-flight lock...
+        assert cache._building == {}
+        # ...and a retry builds cleanly.
+        source = cache.source("rel", query, flaky_build)
+        assert source.next_sorted().obj == "a"
+        assert cache.misses == 1
+
+    def test_clear_drops_in_flight_build_locks(self):
+        cache = RankingCache()
+        cache.source("rel", AtomicQuery("A", "t", "~"), lambda: {"a": 1.0})
+        cache._building["stale"] = object()
+        cache.clear()
+        assert len(cache) == 0
+        assert cache._building == {}
