@@ -111,7 +111,7 @@ from repro.subsystems import (
     TextSubsystem,
 )
 
-__version__ = "2.3.0"
+__version__ = "2.4.0"
 
 __all__ = [
     "__version__",

@@ -187,6 +187,16 @@ class AsyncEngine:
         """``engine.explain`` (catalog-backed engines), off the loop."""
         return await self._call(self.engine.explain, query, conjunction)
 
+    async def metrics_snapshot(self) -> dict:
+        """``engine.metrics_snapshot``, off the event loop.
+
+        The snapshot itself is a cheap locked read, but it is routed
+        through the pool like every other engine call so a closed
+        facade refuses it consistently and the lock is never taken on
+        the event loop thread.
+        """
+        return await self._call(self.engine.metrics_snapshot)
+
     def cursor(
         self,
         query: "str | object | AggregationFunction | None" = None,
@@ -277,6 +287,20 @@ class AsyncResultCursor:
     @property
     def answers_fetched(self) -> int:
         return 0 if self._cursor is None else self._cursor.answers_fetched
+
+    @property
+    def remaining(self) -> int | None:
+        """Answers the population can still yield, mirroring
+        :attr:`~repro.engine.cursor.ResultCursor.remaining` so paging
+        clients can stop cleanly instead of provoking
+        ``InsufficientObjectsError`` on a final over-page.
+
+        ``None`` until the first page has been awaited: an unopened
+        cursor has not minted its session yet, so the population size
+        is not known (and opening it here would mean subsystem work on
+        the event loop thread).
+        """
+        return None if self._cursor is None else self._cursor.remaining
 
     def total_stats(self):
         """Accesses spent across all pages (zero-page cursors excluded)."""

@@ -67,6 +67,13 @@ class ResultCursor:
         Optional query AST, for provenance/repr only.
     cost_model:
         Pricing for :meth:`total_cost`.
+    on_page:
+        Optional observer called with each fetched page's
+        :class:`~repro.algorithms.base.TopKResult`. The engine wires
+        its serving ledger here so cursor traffic shows up in
+        :meth:`~repro.engine.engine.Engine.metrics_snapshot`; the
+        callback runs on the fetching thread, after the page is
+        recorded, and must not raise.
     """
 
     def __init__(
@@ -77,6 +84,7 @@ class ResultCursor:
         default_k: int = 10,
         query: Query | None = None,
         cost_model: CostModel = UNWEIGHTED,
+        on_page=None,
     ) -> None:
         if not aggregation.monotone:
             raise PlanningError(
@@ -90,6 +98,7 @@ class ResultCursor:
         self._cost_model = cost_model
         self._incremental = IncrementalFagin(session, aggregation)
         self._pages: list[TopKResult] = []
+        self._on_page = on_page
 
     # ------------------------------------------------------------------
     # Paging
@@ -112,6 +121,8 @@ class ResultCursor:
             self._default_k if k is None else k
         )
         self._pages.append(page)
+        if self._on_page is not None:
+            self._on_page(page)
         return page
 
     # ------------------------------------------------------------------

@@ -104,6 +104,19 @@ class Engine:
         #: is single-consumer: once a cursor leases it, further queries
         #: would silently corrupt the cursor's progress — refuse them.
         self._session_lease: ResultCursor | None = None
+        #: Cumulative serving ledger: every completed query, batch
+        #: member, and cursor page flows its AccessStats here, so the
+        #: engine can answer "what has this process spent so far" —
+        #: the aggregate a /metrics endpoint reports. Guarded by a
+        #: lock because queries complete on arbitrary threads
+        #: (run_many pools, the AsyncEngine executor).
+        self._metrics_lock = threading.Lock()
+        self._metrics_counters = {
+            "queries": 0,
+            "cursor_pages": 0,
+            "sorted": 0,
+            "random": 0,
+        }
 
     # ------------------------------------------------------------------
     # Construction
@@ -239,9 +252,77 @@ class Engine:
         specs = [self._normalise_spec(entry, default_k) for entry in queries]
         if self._is_source_backed():
             if parallel is None:
-                return self._run_many_sources(specs)
-            return self._run_many_sources_parallel(specs, parallel)
-        return self._run_many_catalog(specs, parallel)
+                batch = self._run_many_sources(specs)
+            else:
+                batch = self._run_many_sources_parallel(specs, parallel)
+        else:
+            batch = self._run_many_catalog(specs, parallel)
+        self._record_batch(batch)
+        return batch
+
+    def metrics_snapshot(self) -> dict:
+        """Aggregate serving metrics: ledger totals and cache counters.
+
+        The cumulative counterpart of a single result's
+        :class:`~repro.access.cost.AccessStats`: every completed query
+        (one-shot, batch member, or cursor page) adds its accesses to
+        a process-wide ledger, and every registered subsystem reports
+        its :class:`~repro.subsystems.base.RankingCache` hit/miss
+        counters. Usable standalone (capacity tuning, dashboards) and
+        consumed verbatim by the serving layer's ``/metrics`` plane.
+
+        Returns a plain JSON-serialisable dict::
+
+            {
+              "backing": "source" | "catalog",
+              "queries": <completed top-k runs + batch members>,
+              "cursor_pages": <pages fetched through engine cursors>,
+              "access": {"sorted": S, "random": R, "total": S + R},
+              "ranking_caches": {<subsystem>: {"hits": ..., ...}},
+              "cache_totals": {"hits": H, "misses": M},
+            }
+
+        Thread-safe: counters are read under the ledger lock, cache
+        counters are single-int reads of the live caches (a snapshot
+        taken mid-burst may be one access ahead on one subsystem —
+        monotone, never inconsistent with itself).
+        """
+        with self._metrics_lock:
+            counters = dict(self._metrics_counters)
+        caches: dict[str, dict[str, object]] = {}
+        total_hits = total_misses = 0
+        if not self._is_source_backed():
+            for subsystem in self._catalog.subsystems:
+                # Peek rather than touch the lazy property: a
+                # subsystem that never served a query should report
+                # zeros, not have a cache minted by the report.
+                cache = subsystem.__dict__.get("_ranking_cache")
+                if cache is None:
+                    caches[subsystem.name] = {
+                        "hits": 0, "misses": 0, "entries": 0,
+                        "capacity": subsystem.ranking_cache_capacity,
+                    }
+                    continue
+                caches[subsystem.name] = {
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "entries": len(cache),
+                    "capacity": cache.capacity,
+                }
+                total_hits += cache.hits
+                total_misses += cache.misses
+        return {
+            "backing": "source" if self._is_source_backed() else "catalog",
+            "queries": counters["queries"],
+            "cursor_pages": counters["cursor_pages"],
+            "access": {
+                "sorted": counters["sorted"],
+                "random": counters["random"],
+                "total": counters["sorted"] + counters["random"],
+            },
+            "ranking_caches": caches,
+            "cache_totals": {"hits": total_hits, "misses": total_misses},
+        }
 
     def __repr__(self) -> str:
         if self._is_source_backed():
@@ -254,6 +335,28 @@ class Engine:
 
     def _is_source_backed(self) -> bool:
         return self._backing is not None
+
+    # ------------------------------------------------------------------
+    # Serving ledger (metrics_snapshot's data plane)
+    # ------------------------------------------------------------------
+
+    def _record_query(self, stats) -> None:
+        with self._metrics_lock:
+            self._metrics_counters["queries"] += 1
+            self._metrics_counters["sorted"] += stats.sorted_cost
+            self._metrics_counters["random"] += stats.random_cost
+
+    def _record_page(self, page: TopKResult) -> None:
+        with self._metrics_lock:
+            self._metrics_counters["cursor_pages"] += 1
+            self._metrics_counters["sorted"] += page.stats.sorted_cost
+            self._metrics_counters["random"] += page.stats.random_cost
+
+    def _record_batch(self, batch: BatchResult) -> None:
+        with self._metrics_lock:
+            self._metrics_counters["queries"] += len(batch)
+            self._metrics_counters["sorted"] += batch.total_sorted
+            self._metrics_counters["random"] += batch.total_random
 
     def _require_query(self, query: object) -> "str | Query":
         if not isinstance(query, (str, Query)):
@@ -443,9 +546,13 @@ class Engine:
             if isinstance(self._backing, MiddlewareSession):
                 session.restart_all()
             choice = self._select(aggregation, session.num_lists, strategy)
-            return choice.algorithm.top_k(session, aggregation, k)
+            result = choice.algorithm.top_k(session, aggregation, k)
+            self._record_query(result.stats)
+            return result
         plan = self._plan_for(query, aggregation, strategy, conjunction)
-        return self._executor().execute(plan, k)
+        answer = self._executor().execute(plan, k)
+        self._record_query(answer.result.stats)
+        return answer
 
     def _open_cursor(
         self,
@@ -480,6 +587,7 @@ class Engine:
                 aggregation,
                 default_k=self.context.default_k,
                 cost_model=self.context.cost_model,
+                on_page=self._record_page,
             )
             if shared:
                 self._session_lease = cursor
@@ -508,6 +616,7 @@ class Engine:
             default_k=self.context.default_k,
             query=self._parse(query),  # type: ignore[arg-type]
             cost_model=self.context.cost_model,
+            on_page=self._record_page,
         )
 
     # ------------------------------------------------------------------

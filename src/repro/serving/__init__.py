@@ -1,0 +1,64 @@
+"""repro.serving — the HTTP serving subsystem over :class:`AsyncEngine`.
+
+Fagin's middleware is a *service*: a query layer federating multimedia
+subsystems for many concurrent callers. This package is that service's
+network edge — a minimal-dependency (stdlib ``asyncio`` + ``http``)
+HTTP/JSON server wrapping one engine:
+
+* ``POST /v1/query`` — one-shot top-k submit,
+* ``POST /v1/cursor`` + ``GET /v1/cursor/{id}/next`` — server-side
+  paging sessions with TTL eviction (Section 4's "continue where we
+  left off" as a wire protocol),
+* ``GET /v1/explain`` — the planner's strategy description,
+* ``GET /healthz`` / ``GET /metrics`` — the operational plane.
+
+Robustness is first-class: per-request deadlines (``deadline_ms`` →
+504), admission control with queue-depth shedding (503 +
+``Retry-After``), graceful shutdown draining live cursors, and
+structured JSON error envelopes. See DESIGN.md "Serving layer".
+
+Programmatic use::
+
+    from repro.engine import Engine
+    from repro.serving import ServingApp, ServingConfig, ServingServer
+
+    app = ServingApp(engine, ServingConfig(port=0))
+    server = ServingServer(app)
+    await server.start()
+
+or from a shell: ``python -m repro.serving --port 8000``.
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.app import ServingApp
+from repro.serving.config import ServingConfig
+from repro.serving.metrics import LatencyHistogram, ServerMetrics
+from repro.serving.protocol import (
+    NAMED_AGGREGATIONS,
+    HttpRequest,
+    HttpResponse,
+    ServingError,
+    error_response,
+    json_response,
+    resolve_aggregation,
+)
+from repro.serving.server import ServingServer
+from repro.serving.sessions import CursorSession, CursorSessionStore
+
+__all__ = [
+    "AdmissionController",
+    "CursorSession",
+    "CursorSessionStore",
+    "HttpRequest",
+    "HttpResponse",
+    "LatencyHistogram",
+    "NAMED_AGGREGATIONS",
+    "ServerMetrics",
+    "ServingApp",
+    "ServingConfig",
+    "ServingError",
+    "ServingServer",
+    "error_response",
+    "json_response",
+    "resolve_aggregation",
+]

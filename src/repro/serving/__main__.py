@@ -1,0 +1,128 @@
+"""CLI entry point: ``python -m repro.serving``.
+
+Boots a serving process over one of two demo backings:
+
+* ``--backing columnar`` (default) — a source-backed engine over a
+  shared read-only :class:`ColumnarScoringDatabase` built from the
+  Section 5 independent workload (``--n/--m/--seed``); queries name
+  an aggregation (``{"aggregation": "min", "k": 10}``).
+* ``--backing catalog`` — the federated Garlic demo: a relational and
+  a QBIC-style image subsystem over one object population; queries
+  are strings (``{"query": "(Artist = \\"artist-1\\") AND (Color ~
+  \\"red\\")", "k": 5}``).
+
+Real deployments construct their own :class:`Engine` and call
+:func:`main`'s building blocks directly; the CLI exists so the load
+generator, the Docker image, and the CI smoke job have a one-line
+server to aim at.
+
+SIGINT/SIGTERM trigger a graceful drain (admission empties, cursor
+sessions close, engine facade closes) and a zero exit — what the
+compose file and the CI smoke job assert on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+
+from repro.access import ColumnarScoringDatabase
+from repro.engine import Engine
+from repro.serving.app import ServingApp
+from repro.serving.config import ServingConfig
+from repro.serving.server import ServingServer
+from repro.workloads import independent_database
+
+__all__ = ["build_engine", "main"]
+
+
+def build_engine(args: argparse.Namespace) -> Engine:
+    if args.backing == "columnar":
+        store = ColumnarScoringDatabase.from_scoring_database(
+            independent_database(args.m, args.n, seed=args.seed)
+        )
+        return Engine.over(store)
+    # The federated catalog demo: objects graded by two subsystems.
+    import random
+
+    from repro.subsystems import QbicSubsystem, RelationalSubsystem
+
+    rng = random.Random(args.seed)
+    objects = [f"o{i}" for i in range(args.n)]
+    relational = RelationalSubsystem(
+        "rel",
+        {o: {"Artist": f"artist-{i % 17}"} for i, o in enumerate(objects)},
+    )
+    qbic = QbicSubsystem(
+        "img",
+        {
+            "Color": {
+                o: (rng.random(), rng.random(), rng.random())
+                for o in objects
+            }
+        },
+    )
+    return Engine().register(relational).register(qbic)
+
+
+async def _run(args: argparse.Namespace) -> int:
+    config = ServingConfig(
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.default_deadline_ms,
+        cursor_ttl_s=args.cursor_ttl_s,
+        drain_grace_s=args.drain_grace_s,
+    )
+    app = ServingApp(build_engine(args), config)
+    server = ServingServer(app, config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(
+            signum, lambda: asyncio.ensure_future(server.shutdown())
+        )
+    print(
+        f"repro.serving listening on http://{config.host}:{server.port} "
+        f"(backing={args.backing}, workers={config.max_workers}, "
+        f"inflight<={config.max_inflight}, queue<={config.max_queue})",
+        flush=True,
+    )
+    summary = await server.serve_forever()
+    print(f"repro.serving drained: {json.dumps(summary)}", flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000)
+    parser.add_argument(
+        "--backing", choices=("columnar", "catalog"), default="columnar"
+    )
+    parser.add_argument("--n", type=int, default=10_000, help="population size")
+    parser.add_argument("--m", type=int, default=3, help="ranked lists")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--max-inflight", type=int, default=8)
+    parser.add_argument("--max-queue", type=int, default=16)
+    parser.add_argument("--default-deadline-ms", type=int, default=None)
+    parser.add_argument("--cursor-ttl-s", type=float, default=300.0)
+    parser.add_argument("--drain-grace-s", type=float, default=10.0)
+    args = parser.parse_args(argv)
+    try:
+        return asyncio.run(_run(args))
+    except KeyboardInterrupt:  # pragma: no cover - double ^C
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Admission control: bounded in-flight work, queue-depth shedding.
+
+The paper's middleware assumes one caller; a server has thousands. Two
+numbers keep it stable under overload:
+
+* ``max_inflight`` — requests actually executing on the engine pool at
+  once. Admission is a semaphore of this width.
+* ``max_queue`` — requests allowed to *wait* for a slot. Anything
+  arriving past a full queue is shed immediately with 503 and a
+  ``Retry-After`` hint, because a request admitted behind an unbounded
+  queue would only time out later having consumed a slot — shedding
+  early is the load-stable behaviour (and the client's signal to back
+  off).
+
+Single-event-loop discipline: all state mutates on the owning loop
+(the server's), so plain ints suffice — the asyncio primitives provide
+the waiting, not the mutual exclusion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from http import HTTPStatus
+
+from repro.serving.protocol import ServingError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """A bounded-concurrency gate with early shedding.
+
+    Use as ``async with controller.admit(): ...`` around the work of
+    one request. Raises a 503 :class:`ServingError` instead of
+    admitting once ``max_queue`` requests are already waiting.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int,
+        *,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.retry_after_s = retry_after_s
+        self._slots = asyncio.Semaphore(max_inflight)
+        self.in_flight = 0
+        self.waiting = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    @asynccontextmanager
+    async def admit(self):
+        if self.in_flight >= self.max_inflight and self.waiting >= self.max_queue:
+            self.shed_total += 1
+            raise ServingError(
+                HTTPStatus.SERVICE_UNAVAILABLE,
+                "overloaded",
+                f"server at capacity ({self.in_flight} in flight, "
+                f"{self.waiting} queued); retry later",
+                retry_after_s=self.retry_after_s,
+                details={
+                    "max_inflight": self.max_inflight,
+                    "max_queue": self.max_queue,
+                },
+            )
+        self.waiting += 1
+        try:
+            await self._slots.acquire()
+        finally:
+            self.waiting -= 1
+        self.in_flight += 1
+        self.admitted_total += 1
+        try:
+            yield
+        finally:
+            self.in_flight -= 1
+            self._slots.release()
+
+    async def drain(self) -> None:
+        """Wait until nothing is in flight (used by graceful shutdown).
+
+        Acquiring every slot means every admitted request has
+        released; the slots are put straight back so a non-draining
+        caller (tests) can reuse the controller.
+        """
+        for _ in range(self.max_inflight):
+            await self._slots.acquire()
+        for _ in range(self.max_inflight):
+            self._slots.release()
+
+    def snapshot(self) -> dict:
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "in_flight": self.in_flight,
+            "waiting": self.waiting,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController({self.in_flight}/{self.max_inflight} "
+            f"in flight, {self.waiting}/{self.max_queue} queued)"
+        )

@@ -1,0 +1,101 @@
+"""Serving configuration: every operational knob in one dataclass.
+
+The defaults describe a small single-process deployment; the CLI
+(``python -m repro.serving``) and the tests construct variants via
+``dataclasses.replace``-style keyword overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServingConfig"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Operational limits of one serving process.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address. Port 0 asks the OS for an ephemeral port (the
+        integration tests use this); the bound port is surfaced on
+        :attr:`~repro.serving.server.ServingServer.port`.
+    max_workers:
+        Thread-pool width of the wrapped
+        :class:`~repro.engine.async_engine.AsyncEngine` — the number
+        of engine calls actually executing at once.
+    max_inflight:
+        Admission-control bound on *admitted* requests (executing on
+        the pool). Held at or below ``max_workers`` there is no
+        internal queueing surprise: every admitted request has a
+        worker.
+    max_queue:
+        Requests allowed to wait for admission before the server
+        starts shedding with 503. Queue depth bounds worst-case
+        latency: a request admitted after waiting behind ``max_queue``
+        peers still meets a deadline sized for it.
+    shed_retry_after_s:
+        ``Retry-After`` value (seconds) sent with every 503.
+    default_deadline_ms:
+        Deadline applied when a request does not carry its own
+        ``deadline_ms``; ``None`` means no implicit deadline.
+    max_deadline_ms:
+        Upper clamp for client-supplied deadlines (a client cannot
+        pin a worker for minutes by asking politely).
+    cursor_ttl_s:
+        Idle lifetime of a server-side cursor session; the sweeper
+        evicts sessions idle longer than this.
+    max_cursors:
+        Bound on concurrently live cursor sessions (creation past the
+        bound is shed with 503 — cursors hold sessions, i.e. memory).
+    sweep_interval_s:
+        Period of the TTL sweeper task.
+    drain_grace_s:
+        Graceful-shutdown budget: how long ``shutdown()`` waits for
+        in-flight requests to finish before closing the engine anyway.
+    max_body_bytes:
+        Request-body size cap (413 above it).
+    request_timeout_s:
+        Socket-level budget for reading one request head + body.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8000
+    max_workers: int = 8
+    max_inflight: int = 8
+    max_queue: int = 16
+    shed_retry_after_s: float = 1.0
+    default_deadline_ms: int | None = None
+    max_deadline_ms: int = 60_000
+    cursor_ttl_s: float = 300.0
+    max_cursors: int = 256
+    sweep_interval_s: float = 5.0
+    drain_grace_s: float = 10.0
+    max_body_bytes: int = 1 << 20
+    request_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.max_cursors < 1:
+            raise ValueError(f"max_cursors must be >= 1, got {self.max_cursors}")
+        if self.cursor_ttl_s <= 0:
+            raise ValueError(f"cursor_ttl_s must be > 0, got {self.cursor_ttl_s}")
+        if self.max_deadline_ms < 1:
+            raise ValueError(
+                f"max_deadline_ms must be >= 1, got {self.max_deadline_ms}"
+            )
+        if (
+            self.default_deadline_ms is not None
+            and self.default_deadline_ms < 1
+        ):
+            raise ValueError(
+                "default_deadline_ms must be >= 1 or None, "
+                f"got {self.default_deadline_ms}"
+            )

@@ -1,0 +1,191 @@
+"""The serving metrics plane: latency histograms, qps, traffic counters.
+
+Stdlib-only, lock-guarded (engine work completes on pool threads, so
+observations arrive from anywhere), and cheap enough to update on
+every request: an observation is two dict increments and one bucket
+increment.
+
+Percentiles come from a fixed log-spaced latency histogram rather than
+a reservoir: the buckets span 0.25 ms to ~8 s doubling each step, so a
+reported p99 is the upper bound of the bucket holding the 99th
+percentile — at most one doubling above the true value, stable under
+load, and O(1) memory regardless of traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["LatencyHistogram", "ServerMetrics"]
+
+
+def _default_bounds() -> tuple[float, ...]:
+    # 0.25, 0.5, 1, 2, ... 8192 ms; +inf is implicit as the last bucket.
+    return tuple(0.25 * (2.0 ** i) for i in range(16))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimates.
+
+    Not thread-safe by itself — :class:`ServerMetrics` updates it under
+    its own lock.
+    """
+
+    def __init__(self, bounds: tuple[float, ...] | None = None) -> None:
+        self.bounds = bounds if bounds is not None else _default_bounds()
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        # counts[i] counts observations <= bounds[i]; the final slot is
+        # the +inf overflow bucket.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, latency_ms: float) -> None:
+        latency_ms = max(0.0, float(latency_ms))
+        # Linear scan beats bisect at 16 buckets for the common (fast)
+        # case: most observations land in the first few buckets.
+        for i, bound in enumerate(self.bounds):
+            if latency_ms <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += 1
+        self.sum_ms += latency_ms
+        if latency_ms > self.max_ms:
+            self.max_ms = latency_ms
+
+    def percentile(self, q: float) -> float | None:
+        """Upper bound of the bucket holding the ``q``-th percentile.
+
+        ``None`` when nothing was observed. ``q`` in [0, 100].
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.total == 0:
+            return None
+        # The smallest rank covering q% of observations (nearest-rank).
+        rank = max(1, -(-int(q * self.total) // 100))
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max_ms  # overflow bucket: report the max
+        return self.max_ms  # pragma: no cover - rank <= total always hits
+
+    def snapshot(self) -> dict:
+        mean = self.sum_ms / self.total if self.total else None
+        return {
+            "count": self.total,
+            "mean_ms": round(mean, 3) if mean is not None else None,
+            "p50_ms": self.percentile(50),
+            "p90_ms": self.percentile(90),
+            "p99_ms": self.percentile(99),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+#: Sliding-qps window length, seconds.
+_QPS_WINDOW_S = 60.0
+
+
+class ServerMetrics:
+    """Thread-safe aggregate of everything the server observed.
+
+    ``clock`` is injectable (monotonic seconds) so tests can march
+    time instead of sleeping.
+    """
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.started_at = clock()
+        #: (route, status) -> count; routes are templates
+        #: ("/v1/cursor/{id}/next"), never raw paths, to bound
+        #: cardinality.
+        self._requests: dict[tuple[str, int], int] = {}
+        self._latency = LatencyHistogram()
+        self._per_route: dict[str, LatencyHistogram] = {}
+        self._recent: deque[float] = deque()
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.shed_total = 0
+        self.deadline_total = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def request_started(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+            if self.in_flight > self.peak_in_flight:
+                self.peak_in_flight = self.in_flight
+
+    def request_finished(
+        self, route: str, status: int, latency_ms: float
+    ) -> None:
+        now = self._clock()
+        with self._lock:
+            self.in_flight = max(0, self.in_flight - 1)
+            key = (route, int(status))
+            self._requests[key] = self._requests.get(key, 0) + 1
+            self._latency.observe(latency_ms)
+            per_route = self._per_route.get(route)
+            if per_route is None:
+                per_route = self._per_route[route] = LatencyHistogram()
+            per_route.observe(latency_ms)
+            if status == 503:
+                self.shed_total += 1
+            elif status == 504:
+                self.deadline_total += 1
+            self._recent.append(now)
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - _QPS_WINDOW_S
+        recent = self._recent
+        while recent and recent[0] < horizon:
+            recent.popleft()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            uptime = max(now - self.started_at, 1e-9)
+            total = sum(self._requests.values())
+            window = min(uptime, _QPS_WINDOW_S)
+            by_status: dict[str, int] = {}
+            by_route: dict[str, dict] = {}
+            for (route, status), count in sorted(self._requests.items()):
+                by_status[str(status)] = by_status.get(str(status), 0) + count
+                entry = by_route.setdefault(
+                    route, {"requests": 0, "by_status": {}}
+                )
+                entry["requests"] += count
+                entry["by_status"][str(status)] = count
+            for route, entry in by_route.items():
+                entry["latency"] = self._per_route[route].snapshot()
+            return {
+                "uptime_s": round(uptime, 3),
+                "requests_total": total,
+                "qps": round(total / uptime, 3),
+                "qps_60s": round(len(self._recent) / max(window, 1e-9), 3),
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+                "shed_total": self.shed_total,
+                "deadline_exceeded_total": self.deadline_total,
+                "by_status": by_status,
+                "latency": self._latency.snapshot(),
+                "routes": by_route,
+            }

@@ -1,0 +1,254 @@
+"""The asyncio HTTP/1.1 transport: sockets in, ServingApp in the middle.
+
+Stdlib only — ``asyncio.start_server`` plus a small, strict HTTP/1.1
+request reader. Strict is the point: the server speaks exactly what
+the protocol needs (JSON bodies, keep-alive, Content-Length framing)
+and rejects everything else with enveloped errors rather than
+guessing. Chunked uploads, continuations, and multi-line headers are
+out of scope for an engine API and answered with 400/501.
+
+Lifecycle::
+
+    server = ServingServer(app, config)
+    await server.start()           # bound; server.port is real
+    await server.serve_forever()   # until shutdown() or signal
+
+``shutdown()`` stops accepting, lets the app drain (admission slots
+empty, cursor sessions closed, engine facade closed), then closes
+lingering connections. The CLI installs SIGINT/SIGTERM handlers that
+call it, so a composed deployment stops cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from http import HTTPStatus
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro import __version__
+from repro.serving.app import ServingApp
+from repro.serving.config import ServingConfig
+from repro.serving.protocol import HttpRequest, HttpResponse, ServingError, error_response
+
+__all__ = ["ServingServer"]
+
+#: Request head (request line + headers) size cap.
+_MAX_HEAD_BYTES = 16 * 1024
+
+
+class _ProtocolViolation(Exception):
+    """A malformed request head; carries the response to send."""
+
+    def __init__(self, response: HttpResponse) -> None:
+        super().__init__(response.reason)
+        self.response = response
+
+
+def _violation(status: HTTPStatus, code: str, message: str) -> _ProtocolViolation:
+    return _ProtocolViolation(error_response(ServingError(status, code, message)))
+
+
+class ServingServer:
+    """One :class:`ServingApp` bound to a TCP socket."""
+
+    def __init__(self, app: ServingApp, config: ServingConfig | None = None) -> None:
+        self.app = app
+        self.config = config or app.config
+        self._server: asyncio.base_events.Server | None = None
+        self._sweeper: asyncio.Task | None = None
+        self._shutdown_requested = asyncio.Event()
+        self._shutdown_summary: dict | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`; supports
+        ``port=0`` ephemeral binds)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "ServingServer":
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port
+        )
+        self._sweeper = asyncio.create_task(
+            self._sweep_cursors(), name="repro-serving-sweeper"
+        )
+        return self
+
+    async def serve_forever(self) -> dict:
+        """Serve until :meth:`shutdown` is requested; returns its summary."""
+        await self._shutdown_requested.wait()
+        return self._shutdown_summary or {}
+
+    async def shutdown(self, grace_s: float | None = None) -> dict:
+        """Stop accepting, drain the app, close the socket. Idempotent."""
+        if self._shutdown_summary is not None:
+            return self._shutdown_summary
+        server = self._server
+        if server is not None:
+            server.close()  # stop accepting; live connections continue
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+        summary = await self.app.shutdown(grace_s)
+        if server is not None:
+            await server.wait_closed()
+        self._shutdown_summary = summary
+        self._shutdown_requested.set()
+        return summary
+
+    async def _sweep_cursors(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.config.sweep_interval_s)
+                self.app.sessions.evict_expired()
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader),
+                        self.config.request_timeout_s,
+                    )
+                except asyncio.TimeoutError:
+                    break  # idle keep-alive connection: just close
+                except _ProtocolViolation as exc:
+                    await self._write_response(writer, exc.response, close=True)
+                    break
+                if request is None:
+                    break  # clean EOF between requests
+                response = await self.app.handle(request)
+                close = (
+                    request.headers.get("connection", "").lower() == "close"
+                )
+                await self._write_response(writer, response, close=close)
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing to clean beyond the socket
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> HttpRequest | None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF: keep-alive peer closed
+            raise _violation(
+                HTTPStatus.BAD_REQUEST, "truncated_request",
+                "connection closed mid-request",
+            ) from None
+        except asyncio.LimitOverrunError:
+            raise _violation(
+                HTTPStatus.REQUEST_HEADER_FIELDS_TOO_LARGE, "head_too_large",
+                f"request head exceeds {_MAX_HEAD_BYTES} bytes",
+            ) from None
+        if len(head) > _MAX_HEAD_BYTES:
+            raise _violation(
+                HTTPStatus.REQUEST_HEADER_FIELDS_TOO_LARGE, "head_too_large",
+                f"request head exceeds {_MAX_HEAD_BYTES} bytes",
+            )
+        try:
+            request_line, *header_lines = head[:-4].decode("latin-1").split("\r\n")
+            method, target, http_version = request_line.split(" ", 2)
+        except ValueError:
+            raise _violation(
+                HTTPStatus.BAD_REQUEST, "malformed_request_line",
+                "expected 'METHOD /path HTTP/1.x'",
+            ) from None
+        if http_version not in ("HTTP/1.1", "HTTP/1.0"):
+            raise _violation(
+                HTTPStatus.HTTP_VERSION_NOT_SUPPORTED, "bad_http_version",
+                f"unsupported {http_version!r}",
+            )
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep or not name or name != name.strip():
+                raise _violation(
+                    HTTPStatus.BAD_REQUEST, "malformed_header",
+                    f"malformed header line {line!r}",
+                )
+            headers[name.strip().lower()] = value.strip()
+        if headers.get("transfer-encoding"):
+            raise _violation(
+                HTTPStatus.NOT_IMPLEMENTED, "chunked_unsupported",
+                "chunked request bodies are not supported; "
+                "send Content-Length",
+            )
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+                if length < 0:
+                    raise ValueError
+            except ValueError:
+                raise _violation(
+                    HTTPStatus.BAD_REQUEST, "bad_content_length",
+                    f"invalid Content-Length {headers['content-length']!r}",
+                ) from None
+            if length > self.config.max_body_bytes:
+                raise _violation(
+                    HTTPStatus.REQUEST_ENTITY_TOO_LARGE, "body_too_large",
+                    f"body of {length} bytes exceeds the "
+                    f"{self.config.max_body_bytes}-byte limit",
+                )
+            if length:
+                try:
+                    body = await reader.readexactly(length)
+                except asyncio.IncompleteReadError:
+                    raise _violation(
+                        HTTPStatus.BAD_REQUEST, "truncated_body",
+                        "connection closed mid-body",
+                    ) from None
+        split = urlsplit(target)
+        query = {
+            key: value for key, value in parse_qsl(split.query, keep_blank_values=True)
+        }
+        return HttpRequest(
+            method=method.upper(),
+            path=unquote(split.path) or "/",
+            query=query,
+            headers=headers,
+            body=body,
+        )
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter, response: HttpResponse, *, close: bool
+    ) -> None:
+        head_lines = [
+            f"HTTP/1.1 {response.status} {response.reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(response.body)}",
+            f"Server: repro-serving/{__version__}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        head_lines.extend(f"{name}: {value}" for name, value in response.headers)
+        writer.write(
+            ("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1")
+            + response.body
+        )
+        await writer.drain()

@@ -222,3 +222,121 @@ class TestCursorPageSizeDefault:
                 return await cursor.next_k()
 
         assert len(asyncio.run(run()).items) == 5
+
+
+class TestErrorPaths:
+    """Serving-layer hardening: the facade's failure modes are clean,
+    deterministic, and leave the shared store untouched."""
+
+    def test_invalid_k_surfaces_as_value_error(self, db):
+        async def run():
+            async with AsyncEngine(Engine.over(db)) as serving:
+                with pytest.raises(ValueError):
+                    await serving.top_k(MINIMUM, k=-3)
+                # The facade is still usable after a client error.
+                return await serving.top_k(MINIMUM, k=3)
+
+        assert len(asyncio.run(run()).items) == 3
+
+    def test_cursor_rejects_invalid_page_requests(self, db):
+        async def run():
+            async with AsyncEngine(Engine.over(db)) as serving:
+                with pytest.raises(ValueError, match="page size"):
+                    serving.cursor(MINIMUM, page_size=0)
+                cursor = serving.cursor(MINIMUM, page_size=5)
+                with pytest.raises(ValueError, match="k must be"):
+                    await cursor.next_k(0)
+
+        asyncio.run(run())
+
+    def test_closed_facade_refuses_everything(self, db):
+        async def run():
+            serving = AsyncEngine(Engine.over(db))
+            cursor = serving.cursor(MINIMUM, page_size=5)
+            await serving.aclose()
+            with pytest.raises(EngineConfigurationError, match="closed"):
+                await serving.top_k(MINIMUM, k=3)
+            with pytest.raises(EngineConfigurationError, match="closed"):
+                await serving.metrics_snapshot()
+            with pytest.raises(EngineConfigurationError, match="closed"):
+                await cursor.next_k(5)
+
+        asyncio.run(run())
+
+    def test_cancelled_top_k_leaves_engine_healthy(self, db):
+        """Cancelling an in-flight await abandons delivery only; the
+        per-query session means no shared state is left inconsistent."""
+        solo = Engine.over(db).query(MINIMUM).top(6)
+
+        def slow_factory():
+            import time as _time
+
+            _time.sleep(0.2)
+            return db.session()
+
+        async def run():
+            async with AsyncEngine(Engine.over(slow_factory)) as serving:
+                task = asyncio.ensure_future(serving.top_k(MINIMUM, k=6))
+                await asyncio.sleep(0.02)
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                return await serving.top_k(MINIMUM, k=6)
+
+        after = asyncio.run(run())
+        assert after.items == solo.items
+        assert after.stats == solo.stats
+
+    def test_deadline_cancelled_cursor_page_keeps_store_consistent(self, db):
+        """A timed-out page fetch (the serving layer's 504 path) must
+        not corrupt the shared store: later queries and a fresh cursor
+        still produce bit-identical answers."""
+        solo = Engine.over(db).query(MINIMUM).top(6)
+
+        def slow_factory():
+            import time as _time
+
+            _time.sleep(0.2)
+            return db.session()
+
+        async def run():
+            async with AsyncEngine(Engine.over(slow_factory)) as serving:
+                cursor = serving.cursor(MINIMUM, page_size=6)
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(cursor.next_k(6), 0.02)
+                fresh = serving.cursor(MINIMUM, page_size=6)
+                page = await fresh.next_k(6)
+                result = await serving.top_k(MINIMUM, k=6)
+                return page, result
+
+        page, result = asyncio.run(run())
+        assert page.items == solo.items
+        assert result.items == solo.items
+        assert result.stats == solo.stats
+
+
+class TestRemainingPassthrough:
+    def test_none_before_first_page_then_counts_down(self, db):
+        async def run():
+            async with AsyncEngine(Engine.over(db)) as serving:
+                cursor = serving.cursor(MINIMUM, page_size=10)
+                before = cursor.remaining
+                await cursor.next_k(10)
+                return before, cursor.remaining
+
+        before, after = asyncio.run(run())
+        assert before is None
+        assert after == N - 10
+
+
+class TestMetricsSnapshotPassthrough:
+    def test_matches_sync_ledger(self, db):
+        async def run():
+            async with AsyncEngine(Engine.over(db)) as serving:
+                await serving.top_k(MINIMUM, k=5)
+                return serving.engine, await serving.metrics_snapshot()
+
+        engine, snapshot = asyncio.run(run())
+        assert snapshot == engine.metrics_snapshot()
+        assert snapshot["queries"] == 1
+        assert snapshot["access"]["total"] > 0

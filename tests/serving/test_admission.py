@@ -1,0 +1,132 @@
+"""Admission control: bounded in-flight slots, queue-depth shedding."""
+
+import asyncio
+
+import pytest
+
+from repro.serving import AdmissionController, ServingError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmit:
+    def test_admits_within_capacity(self):
+        async def scenario():
+            admission = AdmissionController(2, 0)
+            async with admission.admit():
+                snap = admission.snapshot()
+                assert snap["in_flight"] == 1
+            assert admission.snapshot()["in_flight"] == 0
+
+        run(scenario())
+
+    def test_sheds_past_queue_bound(self):
+        async def scenario():
+            admission = AdmissionController(1, 0, retry_after_s=2.5)
+            release = asyncio.Event()
+
+            async def occupant():
+                async with admission.admit():
+                    await release.wait()
+
+            task = asyncio.create_task(occupant())
+            await asyncio.sleep(0)  # let the occupant take the slot
+            with pytest.raises(ServingError) as excinfo:
+                async with admission.admit():
+                    pass  # pragma: no cover - never admitted
+            release.set()
+            await task
+            return excinfo.value
+
+        error = run(scenario())
+        assert error.status == 503
+        assert error.code == "overloaded"
+        assert error.retry_after_s == 2.5
+
+    def test_queue_absorbs_burst_before_shedding(self):
+        """With max_queue=1 a second request waits instead of shedding;
+        a third sheds immediately."""
+
+        async def scenario():
+            admission = AdmissionController(1, 1)
+            release = asyncio.Event()
+            order: list[str] = []
+
+            async def occupant():
+                async with admission.admit():
+                    order.append("first")
+                    await release.wait()
+
+            async def queued():
+                async with admission.admit():
+                    order.append("second")
+
+            first = asyncio.create_task(occupant())
+            await asyncio.sleep(0)
+            second = asyncio.create_task(queued())
+            await asyncio.sleep(0)  # second is now parked in the queue
+            with pytest.raises(ServingError):
+                async with admission.admit():
+                    pass  # pragma: no cover
+            shed_snapshot = admission.snapshot()
+            release.set()
+            await asyncio.gather(first, second)
+            return order, shed_snapshot
+
+        order, snap = run(scenario())
+        assert order == ["first", "second"]
+        assert snap["shed_total"] == 1
+        assert snap["waiting"] == 1
+
+    def test_admitted_total_counts(self):
+        async def scenario():
+            admission = AdmissionController(4, 0)
+            for _ in range(3):
+                async with admission.admit():
+                    pass
+            return admission.snapshot()
+
+        assert run(scenario())["admitted_total"] == 3
+
+
+class TestDrain:
+    def test_drain_waits_for_in_flight(self):
+        async def scenario():
+            admission = AdmissionController(2, 0)
+            release = asyncio.Event()
+            done: list[str] = []
+
+            async def occupant():
+                async with admission.admit():
+                    await release.wait()
+                    done.append("work")
+
+            task = asyncio.create_task(occupant())
+            await asyncio.sleep(0)
+            drain = asyncio.create_task(admission.drain())
+            await asyncio.sleep(0)
+            assert not drain.done()  # blocked on the live request
+            release.set()
+            await task
+            await drain
+            done.append("drained")
+            return done
+
+        assert run(scenario())[-1] == "drained"
+
+    def test_drain_immediate_when_idle(self):
+        async def scenario():
+            admission = AdmissionController(2, 0)
+            await asyncio.wait_for(admission.drain(), 1.0)
+
+        run(scenario())
+
+
+class TestValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0, 0)
+        with pytest.raises(ValueError):
+            AdmissionController(1, -1)

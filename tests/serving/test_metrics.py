@@ -1,0 +1,108 @@
+"""The serving metrics plane: histograms, qps windows, counters."""
+
+import pytest
+
+from repro.serving.metrics import LatencyHistogram, ServerMetrics
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestLatencyHistogram:
+    def test_empty_snapshot_is_all_none(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["p50_ms"] is None
+        assert snap["p99_ms"] is None
+        assert snap["mean_ms"] is None
+
+    def test_percentiles_are_bucket_upper_bounds(self):
+        hist = LatencyHistogram()
+        for latency in (0.3, 0.9, 1.7, 3.2, 100.0):
+            hist.observe(latency)
+        snap = hist.snapshot()
+        assert snap["count"] == 5
+        # Each observation lands in a doubling bucket; the reported
+        # percentile is that bucket's upper bound — conservative,
+        # never an underestimate.
+        assert snap["p50_ms"] >= 1.7
+        assert snap["p99_ms"] >= 100.0
+
+    def test_single_observation(self):
+        hist = LatencyHistogram()
+        hist.observe(5.0)
+        snap = hist.snapshot()
+        assert snap["p50_ms"] == snap["p99_ms"]
+        assert snap["p50_ms"] >= 5.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        hist = LatencyHistogram()
+        hist.observe(1_000_000.0)  # beyond the last bound
+        snap = hist.snapshot()
+        assert snap["p99_ms"] == pytest.approx(1_000_000.0)
+        assert snap["max_ms"] == pytest.approx(1_000_000.0)
+
+    def test_mean_is_exact_not_bucketed(self):
+        hist = LatencyHistogram()
+        hist.observe(1.0)
+        hist.observe(3.0)
+        assert hist.snapshot()["mean_ms"] == pytest.approx(2.0)
+
+
+class TestServerMetrics:
+    def test_counts_by_route_and_status(self):
+        metrics = ServerMetrics(clock=FakeClock())
+        for status in (200, 200, 404):
+            metrics.request_started()
+            metrics.request_finished("/v1/query", status, 2.0)
+        snap = metrics.snapshot()
+        assert snap["requests_total"] == 3
+        assert snap["by_status"]["200"] == 2
+        assert snap["by_status"]["404"] == 1
+        assert snap["routes"]["/v1/query"]["requests"] == 3
+        assert snap["routes"]["/v1/query"]["by_status"] == {"200": 2, "404": 1}
+
+    def test_qps_window_prunes_old_requests(self):
+        clock = FakeClock()
+        metrics = ServerMetrics(clock=clock)
+        metrics.request_started()
+        metrics.request_finished("/v1/query", 200, 1.0)
+        clock.advance(30.0)
+        metrics.request_started()
+        metrics.request_finished("/v1/query", 200, 1.0)
+        # Window is min(uptime, 60 s): both requests inside 30 s.
+        assert metrics.snapshot()["qps_60s"] == pytest.approx(
+            2 / 30.0, abs=1e-3
+        )
+        clock.advance(45.0)  # first request now outside the window
+        assert metrics.snapshot()["qps_60s"] == pytest.approx(
+            1 / 60.0, abs=1e-3
+        )
+
+    def test_shed_and_deadline_counters(self):
+        metrics = ServerMetrics(clock=FakeClock())
+        metrics.request_started()
+        metrics.request_finished("/v1/query", 503, 0.1)
+        metrics.request_started()
+        metrics.request_finished("/v1/query", 504, 50.0)
+        snap = metrics.snapshot()
+        assert snap["shed_total"] == 1
+        assert snap["deadline_exceeded_total"] == 1
+
+    def test_in_flight_peak(self):
+        metrics = ServerMetrics(clock=FakeClock())
+        metrics.request_started()
+        metrics.request_started()
+        assert metrics.snapshot()["in_flight"] == 2
+        metrics.request_finished("/a", 200, 1.0)
+        snap = metrics.snapshot()
+        assert snap["in_flight"] == 1
+        assert snap["peak_in_flight"] == 2
