@@ -15,7 +15,8 @@ RUN pip install --no-cache-dir numpy
 WORKDIR /app
 COPY src/ src/
 ENV PYTHONPATH=/app/src \
-    PYTHONUNBUFFERED=1
+    PYTHONUNBUFFERED=1 \
+    REPRO_SHARDS=0
 
 EXPOSE 8000
 

@@ -103,6 +103,7 @@ from repro.engine import (
     select_strategy,
 )
 from repro.middleware import Garlic, parse_query, render_query
+from repro.sharding import ShardedEngine
 from repro.subsystems import (
     QbicSubsystem,
     RelationalSubsystem,
@@ -111,7 +112,7 @@ from repro.subsystems import (
     TextSubsystem,
 )
 
-__version__ = "2.4.0"
+__version__ = "2.5.0"
 
 __all__ = [
     "__version__",
@@ -171,6 +172,8 @@ __all__ = [
     "select_strategy",
     "available_strategies",
     "capable_strategies",
+    # sharding (multi-process execution)
+    "ShardedEngine",
     # middleware & subsystems
     "Garlic",
     "parse_query",

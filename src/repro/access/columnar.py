@@ -66,7 +66,46 @@ from repro.core.kernels import HAVE_NUMPY, evaluate_columns
 if HAVE_NUMPY:
     import numpy as _np
 
-__all__ = ["ColumnarScoringDatabase"]
+__all__ = ["ColumnarScoringDatabase", "rank_orders"]
+
+
+def rank_orders(objects: tuple[ObjectId, ...], columns):
+    """Descending rank order per column, as interned-id permutations.
+
+    The one tie-break (:func:`~repro.access.source.tie_break_key`)
+    realised as index permutations: when every object id is a plain
+    int, ``tie_break_key`` reduces to numeric order and one
+    ``np.lexsort`` per column replaces the O(N log N) Python sort —
+    identical permutation, C speed. Mixed or non-integer populations
+    keep the key-based sort. Shared by the full-store constructor and
+    the shard partitioner (a shard's order is exactly the restriction
+    of the global order to the shard's objects, because the sort key
+    is a total order).
+    """
+    if HAVE_NUMPY and all(type(obj) is int for obj in objects):
+        try:
+            ids = _np.asarray(objects, dtype=_np.int64)
+        except OverflowError:
+            # Arbitrary-precision ids (beyond int64) keep the
+            # key-based sort below — same ordering, Python speed.
+            ids = None
+        if ids is not None:
+            return [
+                _np.lexsort((ids, -_np.asarray(column)))
+                for column in columns
+            ]
+    tie_keys = [tie_break_key(obj) for obj in objects]
+    orders = [
+        array(
+            "l",
+            sorted(
+                range(len(objects)),
+                key=lambda j: (-column[j], tie_keys[j]),
+            ),
+        )
+        for column in columns
+    ]
+    return orders
 
 
 def _validated_column(
@@ -171,42 +210,47 @@ class ColumnarScoringDatabase:
         self._grade_maps: list[dict[ObjectId, float] | None] = [None] * len(columns)
 
     def _rank_orders(self):
-        """Descending rank order per list, as interned-id permutations.
-
-        When every object id is a plain int, ``tie_break_key`` reduces
-        to numeric order and one ``np.lexsort`` per column replaces the
-        O(N log N) Python sort — identical permutation, C speed. Mixed
-        or non-integer populations keep the key-based sort.
-        """
-        objects = self._objects
-        if HAVE_NUMPY and all(type(obj) is int for obj in objects):
-            try:
-                ids = _np.asarray(objects, dtype=_np.int64)
-            except OverflowError:
-                # Arbitrary-precision ids (beyond int64) keep the
-                # key-based sort below — same ordering, Python speed.
-                ids = None
-            if ids is not None:
-                return [
-                    _np.lexsort((ids, -_np.asarray(column)))
-                    for column in self._columns
-                ]
-        tie_keys = [tie_break_key(obj) for obj in objects]
-        orders = [
-            array(
-                "l",
-                sorted(
-                    range(len(objects)),
-                    key=lambda j: (-column[j], tie_keys[j]),
-                ),
-            )
-            for column in self._columns
-        ]
-        return orders
+        return rank_orders(self._objects, self._columns)
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+
+    @classmethod
+    def from_frozen_arrays(
+        cls, objects: tuple[ObjectId, ...], columns, orders
+    ) -> "ColumnarScoringDatabase":
+        """Wrap pre-built frozen columns without re-validating them.
+
+        The trusted constructor for shard attach: ``columns`` are m
+        already-validated float64 grade columns and ``orders`` their
+        descending rank permutations (as :func:`rank_orders` would
+        build them), typically views over a shared-memory segment. The
+        caller vouches for validity and for the shared-read-only
+        contract — numpy arrays are re-marked non-writeable here, but
+        no grades are range-checked and no orders recomputed, so attach
+        is O(m), not O(N log N).
+        """
+        if not columns or len(orders) != len(columns):
+            raise ValueError(
+                "from_frozen_arrays needs one order per column "
+                f"(got {len(columns)} columns, {len(orders)} orders)"
+            )
+        if not objects:
+            raise ValueError("a scoring database needs at least one object")
+        self = cls.__new__(cls)
+        self._objects = tuple(objects)
+        self._index = {obj: idx for idx, obj in enumerate(self._objects)}
+        self._columns = list(columns)
+        self._orders = list(orders)
+        if HAVE_NUMPY:
+            for arr in (*self._columns, *self._orders):
+                if isinstance(arr, _np.ndarray):
+                    arr.flags.writeable = False
+        self._mint_lock = threading.Lock()
+        self._rankings = [None] * len(self._columns)
+        self._grade_maps = [None] * len(self._columns)
+        return self
 
     @classmethod
     def from_scoring_database(cls, db) -> "ColumnarScoringDatabase":
@@ -240,6 +284,17 @@ class ColumnarScoringDatabase:
     @property
     def objects(self) -> frozenset[ObjectId]:
         return frozenset(self._objects)
+
+    @property
+    def interned_objects(self) -> tuple[ObjectId, ...]:
+        """All object ids, in interned (dense-index) order.
+
+        The ordered counterpart of :attr:`objects`; position ``j`` in
+        every grade column and :meth:`grades_matrix` belongs to
+        ``interned_objects[j]``. The shard partitioner slices this
+        axis.
+        """
+        return self._objects
 
     def grade(self, list_index: int, obj: ObjectId) -> float:
         """mu_Ai(obj) — direct lookup (ground truth, not an access)."""

@@ -100,7 +100,13 @@ class AsyncEngine:
         await self.aclose()
 
     async def aclose(self) -> None:
-        """Shut the pool down (idempotent); in-flight queries finish."""
+        """Shut the pool down (idempotent); in-flight queries finish.
+
+        Also releases the wrapped engine's owned execution resources —
+        for a sharded engine, its worker processes and shared-memory
+        segments — after the drain, so no in-flight query loses its
+        substrate (``Engine.close`` is a no-op on other backings).
+        """
         if not self._closed:
             self._closed = True
             pool = self._pool
@@ -109,11 +115,15 @@ class AsyncEngine:
             await asyncio.get_running_loop().run_in_executor(
                 None, functools.partial(pool.shutdown, wait=True)
             )
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.engine.close
+            )
 
     def close(self) -> None:
         """Synchronous shutdown, for non-async teardown paths."""
         self._closed = True
         self._pool.shutdown(wait=True)
+        self.engine.close()
 
     async def _call(self, fn, /, *args, **kwargs):
         if self._closed:
@@ -178,7 +188,12 @@ class AsyncEngine:
         own members).
         """
         if parallel is POOL_PARALLELISM:
-            parallel = self.max_workers
+            # Sharded engines refuse an explicit parallel= (their
+            # worker-process pool is the parallelism); the facade's
+            # default resolves to the engine-default batch path there.
+            parallel = (
+                None if self.engine.sharding is not None else self.max_workers
+            )
         return await self._call(
             self.engine.run_many, list(queries), k=k, parallel=parallel
         )

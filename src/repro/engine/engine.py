@@ -98,6 +98,10 @@ class Engine:
         self.context = context or ExecutionContext()
         self._catalog = Catalog()
         self._backing: object | None = None
+        #: A ShardedEngine when built with :meth:`over_shards` — the
+        #: multi-process backing. Mutually exclusive with both the
+        #: catalog and a plain source backing.
+        self._sharded = None
         self._random_access = True
         #: Cursor holding a live shared-session backing, if any. A
         #: MiddlewareSession backing has stateful sorted cursors, so it
@@ -155,12 +159,48 @@ class Engine:
         engine._random_access = random_access
         return engine
 
+    @classmethod
+    def over_shards(
+        cls,
+        store,
+        context: ExecutionContext | None = None,
+        *,
+        shards: int,
+        processes: int | None = None,
+        start_method: str | None = None,
+        backend: str | None = None,
+    ) -> "Engine":
+        """An engine over a columnar store split into worker processes.
+
+        The store is partitioned into ``shards`` shared-memory shards
+        served by ``processes`` persistent workers (``0`` = inline, no
+        pool — the accounting reference); queries run per shard and
+        merge by threshold exchange into answers and ledgers identical
+        to :meth:`over` on the whole store. See
+        :class:`~repro.sharding.engine.ShardedEngine` for the knobs
+        and DESIGN.md "Sharded execution" for the protocol.
+
+        The engine *owns* the pools and segments: call :meth:`close`
+        (or use the engine as a context manager) when done.
+        """
+        from repro.sharding.engine import ShardedEngine
+
+        engine = cls(context)
+        engine._sharded = ShardedEngine(
+            store,
+            shards=shards,
+            processes=processes,
+            start_method=start_method,
+            backend=backend,
+        )
+        return engine
+
     def register(self, subsystem: Subsystem) -> "Engine":
         """Register a data server (catalog-backed engines); chains."""
-        if self._backing is not None:
+        if self._is_source_backed():
             raise EngineConfigurationError(
-                "this engine is source-backed; subsystems can only be "
-                "registered on an engine built with Engine()"
+                "this engine is source- or shard-backed; subsystems can "
+                "only be registered on an engine built with Engine()"
             )
         self._catalog.register(subsystem)
         return self
@@ -172,6 +212,13 @@ class Engine:
     @property
     def catalog(self) -> Catalog:
         return self._catalog
+
+    @property
+    def sharding(self):
+        """The :class:`~repro.sharding.engine.ShardedEngine` backing
+        this engine, or ``None`` — the serving layer's hook for
+        worker-pool liveness (``/healthz``) and shard counters."""
+        return self._sharded
 
     @property
     def semantics(self):
@@ -250,7 +297,15 @@ class Engine:
             k if k is not None else self.context.default_k
         )
         specs = [self._normalise_spec(entry, default_k) for entry in queries]
-        if self._is_source_backed():
+        if self._sharded is not None:
+            if parallel is not None:
+                raise EngineConfigurationError(
+                    "sharded engines already parallelise across their "
+                    "worker-process pool; drop parallel= (pool width is "
+                    "fixed at construction via processes=)"
+                )
+            batch = self._run_many_sharded(specs)
+        elif self._is_source_backed():
             if parallel is None:
                 batch = self._run_many_sources(specs)
             else:
@@ -311,8 +366,14 @@ class Engine:
                 }
                 total_hits += cache.hits
                 total_misses += cache.misses
-        return {
-            "backing": "source" if self._is_source_backed() else "catalog",
+        if self._sharded is not None:
+            backing = "sharded"
+        elif self._is_source_backed():
+            backing = "source"
+        else:
+            backing = "catalog"
+        snapshot = {
+            "backing": backing,
             "queries": counters["queries"],
             "cursor_pages": counters["cursor_pages"],
             "access": {
@@ -323,8 +384,15 @@ class Engine:
             "ranking_caches": caches,
             "cache_totals": {"hits": total_hits, "misses": total_misses},
         }
+        if self._sharded is not None:
+            # Shards/processes/backend plus cumulative probe counters —
+            # the shard plane of a /metrics report.
+            snapshot["sharding"] = self._sharded.metrics()
+        return snapshot
 
     def __repr__(self) -> str:
+        if self._sharded is not None:
+            return f"Engine(over={self._sharded!r})"
         if self._is_source_backed():
             return f"Engine(over={type(self._backing).__name__})"
         return f"Engine({self._catalog!r})"
@@ -334,7 +402,25 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _is_source_backed(self) -> bool:
-        return self._backing is not None
+        # Sharded engines answer the same aggregation-shaped queries a
+        # source backing does; only the execution substrate differs.
+        return self._backing is not None or self._sharded is not None
+
+    def close(self) -> None:
+        """Release owned execution resources (idempotent).
+
+        Today that is the sharded backing's worker pools and
+        shared-memory segments; engines without one close to a no-op.
+        Usable as a context manager for scoped ownership.
+        """
+        if self._sharded is not None:
+            self._sharded.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Serving ledger (metrics_snapshot's data plane)
@@ -542,6 +628,23 @@ class Engine:
                     "query string; register subsystems on Engine() for "
                     "string queries"
                 )
+            if self._sharded is not None:
+                if aggregation is None:
+                    raise EngineConfigurationError(
+                        "source-backed queries need an aggregation: pass "
+                        "it to engine.query(...) or chain .using(...)"
+                    )
+                if strategy is not None and not isinstance(strategy, str):
+                    raise EngineConfigurationError(
+                        "sharded engines force strategies by registry "
+                        "name (the algorithm runs in worker processes); "
+                        f"got {type(strategy).__name__}"
+                    )
+                result = self._sharded.top_k(
+                    aggregation, k, strategy=strategy
+                )
+                self._record_query(result.stats)
+                return result
             session = self._fresh_session()
             if isinstance(self._backing, MiddlewareSession):
                 session.restart_all()
@@ -572,6 +675,14 @@ class Engine:
                 raise EngineConfigurationError(
                     "source-backed engines take an aggregation, not a "
                     "query string"
+                )
+            if self._sharded is not None:
+                raise PlanningError(
+                    "sharded engines do not support cursors: incremental "
+                    "paging needs one live session, and a sharded query "
+                    "is many per-probe sessions merged after the fact; "
+                    "re-issue with a larger k, or page against "
+                    "Engine.over(store) on the unsharded store"
                 )
             if aggregation is None:
                 raise EngineConfigurationError(
@@ -690,6 +801,39 @@ class Engine:
             details={
                 "shared_session": False,
                 "parallel": parallel,
+                "queries": len(answers),
+            },
+        )
+
+    def _run_many_sharded(
+        self, specs: Sequence[tuple[object, int]]
+    ) -> BatchResult:
+        """Batch execution routed across the shard worker pool.
+
+        Every member runs the full threshold-exchange merge with its
+        own deterministic ledger; the merges advance round-
+        synchronously, each round's probes for the whole batch shipped
+        as one task per pinned pool (see
+        :meth:`ShardedEngine.run_many`). The batch ledger is the sum
+        of the member ledgers — the same totals the members would
+        produce run one at a time.
+        """
+        assert self._sharded is not None
+        for aggregation, _ in specs:
+            if not isinstance(aggregation, (AggregationFunction, str)):
+                raise EngineConfigurationError(
+                    "sharded batches take aggregation functions or wire "
+                    f"names, got {type(aggregation).__name__}"
+                )
+        answers = self._sharded.run_many(specs)
+        return BatchResult(
+            answers=tuple(answers),
+            total_sorted=sum(a.stats.sorted_cost for a in answers),
+            total_random=sum(a.stats.random_cost for a in answers),
+            details={
+                "sharded": True,
+                "shards": self._sharded.num_shards,
+                "processes": self._sharded.processes,
                 "queries": len(answers),
             },
         )

@@ -109,3 +109,14 @@ class EngineConfigurationError(ReproError, TypeError):
     """An :class:`~repro.engine.engine.Engine` was used inconsistently
     with its backing (e.g. a string query on a source-backed engine, or
     a subsystem registration on one built with ``Engine.over``)."""
+
+
+class ShardingError(ReproError, RuntimeError):
+    """A sharded execution failed at the process/shared-memory layer.
+
+    Raised for pool failures (a shard worker died mid-probe), attach
+    failures (a shared-memory segment vanished before the worker mapped
+    it), and use-after-close of a :class:`~repro.sharding.ShardedEngine`.
+    Query-semantics errors (bad ``k``, unknown aggregation) keep their
+    usual types; this class marks *infrastructure* failures unique to
+    multi-process execution."""

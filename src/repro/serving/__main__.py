@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import signal
 import sys
 
@@ -44,7 +45,21 @@ def build_engine(args: argparse.Namespace) -> Engine:
         store = ColumnarScoringDatabase.from_scoring_database(
             independent_database(args.m, args.n, seed=args.seed)
         )
+        if args.shards:
+            # Multi-process serving: the store moves into shared-memory
+            # shards, queries fan out to a persistent worker pool. The
+            # engine owns that pool; the app's graceful drain closes it.
+            return Engine.over_shards(
+                store,
+                shards=args.shards,
+                processes=args.shard_processes,
+            )
         return Engine.over(store)
+    if args.shards:
+        raise SystemExit(
+            "--shards applies to the columnar backing only; the catalog "
+            "demo federates subsystems, which have no columns to shard"
+        )
     # The federated catalog demo: objects graded by two subsystems.
     import random
 
@@ -78,6 +93,8 @@ async def _run(args: argparse.Namespace) -> int:
         default_deadline_ms=args.default_deadline_ms,
         cursor_ttl_s=args.cursor_ttl_s,
         drain_grace_s=args.drain_grace_s,
+        shards=args.shards or None,
+        shard_processes=args.shard_processes if args.shards else None,
     )
     app = ServingApp(build_engine(args), config)
     server = ServingServer(app, config)
@@ -87,10 +104,16 @@ async def _run(args: argparse.Namespace) -> int:
         loop.add_signal_handler(
             signum, lambda: asyncio.ensure_future(server.shutdown())
         )
+    sharding = (
+        f", shards={config.shards}x{config.shard_processes or 'auto'}proc"
+        if config.shards
+        else ""
+    )
     print(
         f"repro.serving listening on http://{config.host}:{server.port} "
         f"(backing={args.backing}, workers={config.max_workers}, "
-        f"inflight<={config.max_inflight}, queue<={config.max_queue})",
+        f"inflight<={config.max_inflight}, queue<={config.max_queue}"
+        f"{sharding})",
         flush=True,
     )
     summary = await server.serve_forever()
@@ -117,7 +140,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--default-deadline-ms", type=int, default=None)
     parser.add_argument("--cursor-ttl-s", type=float, default=300.0)
     parser.add_argument("--drain-grace-s", type=float, default=10.0)
+    # Sharded multi-process execution. Env-overridable so the Docker
+    # image / compose file can turn sharding on without editing the
+    # command line: REPRO_SHARDS=8 docker run ...
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=int(os.environ.get("REPRO_SHARDS", "0") or "0"),
+        help="split the columnar store into N shared-memory shards "
+        "served by worker processes (0 = unsharded; env REPRO_SHARDS)",
+    )
+    parser.add_argument(
+        "--shard-processes",
+        type=int,
+        default=(
+            int(os.environ["REPRO_SHARD_PROCESSES"])
+            if os.environ.get("REPRO_SHARD_PROCESSES")
+            else None
+        ),
+        help="worker-pool width for --shards (default: one per shard "
+        "up to the CPU count; env REPRO_SHARD_PROCESSES)",
+    )
     args = parser.parse_args(argv)
+    if args.shards < 0:
+        parser.error(f"--shards must be >= 0, got {args.shards}")
+    if args.shard_processes is not None and args.shard_processes < 0:
+        parser.error(
+            f"--shard-processes must be >= 0, got {args.shard_processes}"
+        )
     try:
         return asyncio.run(_run(args))
     except KeyboardInterrupt:  # pragma: no cover - double ^C

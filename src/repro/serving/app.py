@@ -295,12 +295,27 @@ class ServingApp:
 
     async def _healthz(self, request: HttpRequest) -> HttpResponse:
         status = "draining" if self._draining else "ok"
+        payload = {
+            "status": status,
+            "version": __version__,
+            "uptime_s": self.metrics.snapshot()["uptime_s"],
+        }
+        sharded = self.engine.sharding
+        if sharded is not None:
+            # Liveness of the worker-process pool, not just this
+            # interpreter: pool_health pings every pool (off the event
+            # loop — it blocks on worker round-trips) and never raises.
+            health = await asyncio.get_running_loop().run_in_executor(
+                None, sharded.pool_health
+            )
+            payload["workers"] = {
+                "shards": sharded.num_shards,
+                **health,
+            }
+            if not self._draining and health["alive"] < health["processes"]:
+                payload["status"] = "degraded"
         return json_response(
-            {
-                "status": status,
-                "version": __version__,
-                "uptime_s": self.metrics.snapshot()["uptime_s"],
-            },
+            payload,
             HTTPStatus.SERVICE_UNAVAILABLE if self._draining else HTTPStatus.OK,
         )
 

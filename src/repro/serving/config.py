@@ -59,6 +59,17 @@ class ServingConfig:
         Request-body size cap (413 above it).
     request_timeout_s:
         Socket-level budget for reading one request head + body.
+    shards:
+        Split the columnar backing into this many shared-memory
+        shards served by worker processes (``None``/0 = unsharded,
+        single-interpreter). Consumed when the engine is *built* (the
+        CLI's ``build_engine``, or your own ``Engine.over_shards``
+        call); the running app just reflects it in ``/healthz`` and
+        ``/metrics``. Meaningless for catalog backings.
+    shard_processes:
+        Worker-pool width for the sharded backing: ``None`` = one per
+        shard up to the CPU count, ``0`` = inline (no pool; the
+        accounting-reference mode, useful in tests).
     """
 
     host: str = "127.0.0.1"
@@ -75,8 +86,22 @@ class ServingConfig:
     drain_grace_s: float = 10.0
     max_body_bytes: int = 1 << 20
     request_timeout_s: float = 30.0
+    shards: int | None = None
+    shard_processes: int | None = None
 
     def __post_init__(self) -> None:
+        if self.shards is not None and self.shards < 0:
+            raise ValueError(f"shards must be >= 0 or None, got {self.shards}")
+        if self.shard_processes is not None and self.shard_processes < 0:
+            raise ValueError(
+                "shard_processes must be >= 0 or None, "
+                f"got {self.shard_processes}"
+            )
+        if self.shard_processes is not None and not self.shards:
+            raise ValueError(
+                "shard_processes without shards makes no pool to size; "
+                "set shards >= 1"
+            )
         if self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
         if self.max_inflight < 1:
