@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["CostModel", "AccessStats", "CostTracker"]
+__all__ = ["CostModel", "UNWEIGHTED", "AccessStats", "CostTracker"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,34 @@ class CostModel:
         return (
             self.sorted_weight * stats.sorted_cost
             + self.random_weight * stats.random_cost
+        )
+
+    @property
+    def random_access_ratio(self) -> float:
+        """c2/c1 — how much dearer a random access is than a sorted one.
+
+        The quantity strategy selection compares against
+        :data:`~repro.engine.registry.EXPENSIVE_RANDOM_ACCESS_RATIO`.
+        """
+        return self.random_weight / self.sorted_weight
+
+    @classmethod
+    def from_calibration(
+        cls, sorted_seconds: float, random_seconds: float
+    ) -> "CostModel":
+        """A model from measured per-access seconds, normalized to c1=1.
+
+        The paper's constants are abstract weights; a calibrated model
+        carries the *measured ratio* while keeping costs comparable to
+        the unweighted ledger (one sorted access still costs 1).
+        """
+        if sorted_seconds <= 0 or random_seconds <= 0:
+            raise ValueError(
+                "calibrated unit costs must be positive, got "
+                f"sorted={sorted_seconds}, random={random_seconds}"
+            )
+        return cls(
+            sorted_weight=1.0, random_weight=random_seconds / sorted_seconds
         )
 
 

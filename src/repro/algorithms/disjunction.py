@@ -102,4 +102,6 @@ register_strategy(
     selector=_select_b0,
     aliases=("B0", "disjunction"),
     summary="Theorem 4.5: max-disjunctions in m*k sorted accesses",
+    # Theorem 4.5 exactly: k sorted accesses per list, nothing else.
+    cost_estimate=lambda n, m, k: (float(m * k), 0.0),
 )

@@ -98,7 +98,11 @@ class FaginA0Min(TopKAlgorithm):
 # Registry self-registration
 # ----------------------------------------------------------------------
 
-from repro.engine.registry import StrategyCapabilities, register_strategy
+from repro.engine.registry import (
+    StrategyCapabilities,
+    envelope_depth,
+    register_strategy,
+)
 
 
 def _select_fa_min(aggregation, num_lists, random_access, cost_model):
@@ -123,4 +127,10 @@ register_strategy(
     selector=_select_fa_min,
     aliases=("A0-prime", "fa-min"),
     summary="Theorem 4.4: A0' for the standard min conjunction",
+    # A0's envelope with Theorem 4.4's constant-factor saving on the
+    # random phase (only candidates, not every seen object).
+    cost_estimate=lambda n, m, k: (
+        min(m * envelope_depth(n, m, k), m * n),
+        min((m - 1) * 0.6 * m * envelope_depth(n, m, k), (m - 1) * n),
+    ),
 )

@@ -178,4 +178,6 @@ register_strategy(
     priority=100,
     selector=_select_naive,
     summary="full scan; the only fully-general strategy (Theorem 7.1)",
+    # Exact, not an envelope: the scan reads every list end to end.
+    cost_estimate=lambda n, m, k: (float(m * n), 0.0),
 )

@@ -239,6 +239,7 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
 from repro.engine.registry import (
     EXPENSIVE_RANDOM_ACCESS_RATIO,
     StrategyCapabilities,
+    envelope_depth,
     register_strategy,
 )
 
@@ -276,4 +277,10 @@ register_strategy(
     selector=_select_nra,
     aliases=("NRA",),
     summary="sorted-access-only top-k for monotone queries (FLN successor)",
+    # Sorted-only: runs a small constant factor deeper than A0's
+    # sorted phase (benchmark E16) but pays zero random accesses.
+    cost_estimate=lambda n, m, k: (
+        min(1.05 * m * envelope_depth(n, m, k), m * n),
+        0.0,
+    ),
 )

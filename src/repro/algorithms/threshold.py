@@ -172,7 +172,11 @@ class ThresholdAlgorithm(TopKAlgorithm):
 # ``.strategy("threshold")`` or benchmark E15.)
 # ----------------------------------------------------------------------
 
-from repro.engine.registry import StrategyCapabilities, register_strategy
+from repro.engine.registry import (
+    StrategyCapabilities,
+    envelope_depth,
+    register_strategy,
+)
 
 register_strategy(
     "threshold",
@@ -182,4 +186,11 @@ register_strategy(
     ),
     aliases=("TA",),
     summary="Threshold Algorithm (FLN 2001 successor); adaptive stopping",
+    # TA stops no later than A0 (instance optimality); on independent
+    # lists its depth tracks the same envelope, with every seen object
+    # random-probed in the other lists as it surfaces.
+    cost_estimate=lambda n, m, k: (
+        min(m * envelope_depth(n, m, k), m * n),
+        min((m - 1) * 0.87 * m * envelope_depth(n, m, k), (m - 1) * n),
+    ),
 )

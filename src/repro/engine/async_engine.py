@@ -139,12 +139,14 @@ class AsyncEngine:
     # Query surface
     # ------------------------------------------------------------------
 
-    def _builder(self, query, strategy, conjunction):
+    def _builder(self, query, strategy, conjunction, adaptive=None):
         builder = self.engine.query(query)
         if strategy is not None:
             builder.strategy(strategy)
         if conjunction is not None:
             builder.conjunction(conjunction)
+        if adaptive is not None:
+            builder.adaptive(adaptive)
         return builder
 
     async def top_k(
@@ -154,15 +156,19 @@ class AsyncEngine:
         *,
         strategy: object | None = None,
         conjunction: str | None = None,
+        adaptive: "bool | None" = None,
     ):
         """``engine.query(query).top(k)``, off the event loop.
 
         ``query`` is a string/AST for catalog-backed engines or an
         aggregation function for source-backed ones — the same
-        contract as :meth:`Engine.query`.
+        contract as :meth:`Engine.query`. ``adaptive=False`` opts this
+        query out of the engine's adaptive planning layer.
         """
         return await self._call(
-            lambda: self._builder(query, strategy, conjunction).top(k)
+            lambda: self._builder(query, strategy, conjunction, adaptive).top(
+                k
+            )
         )
 
     async def run_many(

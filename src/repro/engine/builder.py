@@ -42,6 +42,7 @@ class QueryBuilder:
         self._aggregation: AggregationFunction | None = None
         self._strategy: str | object | None = None
         self._conjunction: str | None = None
+        self._adaptive: bool | None = None
         if isinstance(query, AggregationFunction):
             # engine.query(MINIMUM) reads naturally for source-backed
             # engines, where the aggregation *is* the whole query.
@@ -87,6 +88,21 @@ class QueryBuilder:
         self._conjunction = mode
         return self
 
+    def adaptive(self, enabled: bool = True) -> "QueryBuilder":
+        """Opt this query out of (or back into) adaptive planning.
+
+        ``adaptive(False)`` bypasses the engine's plan cache and
+        measured-history chooser for this query alone: the static
+        planner runs fresh and nothing is recorded. A no-op when the
+        context already disabled the adaptive layer engine-wide.
+        """
+        if not isinstance(enabled, bool):
+            raise TypeError(
+                f"adaptive() expects a bool, got {type(enabled).__name__}"
+            )
+        self._adaptive = enabled
+        return self
+
     # ------------------------------------------------------------------
     # Terminal operations
     # ------------------------------------------------------------------
@@ -105,6 +121,7 @@ class QueryBuilder:
             strategy=self._strategy,
             conjunction=self._conjunction,
             k=k,
+            adaptive=self._adaptive,
         )
 
     def run(self, k: int | None = None):
@@ -132,11 +149,23 @@ class QueryBuilder:
             aggregation=self._aggregation,
             strategy=self._strategy,
             conjunction=self._conjunction,
+            adaptive=self._adaptive,
         )
 
     def explain(self) -> str:
-        """Human-readable strategy description (no execution)."""
-        return self.plan().explain()
+        """Human-readable strategy description (no execution).
+
+        With adaptive planning on, appends the plan-cache state, the
+        calibrated cost estimate and the measured history for this
+        query's shape.
+        """
+        return self._engine._explain_spec(
+            self._query,
+            self._aggregation,
+            self._strategy,
+            self._conjunction,
+            self._adaptive,
+        )
 
     def __repr__(self) -> str:
         parts = []

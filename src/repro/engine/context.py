@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.access.cost import UNWEIGHTED, CostModel
 from repro.core.semantics import STANDARD_FUZZY, FuzzySemantics
+from repro.engine.adaptive import AdaptiveOptions
 from repro.middleware.planner import PlannerOptions
 
 __all__ = ["ExecutionContext"]
@@ -56,6 +57,15 @@ class ExecutionContext:
         involved subsystem lacks ``supports_batched_access``, so this
         knob can shrink pages but never force batching on a subsystem
         that cannot serve it.
+    adaptive:
+        Enable the adaptive planning layer
+        (:class:`~repro.engine.adaptive.AdaptivePlanner`): the
+        shape-keyed plan cache, the calibrated cost model, and the
+        measured-history chooser. On by default; individual queries
+        can opt out with ``QueryBuilder.adaptive(False)``.
+    adaptive_options:
+        Tuning for the adaptive layer (cache capacity, exploration
+        cadence, calibration decay).
     """
 
     semantics: FuzzySemantics = STANDARD_FUZZY
@@ -64,6 +74,8 @@ class ExecutionContext:
     conjunction: str = "external"
     default_k: int = 10
     batch_size: int | None = None
+    adaptive: bool = True
+    adaptive_options: AdaptiveOptions = field(default_factory=AdaptiveOptions)
 
     def __post_init__(self) -> None:
         if self.conjunction not in _CONJUNCTION_MODES:

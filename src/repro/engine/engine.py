@@ -42,6 +42,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace as _dc_replace
+from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
 from repro.access.session import MiddlewareSession
@@ -53,6 +54,13 @@ from repro.access.source import (
 from repro.algorithms.base import TopKAlgorithm, TopKResult
 from repro.core.aggregation import AggregationFunction
 from repro.core.query import Query
+from repro.engine.adaptive import (
+    AdaptivePlanner,
+    QueryShape,
+    canonical_strategy_name,
+    shape_of_aggregation,
+    shape_of_query,
+)
 from repro.engine.batch import BatchResult, stats_of
 from repro.engine.builder import QueryBuilder
 from repro.engine.context import ExecutionContext
@@ -121,6 +129,17 @@ class Engine:
             "sorted": 0,
             "random": 0,
         }
+        #: The adaptive planning layer (plan cache + calibrated cost
+        #: model + measured-history chooser), or None when the context
+        #: disables it. The chooser only steers one-shot auto-selected
+        #: queries; cursors and run_many batches reuse cached plans but
+        #: never consult it (see repro.engine.adaptive's determinism
+        #: contract).
+        self._adaptive: AdaptivePlanner | None = (
+            AdaptivePlanner(self.context.adaptive_options)
+            if self.context.adaptive
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -249,8 +268,42 @@ class Engine:
     def explain(
         self, query: "str | Query", conjunction: str | None = None
     ) -> str:
-        """The plan's human-readable strategy description."""
-        return self.plan(query, conjunction).explain()
+        """The plan's human-readable strategy description.
+
+        With the adaptive layer on, the report carries an extra block:
+        the normalized shape, whether the plan came from the cache,
+        the calibrated cost estimate for the chosen strategy, and the
+        measured per-strategy history backing the chooser's verdict.
+        """
+        return self._explain_spec(
+            self._require_query(query), None, None, conjunction, None
+        )
+
+    def _explain_spec(
+        self,
+        query: "str | Query | None",
+        aggregation: AggregationFunction | None,
+        strategy: str | None,
+        conjunction: str | None,
+        adaptive: "bool | None",
+    ) -> str:
+        layer = self._adaptive_for(adaptive)
+        plan, shape, hit = self._plan_with_shape(
+            query, aggregation, strategy, conjunction, adaptive=layer
+        )
+        text = plan.explain()
+        if layer is not None and shape is not None:
+            lines = layer.explain_lines(
+                shape,
+                plan,
+                hit,
+                self._catalog.num_objects,
+                self.context.default_k,
+                shape.random_access,
+                self.context.cost_model,
+            )
+            text = "\n".join([text, *lines])
+        return text
 
     def run_many(
         self,
@@ -335,6 +388,8 @@ class Engine:
               "access": {"sorted": S, "random": R, "total": S + R},
               "ranking_caches": {<subsystem>: {"hits": ..., ...}},
               "cache_totals": {"hits": H, "misses": M},
+              "planner": {"enabled": ..., "plan_cache": {...},
+                          "chooser": {...}, "calibration": {...}},
             }
 
         Thread-safe: counters are read under the ledger lock, cache
@@ -383,6 +438,11 @@ class Engine:
             },
             "ranking_caches": caches,
             "cache_totals": {"hits": total_hits, "misses": total_misses},
+            "planner": (
+                self._adaptive.metrics()
+                if self._adaptive is not None
+                else {"enabled": False}
+            ),
         }
         if self._sharded is not None:
             # Shards/processes/backend plus cumulative probe counters —
@@ -501,13 +561,48 @@ class Engine:
             for a in atoms
         )
 
+    def _adaptive_for(self, flag: "bool | None") -> AdaptivePlanner | None:
+        """The adaptive layer a query should use, honoring the opt-out.
+
+        ``flag`` is the builder's per-query setting: ``False`` opts
+        out; ``None``/``True`` use the engine's layer (which is None
+        when the context disabled adaptive planning entirely).
+        """
+        if flag is False:
+            return None
+        return self._adaptive
+
     def _plan_for(
         self,
         query: "str | Query | None",
         aggregation: AggregationFunction | None,
         strategy: str | None,
         conjunction: str | None,
+        k: int | None = None,
+        adaptive: "bool | None" = None,
     ) -> PhysicalPlan:
+        plan, _shape, _hit = self._plan_with_shape(
+            query, aggregation, strategy, conjunction, k,
+            self._adaptive_for(adaptive),
+        )
+        return plan
+
+    def _plan_with_shape(
+        self,
+        query: "str | Query | None",
+        aggregation: AggregationFunction | None,
+        strategy: str | None,
+        conjunction: str | None,
+        k: int | None = None,
+        adaptive: AdaptivePlanner | None = None,
+    ) -> "tuple[PhysicalPlan, QueryShape | None, bool]":
+        """Plan a catalog query, through the plan cache when adaptive.
+
+        Returns ``(plan, shape, cache_hit)``; shape is None when the
+        adaptive layer is off for this call. The shape is normalized
+        over the *rewritten* tree so idempotence rewrites (``A AND A``
+        vs ``A``) cannot alias distinct plans under one key.
+        """
         if self._is_source_backed():
             raise PlanningError(
                 "source-backed engines select a strategy, not a physical "
@@ -524,7 +619,32 @@ class Engine:
                 "the query under the engine's semantics; .using() is "
                 "for source-backed engines"
             )
-        plan = self._planner(conjunction).plan(self._parse(query))
+        planner = self._planner(conjunction)
+        shape: QueryShape | None = None
+        hit = False
+        if adaptive is not None:
+            rewritten = planner.rewrite(self._parse(query))
+            mode = (
+                conjunction
+                if conjunction is not None
+                else self.context.conjunction
+            )
+            shape = shape_of_query(
+                rewritten,
+                self._catalog,
+                k if k is not None else self.context.default_k,
+                mode,
+                self._random_access_ok(rewritten.atoms()),
+                adaptive.catalog_fingerprint(self._catalog),
+            )
+            plan, hit = adaptive.plan_catalog(
+                rewritten,
+                shape,
+                self.context.semantics,
+                lambda: planner.plan_rewritten(rewritten),
+            )
+        else:
+            plan = planner.plan(self._parse(query))
         if strategy is not None:
             if not isinstance(plan, AlgorithmPlan):
                 raise PlanningError(
@@ -547,7 +667,7 @@ class Engine:
             plan = _dc_replace(
                 plan, algorithm=choice.algorithm, reason=choice.reason
             )
-        return plan
+        return plan, shape, hit
 
     # ------------------------------------------------------------------
     # Source-backed execution
@@ -608,6 +728,39 @@ class Engine:
     # Terminal operations (called by QueryBuilder)
     # ------------------------------------------------------------------
 
+    def _plan_scopes(
+        self, plan: PhysicalPlan, stats
+    ) -> dict[str, tuple[int, int]]:
+        """Per-subsystem (sorted, random) counts for one executed plan.
+
+        The per-list entries of an ``AccessStats`` align positionally
+        with the plan's atom order (the order the executor minted
+        sources in); summing them per owning subsystem gives the
+        calibration scopes.
+        """
+        atoms = getattr(plan, "atoms", ())
+        if hasattr(plan, "filter_atoms"):
+            # The filtered-conjunct executor mints filter sources
+            # first, then the graded ones.
+            atoms = plan.filter_atoms + plan.graded_atoms
+        scopes: dict[str, list[int]] = {}
+        if len(atoms) != stats.num_lists:
+            # Internal-conjunction pushdown (one merged stream) or any
+            # future shape mismatch: attribute the whole ledger to one
+            # scope rather than guessing a split.
+            name = (
+                plan.subsystem.name
+                if getattr(plan, "subsystem", None) is not None
+                else "catalog"
+            )
+            return {name: (stats.sorted_cost, stats.random_cost)}
+        for i, atom in enumerate(atoms):
+            name = self._catalog.subsystem_for(atom).name
+            cell = scopes.setdefault(name, [0, 0])
+            cell[0] += stats.sorted_by_list[i]
+            cell[1] += stats.random_by_list[i]
+        return {name: (s, r) for name, (s, r) in scopes.items()}
+
     def _execute(
         self,
         query: "str | Query | None",
@@ -615,6 +768,7 @@ class Engine:
         strategy: str | None,
         conjunction: str | None,
         k: int | None,
+        adaptive: "bool | None" = None,
     ):
         # Validate before any session is minted or plan executed, so
         # .top(0) / .top(True) fails fast with a clear message on both
@@ -649,12 +803,99 @@ class Engine:
             if isinstance(self._backing, MiddlewareSession):
                 session.restart_all()
             choice = self._select(aggregation, session.num_lists, strategy)
+            layer = self._adaptive_for(adaptive)
+            shape = None
+            if layer is not None:
+                assert aggregation is not None
+                shape = shape_of_aggregation(
+                    aggregation,
+                    session.num_lists,
+                    k,
+                    self._random_access,
+                    layer.source_fingerprint(self._backing),
+                )
+                if strategy is None:
+                    decision = layer.choose_source(
+                        shape,
+                        choice.name,
+                        aggregation,
+                        session.num_lists,
+                        session.num_objects,
+                        k,
+                        self._random_access,
+                        self.context.cost_model,
+                    )
+                    if decision.strategy != canonical_strategy_name(
+                        choice.name
+                    ):
+                        choice = select_strategy(
+                            aggregation,
+                            session.num_lists,
+                            random_access=self._random_access,
+                            cost_model=self.context.cost_model,
+                            require=decision.strategy,
+                        )
+                        choice = StrategyChoice(
+                            choice.algorithm,
+                            f"{choice.reason} | adaptive {decision.mode}: "
+                            f"{decision.reason}",
+                        )
+            started = perf_counter()
             result = choice.algorithm.top_k(session, aggregation, k)
+            elapsed = perf_counter() - started
             self._record_query(result.stats)
+            if layer is not None:
+                # Instances forced by the caller may be tuned away from
+                # the registry's defaults — calibrate on them, but keep
+                # their runs out of the per-strategy ledger.
+                named = strategy is None or isinstance(strategy, str)
+                layer.record(
+                    shape if named else None,
+                    choice.name if named else None,
+                    result.stats,
+                    elapsed,
+                    {
+                        "store": (
+                            result.stats.sorted_cost,
+                            result.stats.random_cost,
+                        )
+                    },
+                    self.context.cost_model,
+                )
             return result
-        plan = self._plan_for(query, aggregation, strategy, conjunction)
+        layer = self._adaptive_for(adaptive)
+        plan, shape, _hit = self._plan_with_shape(
+            query, aggregation, strategy, conjunction, k, layer
+        )
+        decision = None
+        if layer is not None and shape is not None and strategy is None:
+            plan, decision = layer.choose_catalog(
+                shape,
+                plan,
+                self._catalog.num_objects,
+                k,
+                shape.random_access,
+                self.context.cost_model,
+            )
+        started = perf_counter()
         answer = self._executor().execute(plan, k)
+        elapsed = perf_counter() - started
         self._record_query(answer.result.stats)
+        if layer is not None and shape is not None:
+            named = (
+                isinstance(plan, AlgorithmPlan)
+                and plan.algorithm is not None
+                and (strategy is None or isinstance(strategy, str))
+            )
+            layer.record(
+                shape if named else None,
+                plan.algorithm.name if named else None,  # type: ignore[union-attr]
+                answer.result.stats,
+                elapsed,
+                self._plan_scopes(plan, answer.result.stats),
+                self.context.cost_model,
+                batched=getattr(plan, "batch_size", None) is not None,
+            )
         return answer
 
     def _open_cursor(

@@ -53,7 +53,30 @@ __all__ = [
     "capable_strategies",
     "batch_aware_strategies",
     "select_strategy",
+    "estimate_access_costs",
 ]
+
+#: An access-count envelope: ``(num_objects, num_lists, k) ->
+#: (estimated sorted accesses, estimated random accesses)``. Coarse by
+#: design — paper-grounded expected-case formulas (Theorem 5.3's depth
+#: envelope and the per-algorithm access patterns), used by the
+#: adaptive chooser to rank candidates and bound exploration, never to
+#: certify a cost.
+CostEstimator = Callable[[int, int, int], tuple[float, float]]
+
+
+def envelope_depth(num_objects: int, num_lists: int, k: int) -> float:
+    """Theorem 5.3's expected sorted depth ``N^((m-1)/m) * k^(1/m)``.
+
+    The per-list depth at which the top-k intersection is expected to
+    close on independently-drawn lists — the common building block of
+    the registered access-count envelopes.
+    """
+    if num_lists <= 1:
+        return float(k)
+    return float(num_objects) ** ((num_lists - 1) / num_lists) * float(
+        k
+    ) ** (1 / num_lists)
 
 #: If random access costs at least this many times a sorted access
 #: (c2/c1), prefer the sorted-only NRA for monotone queries. The E16
@@ -163,6 +186,10 @@ class StrategyRegistration:
     selector: Selector | None = None
     aliases: tuple[str, ...] = ()
     summary: str = ""
+    #: Optional access-count envelope (see :data:`CostEstimator`).
+    #: Strategies without one are never auto-explored by the adaptive
+    #: chooser (it cannot bound what a trial would cost).
+    cost_estimate: CostEstimator | None = None
 
     def create(self) -> "TopKAlgorithm":
         return self.factory()
@@ -193,6 +220,7 @@ def register_strategy(
     selector: Selector | None = None,
     aliases: tuple[str, ...] = (),
     summary: str = "",
+    cost_estimate: CostEstimator | None = None,
 ) -> StrategyRegistration:
     """Register a top-k strategy under ``name`` (idempotent per name).
 
@@ -209,6 +237,7 @@ def register_strategy(
         selector=selector,
         aliases=tuple(aliases),
         summary=summary,
+        cost_estimate=cost_estimate,
     )
     _REGISTRY[name] = registration
     for alias in registration.aliases:
@@ -332,3 +361,44 @@ def select_strategy(
     raise ReproError(  # pragma: no cover - naive's selector is total
         f"no registered strategy claims aggregation {aggregation.name!r}"
     )
+
+
+def estimate_access_costs(
+    aggregation: "AggregationFunction",
+    num_lists: int,
+    num_objects: int,
+    k: int,
+    *,
+    random_access: bool = True,
+    cost_model: CostModel | None = None,
+) -> list[tuple[str, float]]:
+    """Estimated weighted costs of every estimable capable strategy.
+
+    For each registration whose capabilities admit the workload *and*
+    which registered a :data:`CostEstimator`, evaluates the envelope at
+    ``(num_objects, num_lists, k)`` and weights it under ``cost_model``
+    (unweighted S + R by default). Returns ``(canonical name, cost)``
+    pairs sorted cheapest-first — the adaptive chooser's candidate
+    slate.
+    """
+    _ensure_registered()
+    weights = cost_model or CostModel()
+    out: list[tuple[str, float]] = []
+    for registration in _REGISTRY.values():
+        if registration.cost_estimate is None:
+            continue
+        if not registration.capabilities.admits(
+            aggregation, num_lists, random_access
+        ):
+            continue
+        est_sorted, est_random = registration.cost_estimate(
+            num_objects, num_lists, k
+        )
+        out.append(
+            (
+                registration.name,
+                weights.sorted_weight * est_sorted
+                + weights.random_weight * est_random,
+            )
+        )
+    return sorted(out, key=lambda pair: (pair[1], pair[0]))

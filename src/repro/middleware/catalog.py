@@ -28,6 +28,17 @@ class Catalog:
         self._by_attribute: dict[str, Subsystem] = {}
         self._subsystems: list[Subsystem] = []
         self._objects: frozenset[ObjectId] | None = None
+        #: Monotone mutation counter; bumped by every register/
+        #: unregister. Cached artifacts derived from the catalog (the
+        #: engine's plan cache above all) key on it, so swapping a
+        #: subsystem — or its backing store, via unregister+register —
+        #: invalidates them.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """The catalog's mutation counter (see ``__init__``)."""
+        return self._version
 
     def register(self, subsystem: Subsystem) -> None:
         """Add a subsystem; its attributes become queryable.
@@ -57,6 +68,32 @@ class Catalog:
         self._subsystems.append(subsystem)
         for attr in attrs:
             self._by_attribute[attr] = subsystem
+        self._version += 1
+
+    def unregister(self, name: str) -> Subsystem:
+        """Remove the subsystem registered under ``name``.
+
+        Its attributes stop being queryable; the population constraint
+        resets when the last subsystem leaves. Returns the removed
+        subsystem (so a caller can re-register a replacement — the
+        store-swap idiom the plan cache invalidates on).
+        """
+        for subsystem in self._subsystems:
+            if subsystem.name == name:
+                self._subsystems.remove(subsystem)
+                self._by_attribute = {
+                    attr: sub
+                    for attr, sub in self._by_attribute.items()
+                    if sub is not subsystem
+                }
+                if not self._subsystems:
+                    self._objects = None
+                self._version += 1
+                return subsystem
+        known = ", ".join(sorted(s.name for s in self._subsystems)) or "<none>"
+        raise CatalogError(
+            f"no subsystem named {name!r} is registered (known: {known})"
+        )
 
     @property
     def subsystems(self) -> tuple[Subsystem, ...]:

@@ -159,7 +159,17 @@ class Planner:
 
     def plan(self, query: Query) -> PhysicalPlan:
         """Choose a physical strategy for ``query``."""
-        query = self.rewrite(query)
+        return self.plan_rewritten(self.rewrite(query))
+
+    def plan_rewritten(self, query: Query) -> PhysicalPlan:
+        """Plan a query :meth:`rewrite` has already been applied to.
+
+        The adaptive layer normalizes shapes over the *rewritten* tree
+        (so ``A AND A`` and ``A`` share a cache entry) and has
+        therefore already paid for the rewrite; this entry point lets
+        it mint the plan without a second pass. The rewrites are
+        idempotent, so ``plan(q) == plan_rewritten(rewrite(q))``.
+        """
         atoms = query.atoms()
         if not atoms:
             raise ValueError("query has no atomic subqueries")

@@ -115,6 +115,44 @@ class TestSourceBacked:
         json.dumps(engine.metrics_snapshot())
 
 
+class TestPlannerBlock:
+    def test_planner_block_reports_adaptive_state(self, db):
+        engine = Engine.over(db)
+        engine.query(MINIMUM).top(5)
+        planner = Engine.over(db).metrics_snapshot()["planner"]
+        assert planner["enabled"] is True
+        assert set(planner) == {
+            "enabled", "plan_cache", "chooser", "calibration",
+        }
+        planner = engine.metrics_snapshot()["planner"]
+        assert planner["chooser"]["decisions"] == 1
+        assert planner["calibration"]["__all__"]["observations"] == 1
+
+    def test_plan_cache_counters_flow_through(self):
+        engine = catalog_engine()
+        engine.query('Color ~ "red"').top(5)
+        engine.query('Color ~ "blue"').top(5)
+        cache = engine.metrics_snapshot()["planner"]["plan_cache"]
+        assert cache["misses"] == 1
+        assert cache["hits"] == 1
+        assert cache["entries"] == 1
+
+    def test_disabled_context_reports_enabled_false(self, db):
+        from repro.engine.context import ExecutionContext
+
+        engine = Engine.over(db, ExecutionContext(adaptive=False))
+        engine.query(MINIMUM).top(5)
+        assert engine.metrics_snapshot()["planner"] == {"enabled": False}
+
+    def test_planner_block_is_json_safe(self, db):
+        import json
+
+        engine = Engine.over(db)
+        for _ in range(6):
+            engine.query(MINIMUM).top(5)
+        json.dumps(engine.metrics_snapshot()["planner"])
+
+
 class TestCatalogBacked:
     def test_reports_per_subsystem_caches(self):
         engine = catalog_engine()

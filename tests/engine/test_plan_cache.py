@@ -1,0 +1,280 @@
+"""The shape-keyed plan cache: hits, rebinding, races, invalidation.
+
+The cache's contract is the RankingCache discipline applied to plans:
+single-flight minting, LRU bounds, exact counters under threads — plus
+the piece RankingCache doesn't need, *rebinding*: a hit with different
+constants must produce answers bit-identical to planning fresh.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.adaptive import PlanCache, QueryShape, _CachedPlan
+from repro.engine.context import ExecutionContext
+from repro.middleware.plan import AlgorithmPlan, FilteredConjunctPlan
+from repro.subsystems import RelationalSubsystem, SyntheticSubsystem
+
+
+def shape(tag: int, fingerprint=("catalog", 0)) -> QueryShape:
+    return QueryShape(
+        kind="catalog",
+        structure=("atom", f"attr{tag}", "~", False, None),
+        aggregation="<compiled>",
+        band=4,
+        num_atoms=1,
+        conjunction="external",
+        random_access=True,
+        fingerprint=fingerprint,
+    )
+
+
+def entry(tag: object) -> _CachedPlan:
+    # The cache never introspects its entries; any payload works for
+    # counter/LRU tests.
+    return _CachedPlan(plan=tag, query=None)  # type: ignore[arg-type]
+
+
+def catalog_engine(context: ExecutionContext | None = None) -> Engine:
+    objs = [f"o{i}" for i in range(60)]
+    engine = Engine(context)
+    engine.register(
+        RelationalSubsystem(
+            "rel",
+            # 20 artists over 60 objects: selectivity 0.05, under the
+            # planner's filtered-conjunct threshold.
+            {o: {"Artist": f"a{i % 20}"} for i, o in enumerate(objs)},
+        )
+    )
+    engine.register(
+        SyntheticSubsystem(
+            "syn",
+            tables={
+                "tempo": {o: ((i * 37) % 60) / 60 for i, o in enumerate(objs)},
+                "mood": {o: ((i * 11) % 60) / 60 for i, o in enumerate(objs)},
+            },
+        )
+    )
+    return engine
+
+
+class TestCounters:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        s = shape(1)
+        _, hit = cache.lookup(s, lambda: entry("plan"))
+        assert not hit
+        got, hit = cache.lookup(s, lambda: pytest.fail("must not rebuild"))
+        assert hit
+        assert got.plan == "plan"
+        assert cache.stats() == {
+            "entries": 1, "capacity": 4, "hits": 1, "misses": 1,
+            "evictions": 0, "invalidations": 0,
+        }
+
+    def test_lru_evicts_least_recent(self):
+        cache = PlanCache(capacity=2)
+        cache.lookup(shape(1), lambda: entry(1))
+        cache.lookup(shape(2), lambda: entry(2))
+        cache.lookup(shape(1), lambda: entry(1))  # refresh 1
+        cache.lookup(shape(3), lambda: entry(3))  # evicts 2
+        assert cache.evictions == 1
+        builds = []
+        cache.lookup(shape(2), lambda: builds.append(2) or entry(2))
+        assert builds == [2]  # 2 was evicted, rebuilt
+        cache.lookup(shape(3), lambda: builds.append(3) or entry(3))
+        assert builds == [2]  # 3 survived as recent when 2 came back
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_clear_counts_one_invalidation(self):
+        cache = PlanCache()
+        cache.lookup(shape(1), lambda: entry(1))
+        cache.clear()
+        cache.clear()  # empty: not another invalidation
+        assert cache.invalidations == 1
+        assert len(cache) == 0
+
+
+class TestFingerprintInvalidation:
+    def test_new_fingerprint_clears_entries(self):
+        cache = PlanCache()
+        cache.lookup(shape(1, ("catalog", 0)), lambda: entry("old"))
+        builds = []
+        got, hit = cache.lookup(
+            shape(1, ("catalog", 1)),
+            lambda: builds.append("new") or entry("new"),
+        )
+        assert not hit
+        assert builds == ["new"]
+        assert cache.invalidations == 1
+        # The old-fingerprint entry is gone, not shadowed.
+        assert len(cache) == 1
+
+    def test_same_fingerprint_is_stable(self):
+        cache = PlanCache()
+        cache.lookup(shape(1), lambda: entry(1))
+        cache.lookup(shape(2), lambda: entry(2))
+        assert cache.invalidations == 0
+        assert len(cache) == 2
+
+
+class TestSingleFlight:
+    def test_concurrent_first_lookups_build_once(self):
+        cache = PlanCache()
+        s = shape(1)
+        builds = {"n": 0}
+        build_lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def build():
+            with build_lock:
+                builds["n"] += 1
+            return entry("plan")
+
+        def lookup(_):
+            barrier.wait()
+            return cache.lookup(s, build)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(lookup, range(8)))
+
+        # Single-flight: eight racing threads, one build, one miss.
+        assert builds["n"] == 1
+        assert cache.misses == 1
+        assert cache.hits == 7
+        assert all(got.plan == "plan" for got, _ in results)
+
+    def test_concurrent_mixed_shapes_keep_exact_counters(self):
+        cache = PlanCache()
+        shapes = [shape(i) for i in range(5)]
+        barrier = threading.Barrier(8)
+
+        def lookup(index):
+            barrier.wait()
+            out = []
+            for round_index in range(5):
+                s = shapes[(index + round_index) % len(shapes)]
+                out.append(cache.lookup(s, lambda: entry(s)))
+            return out
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lookup, range(8)))
+
+        assert cache.misses == 5  # one per distinct shape
+        assert cache.hits == 8 * 5 - 5
+        assert len(cache) == 5
+
+
+class TestRebinding:
+    """Cache hits with different constants answer exactly like a
+    static engine planning fresh."""
+
+    QUERIES = [
+        # AlgorithmPlan shape (all graded):
+        ('(tempo ~ "fast") AND (mood ~ "dark")',
+         '(tempo ~ "slow") AND (mood ~ "light")'),
+        # FilteredConjunctPlan shape (selective crisp filter + graded):
+        ('(Artist = "a3") AND (tempo ~ "fast")',
+         '(Artist = "a7") AND (tempo ~ "slow")'),
+    ]
+
+    @pytest.mark.parametrize("first, second", QUERIES)
+    def test_hit_with_new_constants_matches_static(self, first, second):
+        adaptive = catalog_engine()
+        static = catalog_engine(ExecutionContext(adaptive=False))
+        adaptive.query(first).top(10)  # seeds the cache
+        cache = adaptive._adaptive.plan_cache
+        assert cache.misses == 1
+        a = adaptive.query(second).top(10)  # same shape, new constants
+        assert cache.hits == 1
+        b = static.query(second).top(10)
+        assert a.items == b.items
+        assert a.result.stats == b.result.stats
+
+    def test_filtered_conjunct_plan_rebinds_filter_atoms(self):
+        engine = catalog_engine()
+        first = engine.query('(Artist = "a3") AND (tempo ~ "fast")').plan()
+        assert isinstance(first, FilteredConjunctPlan)
+        second = engine.query('(Artist = "a7") AND (tempo ~ "slow")').plan()
+        assert isinstance(second, FilteredConjunctPlan)
+        assert [a.target for a in second.filter_atoms] == ["a7"]
+        assert [a.target for a in second.graded_atoms] == ["slow"]
+
+    def test_hit_mints_fresh_algorithm_instance(self):
+        engine = catalog_engine()
+        text = '(tempo ~ "fast") AND (mood ~ "dark")'
+        first = engine.query(text).plan()
+        second = engine.query(text).plan()
+        assert isinstance(first, AlgorithmPlan)
+        assert isinstance(second, AlgorithmPlan)
+        assert second.algorithm is not first.algorithm
+
+    def test_identical_query_reuses_entry_verbatim(self):
+        engine = catalog_engine()
+        text = '(tempo ~ "fast") AND (mood ~ "dark")'
+        r1 = engine.query(text).top(10)
+        r2 = engine.query(text).top(10)
+        assert r1.items == r2.items
+        assert r1.result.stats == r2.result.stats
+        assert engine._adaptive.plan_cache.hits == 1
+
+
+class TestEngineInvalidation:
+    def test_registering_a_subsystem_invalidates(self):
+        engine = catalog_engine()
+        engine.query('tempo ~ "fast"').top(5)
+        assert len(engine._adaptive.plan_cache) == 1
+        engine.register(
+            SyntheticSubsystem(
+                "extra",
+                tables={
+                    "zest": {f"o{i}": i / 60 for i in range(60)},
+                },
+            )
+        )
+        engine.query('tempo ~ "fast"').top(5)
+        cache = engine._adaptive.plan_cache
+        assert cache.invalidations == 1
+        assert cache.misses == 2  # replanned against the grown catalog
+
+    def test_unregistering_a_subsystem_invalidates(self):
+        engine = catalog_engine()
+        engine.query('tempo ~ "fast"').top(5)
+        engine.catalog.unregister("rel")
+        engine.query('tempo ~ "fast"').top(5)
+        cache = engine._adaptive.plan_cache
+        assert cache.invalidations == 1
+        assert cache.misses == 2
+
+    def test_store_swap_via_reregister_invalidates(self):
+        objs = [f"o{i}" for i in range(60)]
+        inverted = {o: 1.0 - ((i * 37) % 60) / 60 for i, o in enumerate(objs)}
+
+        engine = catalog_engine()
+        engine.query('tempo ~ "fast"').top(5)
+        # Swap the graded store for one with inverted grades: the
+        # version bump means the cached plan never serves stale shapes.
+        engine.catalog.unregister("syn")
+        engine.register(SyntheticSubsystem("syn", tables={"tempo": inverted}))
+        before = engine._adaptive.plan_cache.invalidations
+        result = engine.query('tempo ~ "fast"').top(5)
+        assert engine._adaptive.plan_cache.invalidations == before + 1
+        # And the answers reflect the new store, not the cached plan's.
+        static = Engine(ExecutionContext(adaptive=False))
+        static.register(
+            RelationalSubsystem("rel", {o: {"Artist": "x"} for o in objs})
+        )
+        static.register(SyntheticSubsystem("syn", tables={"tempo": inverted}))
+        assert result.items == static.query('tempo ~ "fast"').top(5).items
+
+    def test_unregister_unknown_name_raises(self):
+        engine = catalog_engine()
+        from repro.exceptions import CatalogError
+
+        with pytest.raises(CatalogError):
+            engine.catalog.unregister("nope")

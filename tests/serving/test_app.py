@@ -589,6 +589,11 @@ class TestControlPlane:
         assert metrics["engine"]["cursor_pages"] == 1
         assert metrics["engine"]["access"]["total"] > 0
         assert metrics["cursors"]["active"] == 1
+        # The adaptive planner block rides along: the one-shot query
+        # consulted the chooser; the cursor (by contract) did not.
+        planner = metrics["engine"]["planner"]
+        assert planner["enabled"] is True
+        assert planner["chooser"]["decisions"] == 1
 
 
 class TestDrain:
