@@ -100,16 +100,33 @@ class LoadStats:
         self.by_status: dict[int, int] = {}
         self.answer_signatures: set[str] = set()
         self.errors: list[str] = []
+        self.partial = 0
+        self.uncertified = 0
 
     def record(
         self, status: int, latency_ms: float, body: dict | None
     ) -> None:
         signature = None
+        partial = False
+        uncertified = False
         if status == 200 and body is not None and "items" in body:
-            signature = json.dumps(body["items"], sort_keys=True)
+            partial = body.get("partial") is True
+            if partial:
+                # A certified prefix's length depends on where the
+                # deadline landed, so partial answers are legitimately
+                # run-to-run different — but each must carry its
+                # guarantee block. They stay out of the determinism
+                # check and are counted (and gated) separately.
+                uncertified = body.get("guarantee") is None
+            else:
+                signature = json.dumps(body["items"], sort_keys=True)
         with self._lock:
             self.latencies_ms.append(latency_ms)
             self.by_status[status] = self.by_status.get(status, 0) + 1
+            if partial:
+                self.partial += 1
+            if uncertified:
+                self.uncertified += 1
             if signature is not None:
                 self.answer_signatures.add(signature)
 
@@ -289,6 +306,31 @@ def smoke_check(args, payload: dict, failures: list[str]) -> dict:
     if status != 200:
         failures.append(f"engine unhealthy after deadline: {status} {after}")
 
+    # Certified partial answers: the same unmeetable deadline with
+    # allow_partial must come back 200 with a guarantee block whenever
+    # any page landed (504 stays legal when none did, and on backings
+    # without the anytime cursor path), and never a 5xx.
+    partial_spec = dict(payload)
+    partial_spec["deadline_ms"] = 1
+    partial_spec["allow_partial"] = True
+    status, partial = http_json(f"{args.url}/v1/query", partial_spec)
+    exercised["allow_partial"] = status
+    if status not in (200, 504):
+        failures.append(f"allow_partial deadline gave {status} {partial}")
+    elif status == 200:
+        guarantee = partial.get("guarantee")
+        if guarantee is None:
+            failures.append(f"partial 200 without guarantee: {partial}")
+        elif partial.get("partial") is True:
+            if guarantee.get("kind") != "anytime" or "bounds" not in partial:
+                failures.append(
+                    f"partial answer lacks anytime certificate: {partial}"
+                )
+            exercised["partial_answers"] = len(partial.get("items", []))
+    status, after = http_json(f"{args.url}/v1/query", payload)
+    if status != 200:
+        failures.append(f"engine unhealthy after partial: {status} {after}")
+
     status, metrics = http_json(f"{args.url}/metrics")
     exercised["metrics"] = status
     if status != 200:
@@ -413,6 +455,15 @@ def main(argv: list[str] | None = None) -> int:
         help="query string for catalog-backed servers (overrides "
         "--aggregation)",
     )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline_ms field (the serving deadline lane)",
+    )
+    parser.add_argument(
+        "--allow-partial", action="store_true",
+        help="set allow_partial so deadline expiries return certified "
+        "prefixes (200 + guarantee block) instead of 504",
+    )
     parser.add_argument("--timeout-s", type=float, default=DEFAULT_TIMEOUT_S)
     parser.add_argument(
         "--lane", default=None,
@@ -445,6 +496,10 @@ def main(argv: list[str] | None = None) -> int:
         payload["query"] = args.query
     else:
         payload["aggregation"] = args.aggregation
+    if args.deadline_ms is not None:
+        payload["deadline_ms"] = args.deadline_ms
+    if args.allow_partial:
+        payload["allow_partial"] = True
 
     failures: list[str] = []
     process = boot_server(args) if args.boot else None
@@ -482,6 +537,9 @@ def main(argv: list[str] | None = None) -> int:
         },
         "histogram": histogram(latencies),
         "distinct_answers": len(stats.answer_signatures),
+        "partial": stats.partial,
+        "deadline_ms": args.deadline_ms,
+        "allow_partial": args.allow_partial,
     }
     if server_metrics:
         engine = server_metrics.get("engine", {})
@@ -510,6 +568,11 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"non-deterministic answers: {len(stats.answer_signatures)} "
             "distinct top-k payloads for one fixed query"
+        )
+    if stats.uncertified:
+        failures.append(
+            f"{stats.uncertified} partial responses arrived without a "
+            "guarantee block"
         )
     server_errors = sum(
         count

@@ -88,6 +88,19 @@ Three further lanes extend the trajectory:
   ``--compare`` gates the recorded access counts like every lane but
   not the wall-clock ratios; a cold-vs-cached plan-mint micro-timing
   rides along for the trajectory.
+* **approx** configs (``approx-``) — the certified-approximation
+  lane: forced TA under the theta-approximation stopping rule across
+  an ε sweep (0 first, as the exact anchor) on independent workloads,
+  recording access counts, runtimes and realized k-th-grade error per
+  ε. Generation-time hard gates: totals monotone non-increasing in ε
+  with a strict saving by ε = 0.5, every run's certificate
+  (1+ε)·g_k >= true g_k checked against the full oracle (ε = 0
+  bit-identical to it), the exact A0 run's summed cost within a
+  generous multiple of the Theorem 5.3 envelope N^((m-1)/m)·k^(1/m)
+  (measured tightness ratio recorded), and an anytime cursor's
+  remaining-upper bounds capping the oracle's best hidden grade on
+  every page. ``--compare`` gates the per-ε access counts, never the
+  wall-clock.
 * **serving** configs (``serve-``) — written by
   ``benchmarks/load_gen.py`` against a live ``repro.serving`` HTTP
   server, not by this harness. Purely informational: end-to-end
@@ -449,6 +462,27 @@ SHARD_FLOOR_MIN_CPUS = 4
 #: serving segment the plan cache and chooser are judged on).
 PLAN_QUERIES_PER_SHAPE = 60
 
+#: The ε sweep the approx- configs run: 0 is the exact anchor (gated
+#: bit-identical to the plain engine), the rest trade certified slack
+#: for accesses under the theta-approximation stopping rule.
+APPROX_EPSILONS = (0.0, 0.01, 0.05, 0.1, 0.2, 0.5)
+
+#: Generous multiple of the Theorem 5.3 envelope N^((m-1)/m)*k^(1/m)
+#: the measured exact A0 *sum* cost (sorted + random, all lists) must
+#: stay under, per m^2. The theorem bounds the sorted depth per list
+#: by c times the envelope with arbitrarily high probability; the
+#: random phase adds at most (m-1) accesses per seen object, so a
+#: ceiling of 4*m^2 envelopes absorbs both phases plus the constant c
+#: — loose by design, since the point of the gate is catching
+#: asymptotic regressions, not shaving constants. The *measured*
+#: tightness ratio is recorded in the lane JSON for the trajectory.
+APPROX_TIGHTNESS_FACTOR = 4.0
+
+#: Pages the approx- configs' anytime cursor walks while checking that
+#: every reported remaining-upper bound really caps the best grade the
+#: full oracle says is still hidden.
+APPROX_CURSOR_PAGES = 4
+
 #: The plan- lane's hard gate: the adaptive engine's total weighted
 #: accesses must not exceed the best feasible fixed strategy's total
 #: by more than this factor (exploration overhead must stay in the
@@ -503,6 +537,8 @@ QUICK_CONFIGS = [
     cfg("par-N10000-m3-k10", "parallel", None, 10_000, 3, 10, 42, "mixed"),
     cfg("shard-N10000-m3-k10", "sharded", None, 10_000, 3, 10, 42, "mixed"),
     cfg("plan-N10000-m3-kmix", "plan", None, 10_000, 3, 10, 42, "mixed"),
+    cfg("approx-N10000-m2-k10", "approx", None, 10_000, 2, 10, 42, "min"),
+    cfg("approx-N10000-m3-k10", "approx", None, 10_000, 3, 10, 42, "min"),
 ]
 FULL_CONFIGS = QUICK_CONFIGS + [
     cfg("corr-0.4-N10000-m2-k10", "correlated", -0.4, 10_000, 2, 10, 42, "min"),
@@ -523,7 +559,7 @@ FULL_CONFIGS = QUICK_CONFIGS + [
 
 
 def build_database(workload: str, rho, N: int, m: int, seed: int):
-    if workload == "independent" or workload == "federated":
+    if workload in ("independent", "federated", "approx"):
         return independent_database(m, N, seed=seed)
     return correlated_database(m, N, rho, seed=seed)
 
@@ -561,6 +597,8 @@ def bench_config(entry, repeats: int) -> dict:
         return bench_sharded(entry, repeats)
     if workload == "plan":
         return bench_plan(entry, repeats)
+    if workload == "approx":
+        return bench_approx(entry, repeats)
     aggregation = AGGREGATIONS[agg_name]
     scalar_aggregation = ScalarOnly(aggregation)
     db = build_database(workload, rho, N, m, seed)
@@ -1431,6 +1469,172 @@ def bench_filtered(entry, repeats: int) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# The approx- configs: the theta-approximation accuracy/access-count
+# frontier plus the Theorem 5.3 envelope check on the exact anchor.
+# ----------------------------------------------------------------------
+
+
+def bench_approx(entry, repeats: int) -> dict:
+    """Accuracy vs access count across the ε sweep, on independent lists.
+
+    Three generation-time hard gates:
+
+    * **monotone savings** — forced-TA access totals must be
+      non-increasing in ε, with a strict saving by ε = 0.5 (more slack
+      can only stop the threshold test earlier);
+    * **certified accuracy** — every run's k-th grade must satisfy the
+      theta-approximation certificate (1+ε)·g_k >= true g_k against the
+      full oracle, with the ε = 0 run bit-identical to the truth;
+    * **Theorem 5.3 envelope** — the exact A0 run's summed middleware
+      cost must stay under a generous multiple of N^((m-1)/m)·k^(1/m)
+      (the measured tightness ratio is recorded for the trajectory),
+      and every remaining-upper bound an anytime cursor reports must
+      cap the best grade the oracle says is still hidden.
+
+    ``--compare`` gates the per-ε access counts (deterministic) and
+    never the wall-clock — the sweep's runtimes are recorded for the
+    accuracy-vs-cost trajectory plot only.
+    """
+    from repro.analysis.bounds import a0_cost_bound
+
+    name = entry["name"]
+    N, m, k = entry["N"], entry["m"], entry["k"]
+    seed, agg_name = entry["seed"], entry["aggregation"]
+    assert agg_name == "min", "approx configs run the standard AND"
+    db = build_database(entry["workload"], entry["rho"], N, m, seed)
+    columnar = ColumnarScoringDatabase.from_scoring_database(db)
+    truth_full = db.true_top_k(MINIMUM, N)
+    truth = truth_full[:k]
+    true_kth = truth[-1].grade
+
+    def run(epsilon: float):
+        return (
+            Engine.over(columnar)
+            .query(MINIMUM)
+            .strategy("threshold")
+            .epsilon(epsilon)
+            .top(k)
+        )
+
+    results: dict[str, dict] = {}
+    totals = []
+    for epsilon in APPROX_EPSILONS:
+        result = run(epsilon)
+        got_kth = result.items[-1].grade
+        if (1.0 + epsilon) * got_kth < true_kth - 1e-12:
+            raise AssertionError(
+                f"{name}: eps={epsilon} broke its certificate — "
+                f"(1+eps)*{got_kth} < true kth {true_kth}"
+            )
+        if epsilon == 0.0:
+            if [(i.obj, i.grade) for i in result.items] != [
+                (i.obj, i.grade) for i in truth
+            ]:
+                raise AssertionError(
+                    f"{name}: eps=0 answers differ from the oracle"
+                )
+            assert result.guarantee.kind == "exact"
+        ms = median_ms(lambda: run(epsilon), repeats)
+        stats = result.stats
+        totals.append(stats.sum_cost)
+        lane = f"eps-{epsilon:g}"
+        results[lane] = {
+            "epsilon": epsilon,
+            "columnar_ms": round(ms, 3),
+            "sorted_by_list": list(stats.sorted_by_list),
+            "random_by_list": list(stats.random_by_list),
+            "sorted": stats.sorted_cost,
+            "random": stats.random_cost,
+            "kth_grade": got_kth,
+            "kth_error": round(
+                (true_kth - got_kth) / true_kth if true_kth else 0.0, 6
+            ),
+            "access_saving": round(1.0 - stats.sum_cost / totals[0], 4),
+            "guarantee": result.guarantee.as_dict(),
+        }
+        print(
+            f"  {lane:<10} {ms:8.2f} ms   "
+            f"S={stats.sorted_cost} R={stats.random_cost}   "
+            f"saving {results[lane]['access_saving']:6.1%}   "
+            f"kth {got_kth:.4f} ({result.guarantee.kind})"
+        )
+    if totals != sorted(totals, reverse=True):
+        raise AssertionError(
+            f"{name}: access totals not monotone in eps — {totals}"
+        )
+    if totals[-1] >= totals[0]:
+        raise AssertionError(
+            f"{name}: eps=0.5 saved nothing ({totals[0]} -> {totals[-1]})"
+        )
+
+    # The Theorem 5.3 envelope on the exact anchor, measured on A0
+    # itself (the algorithm the theorem is about).
+    exact_a0 = (
+        Engine.over(columnar).query(MINIMUM).strategy("fagin").top(k)
+    )
+    envelope = a0_cost_bound(N, m, k)
+    tightness = exact_a0.stats.sum_cost / envelope
+    ceiling = APPROX_TIGHTNESS_FACTOR * m * m
+    if tightness > ceiling:
+        raise AssertionError(
+            f"{name}: A0 cost {exact_a0.stats.sum_cost} is "
+            f"{tightness:.1f}x the Theorem 5.3 envelope {envelope:.0f} "
+            f"(ceiling {ceiling:.0f}x)"
+        )
+    print(
+        f"  {'thm-5.3':<10} A0 cost {exact_a0.stats.sum_cost}   "
+        f"envelope {envelope:.0f}   tightness {tightness:.2f}x "
+        f"(ceiling {ceiling:.0f}x)"
+    )
+
+    # Anytime containment: every page's remaining-upper bound must cap
+    # the best grade the full oracle says is still hidden.
+    cursor = Engine.over(columnar).query(MINIMUM).cursor()
+    uppers = []
+    for _ in range(APPROX_CURSOR_PAGES):
+        page = cursor.next_k(k)
+        upper = page.details["certified"]["remaining_upper"]
+        returned = {item.obj for item in cursor.fetched}
+        hidden_best = next(
+            item.grade for item in truth_full if item.obj not in returned
+        )
+        if upper < hidden_best - 1e-12:
+            raise AssertionError(
+                f"{name}: anytime bound {upper} below hidden best "
+                f"{hidden_best} after {len(returned)} answers"
+            )
+        uppers.append(round(upper, 6))
+    print(f"  {'anytime':<10} remaining-upper per page: {uppers}")
+
+    return {
+        "config": name,
+        "workload": entry["workload"],
+        "rho": entry["rho"],
+        "N": N,
+        "m": m,
+        "k": k,
+        "seed": seed,
+        "aggregation": agg_name,
+        "epsilons": list(APPROX_EPSILONS),
+        "true_kth_grade": true_kth,
+        "theorem53": {
+            "envelope": round(envelope, 1),
+            "a0_sum_cost": exact_a0.stats.sum_cost,
+            "tightness_ratio": round(tightness, 3),
+            "ceiling_ratio": round(ceiling, 1),
+        },
+        "anytime": {
+            "pages": APPROX_CURSOR_PAGES,
+            "page_size": k,
+            "remaining_upper": uppers,
+            "containment_checked": True,
+        },
+        "kernel_gated": list(entry["kernel_gated"]),
+        "algorithms": results,
+    }
+
+
 def compare(current: dict, baseline_path: Path) -> list[str]:
     """Regressions of ``current`` against a committed baseline file."""
     baseline = json.loads(baseline_path.read_text())
@@ -1458,14 +1662,18 @@ def compare(current: dict, baseline_path: Path) -> list[str]:
                         f"changed {then[field]} -> {now[field]} "
                         "(cost semantics must not drift)"
                     )
-            if config.get("workload") in ("parallel", "sharded", "plan"):
-                # The concurrency and planning lanes' hard gates are
-                # count parity (checked above and again at generation
-                # time — the plan lane additionally gates hit rate and
-                # accesses-vs-best-fixed when it runs); their wall-clock
-                # ratios are scheduler/GIL/core-count artefacts that
-                # swing with the CI machine, so they are recorded for
-                # the trajectory but not gated.
+            if config.get("workload") in (
+                "parallel", "sharded", "plan", "approx",
+            ):
+                # The concurrency, planning and approximation lanes'
+                # hard gates are count parity (checked above and again
+                # at generation time — the plan lane additionally gates
+                # hit rate and accesses-vs-best-fixed, the approx lane
+                # monotone ε savings, certificates and the Theorem 5.3
+                # envelope when it runs); their wall-clock ratios are
+                # scheduler/GIL/core-count artefacts that swing with
+                # the CI machine, so they are recorded for the
+                # trajectory but not gated.
                 continue
             if (
                 now["columnar_ms"] < MIN_GATED_MS

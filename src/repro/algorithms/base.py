@@ -25,6 +25,12 @@ from repro.access.session import MiddlewareSession
 from repro.access.source import tie_break_key
 from repro.access.types import GradedItem, ObjectId
 from repro.core.aggregation import AggregationFunction
+from repro.core.certify import (
+    EXACT_GUARANTEE,
+    Guarantee,
+    QualityContract,
+    as_contract,
+)
 from repro.core.graded_set import GradedSet
 from repro.exceptions import InsufficientObjectsError
 
@@ -48,12 +54,19 @@ class TopKResult:
         Algorithm-specific diagnostics, e.g. A0's stopping depth ``T``
         or A0-prime's candidate-set size. Keys are documented by each
         algorithm.
+    guarantee:
+        The quality statement this run certifies. ``None`` from an
+        algorithm body means "exact" (every pre-contract algorithm
+        runs to exact completion); the template normalises it to
+        :data:`~repro.core.certify.EXACT_GUARANTEE` so consumers can
+        rely on the field.
     """
 
     items: tuple[GradedItem, ...]
     stats: AccessStats
     algorithm: str
     details: Mapping[str, object] = field(default_factory=dict)
+    guarantee: Guarantee | None = None
 
     @property
     def k(self) -> int:
@@ -81,25 +94,40 @@ class TopKAlgorithm(ABC):
 
     name: str = "top-k-algorithm"
 
+    #: Whether this algorithm honours non-exact quality contracts by
+    #: implementing :meth:`_run_certified`. Algorithms that don't are
+    #: still valid under any contract — they run to exact completion,
+    #: and exact trivially satisfies every ε (the strongest guarantee
+    #: wins); the delivered guarantee says so honestly.
+    supports_contracts: bool = False
+
     def top_k(
         self,
         session: MiddlewareSession,
         aggregation: AggregationFunction,
         k: int,
+        contract: "QualityContract | float | None" = None,
     ) -> TopKResult:
         """Find the top k answers to ``Ft(A1, ..., Am)`` over the session.
 
         ``session.sources[i]`` is the graded result of atomic query
         ``A_{i+1}``; ``aggregation`` is the function t. Subclasses
         state their own correctness preconditions (e.g. A0 requires a
-        monotone t — Theorem 4.2).
+        monotone t — Theorem 4.2). ``contract`` optionally relaxes the
+        termination test (a :class:`~repro.core.certify.QualityContract`
+        or a bare ε); the returned result's ``guarantee`` states what
+        was actually certified.
         """
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
         if k > session.num_objects:
             raise InsufficientObjectsError(k, session.num_objects)
+        contract = as_contract(contract)
         before = session.tracker.snapshot()
-        result = self._run(session, aggregation, k)
+        if contract.kind != "exact" and self.supports_contracts:
+            result = self._run_certified(session, aggregation, k, contract)
+        else:
+            result = self._run(session, aggregation, k)
         after = session.tracker.snapshot()
         # Re-derive this run's stats from the tracker delta so that
         # algorithms cannot under-report by snapshotting early.
@@ -113,7 +141,13 @@ class TopKAlgorithm(ABC):
                 for a, b in zip(after.random_by_list, before.random_by_list)
             ),
         )
-        return TopKResult(result.items, delta, result.algorithm, result.details)
+        return TopKResult(
+            result.items,
+            delta,
+            result.algorithm,
+            result.details,
+            result.guarantee or EXACT_GUARANTEE,
+        )
 
     @abstractmethod
     def _run(
@@ -123,6 +157,21 @@ class TopKAlgorithm(ABC):
         k: int,
     ) -> TopKResult:
         """Algorithm body; k and session are already validated."""
+
+    def _run_certified(
+        self,
+        session: MiddlewareSession,
+        aggregation: AggregationFunction,
+        k: int,
+        contract: QualityContract,
+    ) -> TopKResult:
+        """Contract-aware body; only called when
+        :attr:`supports_contracts` is True. The default refuses loudly
+        so a subclass cannot claim support without implementing it."""
+        raise NotImplementedError(
+            f"{type(self).__name__} sets supports_contracts but does not "
+            "implement _run_certified"
+        )
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

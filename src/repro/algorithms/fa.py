@@ -36,6 +36,7 @@ from repro.access.session import MiddlewareSession
 from repro.access.types import ObjectId
 from repro.algorithms.base import TopKAlgorithm, TopKResult, top_k_of
 from repro.core.aggregation import AggregationFunction
+from repro.core.certify import EXACT, QualityContract
 from repro.exceptions import ExhaustedSourceError, InsufficientObjectsError
 
 __all__ = ["SortedPhaseState", "run_sorted_phase", "FaginA0", "IncrementalFagin"]
@@ -53,13 +54,25 @@ class SortedPhaseState:
     ----------
     seen:
         For each object seen under sorted access, the grades discovered
-        so far, keyed by list index.
+        so far, keyed by list index. A later random phase may fill in
+        the missing grades in place (:func:`complete_random_phase`), so
+        membership of list ``i`` in ``seen[obj]`` means the grade is
+        *known*, not that list i's prefix delivered the object.
     order_by_list:
         X^i_T in delivery order — ``order_by_list[i][r]`` is the object
         at rank ``r + 1`` of list i.
     matched:
-        L — the objects output by *every* list (at least k of them once
-        the phase ends).
+        L — the objects output by *every* list under sorted access (at
+        least k of them once the phase ends).
+    sorted_lists:
+        How many distinct lists have delivered each object under
+        *sorted* access. This is the match criterion — it must stay
+        separate from ``seen`` because a matched object needs
+        ``mu_i(x) >= b_i`` in every list (it was inside every prefix),
+        which grades merely known from random access do not establish.
+        Without it, a resumed phase would count an object random-filled
+        by a previous batch as matched on its first sorted delivery and
+        stop too early.
     depth:
         T — the uniform number of sorted accesses made to each list.
     """
@@ -67,6 +80,7 @@ class SortedPhaseState:
     seen: dict[ObjectId, dict[int, float]] = field(default_factory=dict)
     order_by_list: list[list[ObjectId]] = field(default_factory=list)
     matched: set[ObjectId] = field(default_factory=set)
+    sorted_lists: dict[ObjectId, int] = field(default_factory=dict)
     depth: int = 0
 
 
@@ -96,6 +110,7 @@ def run_sorted_phase(
     sources = session.sources
     seen = state.seen
     matched = state.matched
+    sorted_lists = state.sorted_lists
 
     while len(matched) < k:
         # Each sorted access completes at most one object, so a round of
@@ -124,7 +139,9 @@ def run_sorted_phase(
                     if by_list is None:
                         by_list = seen[obj] = {}
                     by_list[i] = item.grade
-                    if len(by_list) == m:
+                    delivered = sorted_lists.get(obj, 0) + 1
+                    sorted_lists[obj] = delivered
+                    if delivered == m:
                         matched.add(obj)
         else:
             # One unit-step round with the mid-round stop check.
@@ -140,7 +157,9 @@ def run_sorted_phase(
                 state.order_by_list[i].append(item.obj)
                 by_list = seen.setdefault(item.obj, {})
                 by_list[i] = item.grade
-                if len(by_list) == m:
+                delivered = sorted_lists.get(item.obj, 0) + 1
+                sorted_lists[item.obj] = delivered
+                if delivered == m:
                     matched.add(item.obj)
                     if stop_mid_round and len(matched) >= k:
                         break
@@ -215,9 +234,20 @@ class FaginA0(TopKAlgorithm):
 
     Result ``details``: ``T`` (sorted depth), ``matches`` (|L|),
     ``seen`` (number of distinct objects accessed).
+
+    A0 routes its termination through the contract's
+    :class:`~repro.core.certify.StoppingRule` like TA and NRA do, but
+    the rule cannot soundly relax it: A0's stop observes *match
+    counts*, never grades, and any certificate about the k-th grade
+    needs k certified grades — which A0 only has once it has matched k
+    objects, i.e. once it has already stopped. Under every contract A0
+    therefore runs to exact completion and honestly delivers the
+    ``exact`` guarantee (stronger than asked). Callers who want real
+    ε-savings get steered to TA by the engine's strategy selection.
     """
 
     name = "A0"
+    supports_contracts = True
 
     def __init__(self, trust_caller: bool = False) -> None:
         self._trust_caller = trust_caller
@@ -227,6 +257,15 @@ class FaginA0(TopKAlgorithm):
         session: MiddlewareSession,
         aggregation: AggregationFunction,
         k: int,
+    ) -> TopKResult:
+        return self._run_certified(session, aggregation, k, EXACT)
+
+    def _run_certified(
+        self,
+        session: MiddlewareSession,
+        aggregation: AggregationFunction,
+        k: int,
+        contract: QualityContract,
     ) -> TopKResult:
         if not aggregation.monotone and not self._trust_caller:
             raise ValueError(
@@ -243,6 +282,11 @@ class FaginA0(TopKAlgorithm):
         # and set rebuilds.
         m = session.num_lists
         sources = session.sources
+        # The pluggable termination test. For A0 it is the exact
+        # match-count stop under *every* ε (see the class docstring) —
+        # the routing keeps the termination contract uniform across
+        # algorithms without pretending a relaxation exists.
+        rule = contract.stopping_rule()
         grades_by_list: list[dict[ObjectId, float]] = [{} for _ in range(m)]
         counts: dict[ObjectId, int] = {}
         matched = 0
@@ -250,7 +294,7 @@ class FaginA0(TopKAlgorithm):
 
         # Sorted access phase, in provably-consumed chunks (see
         # run_sorted_phase for the bound).
-        while matched < k:
+        while not rule.sorted_phase_done(matched, k):
             rounds = -(-(k - matched) // m)
             progressed = 0
             for i in range(m):
@@ -300,6 +344,9 @@ class FaginA0(TopKAlgorithm):
                 "matches": matched,
                 "seen": len(counts),
             },
+            # Always exact: the match-count stop admits no sound
+            # grade-relaxation, so A0 over-delivers on any contract.
+            guarantee=None,
         )
 
 
@@ -341,6 +388,52 @@ class IncrementalFagin:
     def returned(self) -> tuple[ObjectId, ...]:
         """Objects already output, in output order."""
         return tuple(self._returned)
+
+    def frontier(self) -> list[float]:
+        """Per-list bottom grades at the current sorted depth.
+
+        ``frontier()[i]`` is the grade of the deepest object list i has
+        delivered under sorted access (1.0 before any access — grades
+        live in [0, 1], so the top of the range is the trivial bound).
+        This is exactly NRA's ``b_i`` bookkeeping, mined from the A0
+        sorted-phase state the cursor already keeps.
+        """
+        state = self._state
+        m = self._session.num_lists
+        if not state.order_by_list:
+            return [1.0] * m
+        seen = state.seen
+        return [
+            seen[order[-1]][i] if order else 1.0
+            for i, order in enumerate(state.order_by_list)
+        ]
+
+    def unseen_upper(self) -> float:
+        """A certified upper bound on every *unseen* object's grade:
+        ``t(b_1, ..., b_m)`` by monotonicity (NRA's unseen bound)."""
+        return self._aggregation.evaluate_trusted(self.frontier())
+
+    def remaining_upper(self) -> float:
+        """A certified upper bound on every not-yet-returned grade.
+
+        Three facts compose. Every *seen* object's aggregate is exact
+        after its random phase, so the best unreturned seen grade is
+        known outright; every *unseen* object is bounded by
+        ``t(b_1..b_m)`` (monotonicity); and the returned prefix is an
+        exact top-r (Proposition 4.1), so nothing unreturned can
+        exceed the last returned grade. The bound is the min of the
+        third with the max of the first two — it tightens monotonically
+        as paging deepens, which is what makes the cursor *anytime*.
+        """
+        excluded = set(self._returned)
+        best_seen = max(
+            (g for obj, g in self._scores.items() if obj not in excluded),
+            default=0.0,
+        )
+        upper = max(best_seen, self.unseen_upper())
+        if self._returned:
+            upper = min(upper, self._scores[self._returned[-1]])
+        return upper
 
     def next_batch(self, k: int) -> TopKResult:
         """The next ``k`` best answers after those already returned.

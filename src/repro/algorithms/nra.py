@@ -33,6 +33,7 @@ import heapq
 from repro.access.session import MiddlewareSession
 from repro.algorithms.base import TopKAlgorithm, TopKResult, top_k_of
 from repro.core.aggregation import AggregationFunction
+from repro.core.certify import EXACT, QualityContract
 from repro.core.kernels import as_grade_matrix, evaluate_matrix, kernel_for
 
 __all__ = ["NoRandomAccessAlgorithm"]
@@ -44,15 +45,35 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
     Result ``details``: ``rounds`` (sorted depth), ``seen`` (distinct
     objects encountered), ``exact`` (objects whose grade was fully
     resolved when the run stopped).
+
+    NRA honours quality contracts: under an ε-approximate contract
+    both upper-bound comparisons (the unseen bound and the candidate
+    sweep) run against the relaxed bar ``(1 + ε) * kth_best`` instead
+    of ``kth_best``. The forever-certified pruning invariant survives
+    the relaxation — the bar is monotone non-decreasing (the k-th best
+    exact grade only rises) while upper bounds only fall, so an object
+    certified under the bar stays certified. At ε=0 the bar *is*
+    ``kth_best`` (no float round-trip), keeping exact runs
+    bit-identical.
     """
 
     name = "NRA"
+    supports_contracts = True
 
     def _run(
         self,
         session: MiddlewareSession,
         aggregation: AggregationFunction,
         k: int,
+    ) -> TopKResult:
+        return self._run_certified(session, aggregation, k, EXACT)
+
+    def _run_certified(
+        self,
+        session: MiddlewareSession,
+        aggregation: AggregationFunction,
+        k: int,
+        contract: QualityContract,
     ) -> TopKResult:
         if not aggregation.monotone:
             raise ValueError(
@@ -61,6 +82,7 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
             )
         m = session.num_lists
         sources = session.sources
+        rule = contract.stopping_rule()
         seen: dict[object, dict[int, float]] = {}
         bottoms = [1.0] * m
         rounds = 0
@@ -124,8 +146,11 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                 continue
 
             kth_best = best[0]
+            # The certification bar: ``kth_best`` exactly, or the
+            # contract's relaxed ``(1 + ε) * kth_best``.
+            limit = rule.limit(kth_best)
             # Upper bound for unseen objects.
-            if aggregation.evaluate_trusted(bottoms) > kth_best:
+            if aggregation.evaluate_trusted(bottoms) > limit:
                 continue
             # Upper bounds for the surviving partially-seen objects.
             # (Exactly-known objects are covered by kth_best itself;
@@ -140,12 +165,12 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
             if vectorized:
                 certified, candidates, cand_start = self._certify_vectorized(
                     aggregation, seen, exact, bottoms,
-                    candidates, cand_start, kth_best,
+                    candidates, cand_start, limit,
                 )
             else:
                 certified, cand_start = self._certify_scalar(
                     aggregation, seen, exact, bottoms,
-                    candidates, cand_start, kth_best,
+                    candidates, cand_start, limit,
                 )
             if certified:
                 break
@@ -159,11 +184,14 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                 "seen": len(seen),
                 "exact": len(exact),
             },
+            guarantee=rule.guarantee(
+                rule.limit(best[0]) if len(best) >= k else None
+            ),
         )
 
     @staticmethod
     def _certify_vectorized(
-        aggregation, seen, exact, bottoms, candidates, start, kth_best
+        aggregation, seen, exact, bottoms, candidates, start, limit
     ):
         """One kernel evaluation certifies (or prunes) every candidate.
 
@@ -177,7 +205,8 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
         candidates' upper-bound matrix (known grades where available,
         the current per-list bottom otherwise), scored in one call.
         The sweep's survivors — exactly the objects still above the
-        k-th best exact grade — become the new candidate list;
+        certification bar (the k-th best exact grade, ε-relaxed under
+        an approximate contract) — become the new candidate list;
         everything else is certified forever.
         """
         m = len(bottoms)
@@ -186,7 +215,7 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
             aggregation.evaluate_trusted(
                 [head.get(j, bottoms[j]) for j in range(m)]
             )
-            > kth_best
+            > limit
         ):
             return False, candidates, start
         pending = [
@@ -198,7 +227,7 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
         ]
         uppers = evaluate_matrix(aggregation, as_grade_matrix(rows))
         assert uppers is not None  # kernel_for gated the vectorized path
-        violations = uppers > kth_best
+        violations = uppers > limit
         if not violations.any():
             return True, [], 0
         survivors = [
@@ -210,7 +239,7 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
 
     @staticmethod
     def _certify_scalar(
-        aggregation, seen, exact, bottoms, candidates, start, kth_best
+        aggregation, seen, exact, bottoms, candidates, start, limit
     ):
         """Scalar fallback: early-exit scan behind the shared head.
 
@@ -227,7 +256,7 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                 continue
             by_list = seen[obj]
             upper = evaluate([by_list.get(j, bottoms[j]) for j in range(m)])
-            if upper > kth_best:
+            if upper > limit:
                 return False, idx
         return True, len(candidates)
 

@@ -31,6 +31,7 @@ import heapq
 from repro.access.session import MiddlewareSession
 from repro.algorithms.base import TopKAlgorithm, TopKResult, top_k_of
 from repro.core.aggregation import AggregationFunction
+from repro.core.certify import EXACT, QualityContract
 from repro.core.kernels import kernel_for
 
 __all__ = ["ThresholdAlgorithm"]
@@ -55,15 +56,34 @@ class ThresholdAlgorithm(TopKAlgorithm):
 
     Result ``details``: ``rounds`` (sorted depth reached),
     ``threshold`` (final tau), ``seen`` (distinct objects graded).
+
+    TA honours quality contracts: under an ε-approximate contract the
+    stop check relaxes to the FLN θ-approximation — halt once
+    ``(1 + ε) * kth_best >= tau``. The certificate is immediate from
+    monotonicity: every unreturned object z (seen or unseen) has
+    ``mu(z) <= tau <= (1 + ε) * kth_best <= (1 + ε) * mu(y)`` for
+    every returned y. At ε=0 the rule takes the historical exact
+    comparison verbatim, so answers and access ledgers stay
+    bit-identical.
     """
 
     name = "TA"
+    supports_contracts = True
 
     def _run(
         self,
         session: MiddlewareSession,
         aggregation: AggregationFunction,
         k: int,
+    ) -> TopKResult:
+        return self._run_certified(session, aggregation, k, EXACT)
+
+    def _run_certified(
+        self,
+        session: MiddlewareSession,
+        aggregation: AggregationFunction,
+        k: int,
+        contract: QualityContract,
     ) -> TopKResult:
         if not aggregation.monotone:
             raise ValueError(
@@ -72,6 +92,7 @@ class ThresholdAlgorithm(TopKAlgorithm):
             )
         m = session.num_lists
         sources = session.sources
+        rule = contract.stopping_rule()
         scored: dict[object, float] = {}
         # Min-heap of the k best grades seen so far: an object's grade
         # never changes once scored, so the k-th best is maintained
@@ -155,7 +176,7 @@ class ThresholdAlgorithm(TopKAlgorithm):
             tau = aggregation.evaluate_trusted(bottoms)
             if len(scored) >= k:
                 kth_best = best[0]
-                if kth_best >= tau:
+                if rule.met(kth_best, tau):
                     break
 
         return TopKResult(
@@ -163,6 +184,7 @@ class ThresholdAlgorithm(TopKAlgorithm):
             stats=session.tracker.snapshot(),
             algorithm=self.name,
             details={"rounds": rounds, "threshold": tau, "seen": len(scored)},
+            guarantee=rule.guarantee(tau),
         )
 
 

@@ -20,6 +20,16 @@ from repro.core.aggregation import (
     VectorizedAggregation,
     iterated,
 )
+from repro.core.certify import (
+    EXACT,
+    EXACT_GUARANTEE,
+    CertifiedResult,
+    GradeBounds,
+    Guarantee,
+    QualityContract,
+    StoppingRule,
+    as_contract,
+)
 from repro.core.kernels import (
     HAVE_NUMPY,
     evaluate_columns,
@@ -128,6 +138,15 @@ __all__ = [
     "FunctionAggregation",
     "VectorizedAggregation",
     "iterated",
+    # certified results & quality contracts
+    "QualityContract",
+    "StoppingRule",
+    "Guarantee",
+    "GradeBounds",
+    "CertifiedResult",
+    "EXACT",
+    "EXACT_GUARANTEE",
+    "as_contract",
     # vectorized kernels
     "HAVE_NUMPY",
     "kernel_for",

@@ -455,16 +455,24 @@ class QueryShape:
     conjunction: str
     random_access: bool
     fingerprint: tuple
+    #: The quality contract's approximation slack. ε-relaxed runs stop
+    #: earlier, so their measured access counts would poison the exact
+    #: histories (and vice versa): the slack is part of the identity,
+    #: separating plan-cache entries and cost ledgers per ε.
+    epsilon: float = 0.0
 
     @property
     def label(self) -> str:
         """Compact human-readable form for explain() and metrics."""
         lo = 2 ** (self.band - 1)
         hi = 2 ** self.band
-        return (
+        text = (
             f"{_structure_label(self.structure)} | agg={self.aggregation} "
             f"| k∈[{lo},{hi}) | m={self.num_atoms}"
         )
+        if self.epsilon:
+            text += f" | ε={self.epsilon:g}"
+        return text
 
 
 def _structure_label(structure: tuple) -> str:
@@ -528,6 +536,7 @@ def shape_of_query(
     conjunction: str,
     random_access: bool,
     fingerprint: tuple,
+    epsilon: float = 0.0,
 ) -> QueryShape:
     """The normalized shape of a catalog query (post-rewrite)."""
     atoms = query.atoms()
@@ -540,6 +549,7 @@ def shape_of_query(
         conjunction=conjunction,
         random_access=random_access,
         fingerprint=fingerprint,
+        epsilon=epsilon,
     )
 
 
@@ -549,6 +559,7 @@ def shape_of_aggregation(
     k: int,
     random_access: bool,
     fingerprint: tuple,
+    epsilon: float = 0.0,
 ) -> QueryShape:
     """The shape of a source-backed run: aggregation identity + m."""
     return QueryShape(
@@ -560,6 +571,7 @@ def shape_of_aggregation(
         conjunction="external",
         random_access=random_access,
         fingerprint=fingerprint,
+        epsilon=epsilon,
     )
 
 

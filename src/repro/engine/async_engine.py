@@ -139,7 +139,9 @@ class AsyncEngine:
     # Query surface
     # ------------------------------------------------------------------
 
-    def _builder(self, query, strategy, conjunction, adaptive=None):
+    def _builder(
+        self, query, strategy, conjunction, adaptive=None, epsilon=None
+    ):
         builder = self.engine.query(query)
         if strategy is not None:
             builder.strategy(strategy)
@@ -147,6 +149,8 @@ class AsyncEngine:
             builder.conjunction(conjunction)
         if adaptive is not None:
             builder.adaptive(adaptive)
+        if epsilon is not None:
+            builder.epsilon(epsilon)
         return builder
 
     async def top_k(
@@ -157,18 +161,21 @@ class AsyncEngine:
         strategy: object | None = None,
         conjunction: str | None = None,
         adaptive: "bool | None" = None,
+        epsilon: "float | None" = None,
     ):
         """``engine.query(query).top(k)``, off the event loop.
 
         ``query`` is a string/AST for catalog-backed engines or an
         aggregation function for source-backed ones — the same
         contract as :meth:`Engine.query`. ``adaptive=False`` opts this
-        query out of the engine's adaptive planning layer.
+        query out of the engine's adaptive planning layer; ``epsilon``
+        accepts a certified ε-approximate answer (the θ/(1+ε)
+        stopping rule), overriding the context default.
         """
         return await self._call(
-            lambda: self._builder(query, strategy, conjunction, adaptive).top(
-                k
-            )
+            lambda: self._builder(
+                query, strategy, conjunction, adaptive, epsilon
+            ).top(k)
         )
 
     async def run_many(
@@ -224,11 +231,15 @@ class AsyncEngine:
         *,
         conjunction: str | None = None,
         page_size: int | None = None,
+        epsilon: "float | None" = None,
     ) -> "AsyncResultCursor":
         """An async paging cursor: ``await next_k`` / ``async for``.
 
         Nothing touches a subsystem until the first page is awaited
         (opening the cursor mints sources, so it happens on the pool).
+        Each awaited page carries the live anytime bound state (see
+        :meth:`AsyncResultCursor.live_bounds`), and :meth:`stop` seals
+        the cursor into a certified partial answer.
         """
         if page_size is not None and page_size < 1:
             raise ValueError(
@@ -236,7 +247,9 @@ class AsyncEngine:
             )
         return AsyncResultCursor(
             self,
-            opener=lambda: self._builder(query, None, conjunction).cursor(),
+            opener=lambda: self._builder(
+                query, None, conjunction, epsilon=epsilon
+            ).cursor(),
             page_size=page_size,
         )
 
@@ -289,7 +302,7 @@ class AsyncResultCursor:
         async with self._fetch_lock:
             cursor = await self._ensure_open()
             remaining = cursor.remaining
-            if remaining <= 0:
+            if remaining <= 0 or cursor.closed:
                 raise StopAsyncIteration
             page = self._page_size
             if page is None:
@@ -322,6 +335,34 @@ class AsyncResultCursor:
         the event loop thread).
         """
         return None if self._cursor is None else self._cursor.remaining
+
+    def live_bounds(self) -> dict | None:
+        """The certified anytime bound state after the last page.
+
+        Mirrors :meth:`~repro.engine.cursor.ResultCursor.live_bounds`:
+        ``None`` until a page has been awaited, then a dict whose
+        ``remaining_upper`` tightens monotonically as paging deepens.
+        A plain read of already-paged state — safe without await.
+        """
+        return None if self._cursor is None else self._cursor.live_bounds()
+
+    @property
+    def guarantee(self):
+        """The guarantee of the answer-so-far (None before any page)."""
+        return None if self._cursor is None else self._cursor.guarantee
+
+    async def stop(self):
+        """Seal the cursor into a certified partial answer.
+
+        Serialised behind the fetch lock so an in-flight page completes
+        (and its bounds land) before the cursor is certified — the
+        returned :class:`~repro.core.certify.CertifiedResult` always
+        covers everything actually fetched. An unopened cursor is
+        opened first, certifying the honest empty prefix.
+        """
+        async with self._fetch_lock:
+            cursor = await self._ensure_open()
+            return await self._owner._call(cursor.stop)
 
     def total_stats(self):
         """Accesses spent across all pages (zero-page cursors excluded)."""

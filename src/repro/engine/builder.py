@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.aggregation import AggregationFunction
+from repro.core.certify import validate_epsilon
 from repro.core.query import Query
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,6 +44,7 @@ class QueryBuilder:
         self._strategy: str | object | None = None
         self._conjunction: str | None = None
         self._adaptive: bool | None = None
+        self._epsilon: float | None = None
         if isinstance(query, AggregationFunction):
             # engine.query(MINIMUM) reads naturally for source-backed
             # engines, where the aggregation *is* the whole query.
@@ -103,6 +105,23 @@ class QueryBuilder:
         self._adaptive = enabled
         return self
 
+    def epsilon(self, epsilon: float) -> "QueryBuilder":
+        """Accept a certified ε-approximate answer (θ/(1+ε) stopping).
+
+        With ``epsilon > 0``, contract-aware algorithms (TA, NRA) may
+        stop as soon as the k-th best certified grade is within a
+        ``(1 + ε)`` factor of the threshold: every returned item y then
+        carries the certificate ``(1 + ε) · μ(y) >= μ(z)`` for every
+        excluded z. The result's ``guarantee`` records what was
+        actually delivered — algorithms whose termination cannot be
+        relaxed (A0's match-count stop) run to completion and deliver
+        ``exact``, which satisfies any ε. ``epsilon(0)`` is the exact
+        contract and is bit-identical to not calling this at all;
+        this per-query value overrides the context's ``epsilon``.
+        """
+        self._epsilon = validate_epsilon(epsilon)
+        return self
+
     # ------------------------------------------------------------------
     # Terminal operations
     # ------------------------------------------------------------------
@@ -122,6 +141,7 @@ class QueryBuilder:
             conjunction=self._conjunction,
             k=k,
             adaptive=self._adaptive,
+            epsilon=self._epsilon,
         )
 
     def run(self, k: int | None = None):
@@ -140,6 +160,7 @@ class QueryBuilder:
             aggregation=self._aggregation,
             strategy=self._strategy,
             conjunction=self._conjunction,
+            epsilon=self._epsilon,
         )
 
     def plan(self) -> "PhysicalPlan":
@@ -165,6 +186,7 @@ class QueryBuilder:
             self._strategy,
             self._conjunction,
             self._adaptive,
+            epsilon=self._epsilon,
         )
 
     def __repr__(self) -> str:
@@ -175,4 +197,6 @@ class QueryBuilder:
             parts.append(f"using={self._aggregation.name}")
         if self._strategy is not None:
             parts.append(f"strategy={self._strategy!r}")
+        if self._epsilon is not None:
+            parts.append(f"epsilon={self._epsilon:g}")
         return f"QueryBuilder({', '.join(parts)})"

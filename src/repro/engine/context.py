@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.access.cost import UNWEIGHTED, CostModel
+from repro.core.certify import validate_epsilon
 from repro.core.semantics import STANDARD_FUZZY, FuzzySemantics
 from repro.engine.adaptive import AdaptiveOptions
 from repro.middleware.planner import PlannerOptions
@@ -66,6 +67,13 @@ class ExecutionContext:
     adaptive_options:
         Tuning for the adaptive layer (cache capacity, exploration
         cadence, calibration decay).
+    epsilon:
+        Deployment-wide default approximation slack. 0 (the default)
+        keeps every query exact; ε > 0 lets contract-aware algorithms
+        stop under the θ/(1+ε) rule, certifying that every returned
+        grade is within a (1+ε) factor of anything excluded.
+        Individual queries override it with
+        ``QueryBuilder.epsilon(...)``.
     """
 
     semantics: FuzzySemantics = STANDARD_FUZZY
@@ -76,8 +84,10 @@ class ExecutionContext:
     batch_size: int | None = None
     adaptive: bool = True
     adaptive_options: AdaptiveOptions = field(default_factory=AdaptiveOptions)
+    epsilon: float = 0.0
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "epsilon", validate_epsilon(self.epsilon))
         if self.conjunction not in _CONJUNCTION_MODES:
             raise ValueError(
                 f"conjunction must be one of {_CONJUNCTION_MODES}, "

@@ -19,8 +19,14 @@ from repro.access.session import MiddlewareSession
 from repro.algorithms.base import TopKResult
 from repro.algorithms.fa import IncrementalFagin
 from repro.core.aggregation import AggregationFunction
+from repro.core.certify import (
+    CertifiedResult,
+    GradeBounds,
+    Guarantee,
+    validate_epsilon,
+)
 from repro.core.query import Query
-from repro.exceptions import PlanningError
+from repro.exceptions import EngineConfigurationError, PlanningError
 
 __all__ = ["ResultCursor", "validate_k"]
 
@@ -74,6 +80,11 @@ class ResultCursor:
         :meth:`~repro.engine.engine.Engine.metrics_snapshot`; the
         callback runs on the fetching thread, after the page is
         recorded, and must not raise.
+    epsilon:
+        The approximation slack the caller would accept. Incremental
+        paging is *exact* per page (Proposition 4.1), so every page
+        over-delivers on any ε — the slack is recorded so the cursor's
+        certified snapshots state the contract that was asked for.
     """
 
     def __init__(
@@ -85,6 +96,7 @@ class ResultCursor:
         query: Query | None = None,
         cost_model: CostModel = UNWEIGHTED,
         on_page=None,
+        epsilon: float = 0.0,
     ) -> None:
         if not aggregation.monotone:
             raise PlanningError(
@@ -96,9 +108,12 @@ class ResultCursor:
         self._aggregation = aggregation
         self._default_k = default_k
         self._cost_model = cost_model
+        self._epsilon = validate_epsilon(epsilon)
         self._incremental = IncrementalFagin(session, aggregation)
         self._pages: list[TopKResult] = []
         self._on_page = on_page
+        self._last_bounds: dict | None = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Paging
@@ -114,16 +129,122 @@ class ResultCursor:
         ``k`` must be positive: the cursor validates it up front (a
         clear error at the API boundary) rather than relying on the
         paging machinery to reject it mid-flight.
+
+        Each page's ``details`` carries a ``certified`` block — the
+        anytime bound state *as of that page* (answers certified so
+        far, the last certified grade, and the certified upper bound
+        on everything unreturned) — and the page's ``guarantee``
+        records the anytime contract. The same snapshot is readable
+        from :meth:`live_bounds`.
         """
+        if self._closed:
+            raise EngineConfigurationError(
+                "cursor is stopped: stop() sealed it with a certified "
+                "partial answer; open a new cursor to page further"
+            )
         if k is not None:
             k = validate_k(k)
         page = self._incremental.next_batch(
             self._default_k if k is None else k
         )
+        certified = self._certified_block(
+            page.items[-1].grade if page.items else None
+        )
+        page = TopKResult(
+            items=page.items,
+            stats=page.stats,
+            algorithm=page.algorithm,
+            details={**page.details, "certified": certified},
+            guarantee=self._page_guarantee(certified),
+        )
         self._pages.append(page)
+        self._last_bounds = certified
         if self._on_page is not None:
             self._on_page(page)
         return page
+
+    def stop(self) -> CertifiedResult:
+        """Seal the cursor and certify everything fetched so far.
+
+        Returns a :class:`~repro.core.certify.CertifiedResult` whose
+        items are the pages already fetched (an exact top-r by
+        Proposition 4.1), whose per-item bounds are degenerate (the
+        grades are exact), and whose guarantee's ``threshold`` is the
+        certified upper bound on every answer *not* returned — the
+        anytime contract: "here is a correct prefix, and nothing you
+        are missing grades above θ". Subsequent :meth:`next_k` calls
+        raise; :meth:`stop` itself is idempotent.
+        """
+        self._closed = True
+        certified = (
+            self._last_bounds
+            if self._last_bounds is not None
+            else self._certified_block(None)
+        )
+        items = self.fetched
+        return CertifiedResult(
+            items=items,
+            guarantee=self._page_guarantee(certified),
+            bounds={
+                item.obj: GradeBounds(item.grade, item.grade)
+                for item in items
+            },
+            details={
+                "certified": certified,
+                "pages": self.pages_fetched,
+                "algorithm": "A0-incremental",
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Certified bound state
+    # ------------------------------------------------------------------
+
+    def _certified_block(self, last_grade: float | None) -> dict:
+        """The anytime bound state right now, as a plain dict."""
+        return {
+            "kind": "anytime",
+            "epsilon": self._epsilon,
+            "answers_certified": len(self._incremental.returned),
+            "last_grade": last_grade,
+            "remaining_upper": self._incremental.remaining_upper(),
+        }
+
+    def _page_guarantee(self, certified: dict) -> Guarantee:
+        return Guarantee(
+            "anytime",
+            epsilon=0.0,  # pages are exact; ε is over-delivered
+            threshold=certified["remaining_upper"],
+        )
+
+    def live_bounds(self) -> dict | None:
+        """The certified bound state after the most recent page.
+
+        ``None`` before the first page. Otherwise a dict with
+        ``answers_certified`` (r — the prefix is an exact top-r),
+        ``last_grade`` (the r-th certified grade), and
+        ``remaining_upper`` (certified upper bound on every unreturned
+        object's grade). ``remaining_upper`` tightens monotonically as
+        pages are pulled — watching it fall is the anytime story.
+        """
+        return dict(self._last_bounds) if self._last_bounds else None
+
+    @property
+    def guarantee(self) -> Guarantee | None:
+        """The guarantee of the answer-so-far (None before any page)."""
+        if self._last_bounds is None:
+            return None
+        return self._page_guarantee(self._last_bounds)
+
+    @property
+    def epsilon(self) -> float:
+        """The slack requested at open time (pages stay exact)."""
+        return self._epsilon
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`stop` sealed the cursor."""
+        return self._closed
 
     # ------------------------------------------------------------------
     # Introspection

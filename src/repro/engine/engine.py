@@ -53,6 +53,11 @@ from repro.access.source import (
 )
 from repro.algorithms.base import TopKAlgorithm, TopKResult
 from repro.core.aggregation import AggregationFunction
+from repro.core.certify import (
+    EXACT_GUARANTEE,
+    Guarantee,
+    QualityContract,
+)
 from repro.core.query import Query
 from repro.engine.adaptive import (
     AdaptivePlanner,
@@ -128,6 +133,12 @@ class Engine:
             "cursor_pages": 0,
             "sorted": 0,
             "random": 0,
+            # Delivered-guarantee tally (the quality plane of
+            # /metrics): how many completed queries certified which
+            # contract kind.
+            "exact": 0,
+            "approximate": 0,
+            "anytime": 0,
         }
         #: The adaptive planning layer (plan cache + calibrated cost
         #: model + measured-history chooser), or None when the context
@@ -286,10 +297,30 @@ class Engine:
         strategy: str | None,
         conjunction: str | None,
         adaptive: "bool | None",
+        epsilon: "float | None" = None,
     ) -> str:
+        contract = self._contract_for(epsilon)
+        if self._is_source_backed() and aggregation is not None:
+            # Source-backed explain: the strategy the registry would
+            # pick (including the ε-contract steering) plus the
+            # guarantee the run would certify.
+            num_lists = (
+                self._sharded.num_lists
+                if self._sharded is not None
+                else self._fresh_session().num_lists
+            )
+            choice = self._select(aggregation, num_lists, strategy, contract)
+            return "\n".join(
+                [
+                    f"strategy: {choice.name}",
+                    f"reason: {choice.reason}",
+                    f"guarantee: {self._describe_contract(contract)}",
+                ]
+            )
         layer = self._adaptive_for(adaptive)
         plan, shape, hit = self._plan_with_shape(
-            query, aggregation, strategy, conjunction, adaptive=layer
+            query, aggregation, strategy, conjunction, adaptive=layer,
+            epsilon=contract.epsilon,
         )
         text = plan.explain()
         if layer is not None and shape is not None:
@@ -303,7 +334,17 @@ class Engine:
                 self.context.cost_model,
             )
             text = "\n".join([text, *lines])
-        return text
+        return "\n".join([text, f"guarantee: {self._describe_contract(contract)}"])
+
+    @staticmethod
+    def _describe_contract(contract: QualityContract) -> str:
+        if contract.epsilon == 0.0:
+            return "exact (run to certified completion)"
+        return (
+            f"ε={contract.epsilon:g} approximate — stop once "
+            f"(1+ε)·g_k ≥ τ; every returned grade is certified within "
+            f"a (1+ε) factor of anything excluded"
+        )
 
     def run_many(
         self,
@@ -438,6 +479,14 @@ class Engine:
             },
             "ranking_caches": caches,
             "cache_totals": {"hits": total_hits, "misses": total_misses},
+            # Delivered guarantees: what quality the completed queries
+            # actually certified (an ε>0 request answered by an exact
+            # run — A0, or an early exhaustion — counts as exact).
+            "quality": {
+                "exact": counters["exact"],
+                "approximate": counters["approximate"],
+                "anytime": counters["anytime"],
+            },
             "planner": (
                 self._adaptive.metrics()
                 if self._adaptive is not None
@@ -486,11 +535,15 @@ class Engine:
     # Serving ledger (metrics_snapshot's data plane)
     # ------------------------------------------------------------------
 
-    def _record_query(self, stats) -> None:
+    def _record_query(
+        self, stats, guarantee: "Guarantee | None" = None
+    ) -> None:
         with self._metrics_lock:
             self._metrics_counters["queries"] += 1
             self._metrics_counters["sorted"] += stats.sorted_cost
             self._metrics_counters["random"] += stats.random_cost
+            if guarantee is not None:
+                self._metrics_counters[guarantee.kind] += 1
 
     def _record_page(self, page: TopKResult) -> None:
         with self._metrics_lock:
@@ -499,10 +552,17 @@ class Engine:
             self._metrics_counters["random"] += page.stats.random_cost
 
     def _record_batch(self, batch: BatchResult) -> None:
+        kinds = {"exact": 0, "approximate": 0, "anytime": 0}
+        for answer in batch:
+            result = getattr(answer, "result", answer)
+            guarantee = getattr(result, "guarantee", None)
+            kinds[(guarantee or EXACT_GUARANTEE).kind] += 1
         with self._metrics_lock:
             self._metrics_counters["queries"] += len(batch)
             self._metrics_counters["sorted"] += batch.total_sorted
             self._metrics_counters["random"] += batch.total_random
+            for kind, count in kinds.items():
+                self._metrics_counters[kind] += count
 
     def _require_query(self, query: object) -> "str | Query":
         if not isinstance(query, (str, Query)):
@@ -572,6 +632,16 @@ class Engine:
             return None
         return self._adaptive
 
+    def _contract_for(self, epsilon: "float | None") -> QualityContract:
+        """The quality contract a query runs under.
+
+        The builder's per-query ε (``None`` means "not set") overrides
+        the context's deployment-wide default; ε=0 normalises to the
+        exact contract, so the historical call paths are untouched.
+        """
+        eps = self.context.epsilon if epsilon is None else epsilon
+        return QualityContract.approximate(eps)
+
     def _plan_for(
         self,
         query: "str | Query | None",
@@ -595,6 +665,7 @@ class Engine:
         conjunction: str | None,
         k: int | None = None,
         adaptive: AdaptivePlanner | None = None,
+        epsilon: float = 0.0,
     ) -> "tuple[PhysicalPlan, QueryShape | None, bool]":
         """Plan a catalog query, through the plan cache when adaptive.
 
@@ -636,6 +707,7 @@ class Engine:
                 mode,
                 self._random_access_ok(rewritten.atoms()),
                 adaptive.catalog_fingerprint(self._catalog),
+                epsilon=epsilon,
             )
             plan, hit = adaptive.plan_catalog(
                 rewritten,
@@ -704,6 +776,7 @@ class Engine:
         aggregation: AggregationFunction | None,
         num_lists: int,
         strategy: "str | TopKAlgorithm | None",
+        contract: "QualityContract | None" = None,
     ) -> StrategyChoice:
         if aggregation is None:
             raise EngineConfigurationError(
@@ -715,6 +788,32 @@ class Engine:
             # args); it validates its own preconditions at run time.
             return StrategyChoice(
                 strategy, "algorithm instance supplied by caller"
+            )
+        if (
+            strategy is None
+            and contract is not None
+            and contract.epsilon > 0.0
+            and aggregation.monotone
+            and self._random_access
+        ):
+            # ε-approximate contract: the default pick would be A0,
+            # whose match-count stop cannot exploit the relaxation (it
+            # observes no grades). TA's threshold stop can — steer the
+            # auto-selection to it so paying ε buys fewer accesses.
+            # Forced strategies and non-random-access workloads (NRA,
+            # which also honours ε) are left alone.
+            choice = select_strategy(
+                aggregation,
+                num_lists,
+                random_access=self._random_access,
+                cost_model=self.context.cost_model,
+                require="threshold",
+            )
+            return StrategyChoice(
+                choice.algorithm,
+                f"ε={contract.epsilon:g} approximate contract: TA's "
+                "θ/(1+ε) stopping rule converts the slack into early "
+                "termination (A0's match-count stop cannot)",
             )
         return select_strategy(
             aggregation,
@@ -769,12 +868,14 @@ class Engine:
         conjunction: str | None,
         k: int | None,
         adaptive: "bool | None" = None,
+        epsilon: "float | None" = None,
     ):
         # Validate before any session is minted or plan executed, so
         # .top(0) / .top(True) fails fast with a clear message on both
         # backings (previously only the algorithm/executor layer caught
         # non-positive k, after side effects — and bools not at all).
         k = validate_k(k if k is not None else self.context.default_k)
+        contract = self._contract_for(epsilon)
         if self._is_source_backed():
             if query is not None:
                 raise EngineConfigurationError(
@@ -795,14 +896,16 @@ class Engine:
                         f"got {type(strategy).__name__}"
                     )
                 result = self._sharded.top_k(
-                    aggregation, k, strategy=strategy
+                    aggregation, k, strategy=strategy, contract=contract
                 )
-                self._record_query(result.stats)
+                self._record_query(result.stats, result.guarantee)
                 return result
             session = self._fresh_session()
             if isinstance(self._backing, MiddlewareSession):
                 session.restart_all()
-            choice = self._select(aggregation, session.num_lists, strategy)
+            choice = self._select(
+                aggregation, session.num_lists, strategy, contract
+            )
             layer = self._adaptive_for(adaptive)
             shape = None
             if layer is not None:
@@ -813,8 +916,14 @@ class Engine:
                     k,
                     self._random_access,
                     layer.source_fingerprint(self._backing),
+                    epsilon=contract.epsilon,
                 )
-                if strategy is None:
+                # The chooser's override slate is calibrated on exact
+                # runs; under an ε-contract the contract-driven
+                # steering already picked the algorithm that can spend
+                # the slack, so the chooser only observes (the ε-keyed
+                # shape keeps its histories separate).
+                if strategy is None and contract.epsilon == 0.0:
                     decision = layer.choose_source(
                         shape,
                         choice.name,
@@ -841,9 +950,9 @@ class Engine:
                             f"{decision.reason}",
                         )
             started = perf_counter()
-            result = choice.algorithm.top_k(session, aggregation, k)
+            result = choice.algorithm.top_k(session, aggregation, k, contract)
             elapsed = perf_counter() - started
-            self._record_query(result.stats)
+            self._record_query(result.stats, result.guarantee)
             if layer is not None:
                 # Instances forced by the caller may be tuned away from
                 # the registry's defaults — calibrate on them, but keep
@@ -865,10 +974,16 @@ class Engine:
             return result
         layer = self._adaptive_for(adaptive)
         plan, shape, _hit = self._plan_with_shape(
-            query, aggregation, strategy, conjunction, k, layer
+            query, aggregation, strategy, conjunction, k, layer,
+            epsilon=contract.epsilon,
         )
         decision = None
-        if layer is not None and shape is not None and strategy is None:
+        if (
+            layer is not None
+            and shape is not None
+            and strategy is None
+            and contract.epsilon == 0.0
+        ):
             plan, decision = layer.choose_catalog(
                 shape,
                 plan,
@@ -877,10 +992,39 @@ class Engine:
                 shape.random_access,
                 self.context.cost_model,
             )
+        if (
+            contract.epsilon > 0.0
+            and strategy is None
+            and isinstance(plan, AlgorithmPlan)
+            and plan.aggregation is not None
+            and plan.aggregation.monotone
+            and self._random_access_ok(plan.atoms)
+        ):
+            # Same steering as the source path: the ε slack only pays
+            # off through TA's threshold stop, so swap it in for the
+            # planner's static pick (cached plans are keyed by the
+            # ε-aware shape, and the swap happens after the cache, so
+            # exact traffic never sees a steered plan).
+            steered = select_strategy(
+                plan.aggregation,
+                len(plan.atoms),
+                random_access=True,
+                cost_model=self.context.cost_model,
+                require="threshold",
+            )
+            plan = _dc_replace(
+                plan,
+                algorithm=steered.algorithm,
+                reason=(
+                    f"ε={contract.epsilon:g} approximate contract: TA's "
+                    "θ/(1+ε) stopping rule converts the slack into "
+                    "early termination"
+                ),
+            )
         started = perf_counter()
-        answer = self._executor().execute(plan, k)
+        answer = self._executor().execute(plan, k, contract=contract)
         elapsed = perf_counter() - started
-        self._record_query(answer.result.stats)
+        self._record_query(answer.result.stats, answer.result.guarantee)
         if layer is not None and shape is not None:
             named = (
                 isinstance(plan, AlgorithmPlan)
@@ -904,7 +1048,9 @@ class Engine:
         aggregation: AggregationFunction | None,
         strategy: "str | TopKAlgorithm | None",
         conjunction: str | None,
+        epsilon: "float | None" = None,
     ) -> ResultCursor:
+        target_epsilon = self._contract_for(epsilon).epsilon
         if strategy is not None:
             raise PlanningError(
                 "cursors page with the incremental Fagin machinery "
@@ -940,6 +1086,7 @@ class Engine:
                 default_k=self.context.default_k,
                 cost_model=self.context.cost_model,
                 on_page=self._record_page,
+                epsilon=target_epsilon,
             )
             if shared:
                 self._session_lease = cursor
@@ -969,6 +1116,7 @@ class Engine:
             query=self._parse(query),  # type: ignore[arg-type]
             cost_model=self.context.cost_model,
             on_page=self._record_page,
+            epsilon=target_epsilon,
         )
 
     # ------------------------------------------------------------------
@@ -990,8 +1138,13 @@ class Engine:
             # A fresh sorted scan per query — a real re-issued subquery,
             # charged as such — but one session, one tracker.
             session.restart_all()
-            choice = self._select(aggregation, session.num_lists, None)
-            answers.append(choice.algorithm.top_k(session, aggregation, k))
+            contract = self._contract_for(None)
+            choice = self._select(
+                aggregation, session.num_lists, None, contract
+            )
+            answers.append(
+                choice.algorithm.top_k(session, aggregation, k, contract)
+            )
         after = session.tracker.snapshot()
         return BatchResult(
             answers=tuple(answers),
@@ -1028,8 +1181,11 @@ class Engine:
         def run_one(spec: tuple[object, int]) -> TopKResult:
             aggregation, k = spec
             session = self._fresh_session()
-            choice = self._select(aggregation, session.num_lists, None)
-            return choice.algorithm.top_k(session, aggregation, k)
+            contract = self._contract_for(None)
+            choice = self._select(
+                aggregation, session.num_lists, None, contract
+            )
+            return choice.algorithm.top_k(session, aggregation, k, contract)
 
         with ThreadPoolExecutor(
             max_workers=parallel, thread_name_prefix="repro-run-many"
@@ -1066,7 +1222,9 @@ class Engine:
                     "sharded batches take aggregation functions or wire "
                     f"names, got {type(aggregation).__name__}"
                 )
-        answers = self._sharded.run_many(specs)
+        answers = self._sharded.run_many(
+            specs, contract=self._contract_for(None)
+        )
         return BatchResult(
             answers=tuple(answers),
             total_sorted=sum(a.stats.sorted_cost for a in answers),
@@ -1161,10 +1319,12 @@ class Engine:
 
         executor = self._executor(evaluate=evaluate)
 
+        batch_contract = self._contract_for(None)
+
         def run_one(spec_k: tuple[object, int]) -> QueryAnswer:
             spec, k = spec_k
             plan = self._plan_for(self._require_query(spec), None, None, None)
-            return executor.execute(plan, k)
+            return executor.execute(plan, k, contract=batch_contract)
 
         if parallel is None:
             answers = [run_one(spec_k) for spec_k in specs]

@@ -125,12 +125,21 @@ class Executor:
             atom, batch_size
         )
 
-    def execute(self, plan: PhysicalPlan, k: int) -> QueryAnswer:
-        """Run ``plan`` and return the top-k answer with cost accounting."""
+    def execute(
+        self, plan: PhysicalPlan, k: int, contract=None
+    ) -> QueryAnswer:
+        """Run ``plan`` and return the top-k answer with cost accounting.
+
+        ``contract`` (a :class:`~repro.core.certify.QualityContract`,
+        or ``None`` for exact) reaches contract-aware algorithms
+        through :class:`AlgorithmPlan` execution; every other plan
+        shape runs to exact completion regardless — exact satisfies
+        any ε, and the answer's ``guarantee`` records it honestly.
+        """
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
         if isinstance(plan, AlgorithmPlan):
-            result = self._run_algorithm(plan, k)
+            result = self._run_algorithm(plan, k, contract)
         elif isinstance(plan, FilteredConjunctPlan):
             result = self._run_filtered(plan, k)
         elif isinstance(plan, InternalConjunctionPlan):
@@ -153,10 +162,12 @@ class Executor:
             raw, num_objects=self._catalog.num_objects
         )
 
-    def _run_algorithm(self, plan: AlgorithmPlan, k: int) -> TopKResult:
+    def _run_algorithm(
+        self, plan: AlgorithmPlan, k: int, contract=None
+    ) -> TopKResult:
         assert plan.algorithm is not None and plan.aggregation is not None
         session = self._session_for(plan.atoms, plan.batch_size)
-        return plan.algorithm.top_k(session, plan.aggregation, k)
+        return plan.algorithm.top_k(session, plan.aggregation, k, contract)
 
     def _run_full_scan(self, plan: FullScanPlan, k: int) -> TopKResult:
         assert plan.aggregation is not None

@@ -50,6 +50,7 @@ from http import HTTPStatus
 
 from repro import __version__
 from repro.algorithms.base import TopKResult
+from repro.core.certify import validate_epsilon
 from repro.engine.async_engine import AsyncEngine
 from repro.engine.engine import Engine
 from repro.exceptions import ReproError
@@ -244,10 +245,43 @@ class ServingApp:
                 "total": result.stats.sum_cost,
             },
         }
+        guarantee = getattr(result, "guarantee", None)
+        if guarantee is not None:
+            payload["guarantee"] = guarantee.as_dict()
         plan = getattr(answer, "plan", None)
         if plan is not None:
             payload["plan"] = plan.explain()
         return payload
+
+    @staticmethod
+    def _epsilon_from(payload: dict) -> float | None:
+        """The request's ε, validated; None when absent."""
+        raw = payload.get("epsilon")
+        if raw is None:
+            return None
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise ServingError(
+                HTTPStatus.BAD_REQUEST,
+                "invalid_epsilon",
+                f"epsilon must be a non-negative number, got {raw!r}",
+            )
+        try:
+            return validate_epsilon(raw)
+        except ValueError as exc:
+            raise ServingError(
+                HTTPStatus.BAD_REQUEST, "invalid_epsilon", str(exc)
+            ) from None
+
+    @staticmethod
+    def _allow_partial_from(payload: dict) -> bool:
+        raw = payload.get("allow_partial", False)
+        if not isinstance(raw, bool):
+            raise ServingError(
+                HTTPStatus.BAD_REQUEST,
+                "invalid_request",
+                f"allow_partial must be a boolean, got {raw!r}",
+            )
+        return raw
 
     def _spec_from(self, payload: dict) -> dict:
         """The query spec shared by /v1/query and /v1/cursor.
@@ -346,7 +380,25 @@ class ServingApp:
                 "invalid_strategy",
                 "strategy must be a registry name string",
             )
+        epsilon = self._epsilon_from(payload)
+        allow_partial = self._allow_partial_from(payload)
         deadline_ms = self._deadline_ms(request, payload)
+        if allow_partial and strategy is not None:
+            raise ServingError(
+                HTTPStatus.BAD_REQUEST,
+                "invalid_request",
+                "allow_partial pages through the anytime cursor, which "
+                "cannot honour a forced strategy; drop one of the two",
+            )
+        if (
+            allow_partial
+            and deadline_ms is not None
+            # Sharded backings have no paging cursors to stop early —
+            # the query either completes in time or maps to 504 as
+            # without the flag.
+            and self.engine.sharding is None
+        ):
+            return await self._query_partial(spec, k, epsilon, deadline_ms)
         async with self.admission.admit():
             result = await self._bounded(
                 self.async_engine.top_k(
@@ -354,10 +406,105 @@ class ServingApp:
                     k=k,
                     strategy=strategy,
                     conjunction=spec["conjunction"],
+                    epsilon=epsilon,
                 ),
                 deadline_ms,
             )
         return json_response(self._serialise_result(result))
+
+    async def _query_partial(
+        self, spec: dict, k: int | None, epsilon: float | None, deadline_ms: int
+    ) -> HttpResponse:
+        """The anytime path: page under the deadline, certify what landed.
+
+        The k answers are pulled as cursor pages, each page awaited
+        against the *remaining* budget. Completing every page is the
+        exact answer; expiring with pages in hand is a **200** partial
+        answer whose ``guarantee`` block is read from the last
+        *collected* page — never from the live cursor, whose bounds an
+        orphaned in-flight page could still tighten after the timeout,
+        which would be unsound for the smaller item set actually
+        returned. Expiring with nothing is the plain 504.
+        """
+        want = self.engine.context.default_k if k is None else k
+        if isinstance(want, bool) or not isinstance(want, int) or want < 1:
+            raise ServingError(
+                HTTPStatus.BAD_REQUEST,
+                "invalid_k",
+                f"k must be a positive integer, got {want!r}",
+            )
+        page_size = max(1, -(-want // 8))
+        cursor = self.async_engine.cursor(
+            spec.get("query", spec.get("aggregation")),
+            conjunction=spec["conjunction"],
+            page_size=page_size,
+            epsilon=epsilon,
+        )
+        loop = asyncio.get_running_loop()
+        budget_end = loop.time() + deadline_ms / 1e3
+        pages: list[TopKResult] = []
+        fetched = 0
+        timed_out = False
+        async with self.admission.admit():
+            while fetched < want:
+                budget = budget_end - loop.time()
+                if budget <= 0:
+                    timed_out = True
+                    break
+                try:
+                    page = await asyncio.wait_for(
+                        cursor.next_k(min(page_size, want - fetched)),
+                        budget,
+                    )
+                except asyncio.TimeoutError:
+                    timed_out = True
+                    break
+                pages.append(page)
+                fetched += len(page.items)
+        if timed_out and not pages:
+            raise ServingError(
+                HTTPStatus.GATEWAY_TIMEOUT,
+                "deadline_exceeded",
+                f"request exceeded its deadline of {deadline_ms} ms "
+                "before any page completed",
+                details={"deadline_ms": deadline_ms, "allow_partial": True},
+            )
+        items = [item for page in pages for item in page.items]
+        stats = pages[0].stats
+        for page in pages[1:]:
+            stats = stats + page.stats
+        last = pages[-1]
+        guarantee = (
+            last.guarantee.as_dict()
+            if last.guarantee is not None
+            else {"kind": "anytime", "epsilon": 0.0}
+        )
+        payload = {
+            "k": want,
+            "algorithm": last.algorithm,
+            "items": [
+                {"obj": item.obj, "grade": item.grade} for item in items
+            ],
+            "stats": {
+                "sorted": stats.sorted_cost,
+                "random": stats.random_cost,
+                "total": stats.sum_cost,
+            },
+            "partial": timed_out,
+            "guarantee": (
+                guarantee
+                if timed_out
+                # Every page landed: the prefix is the complete exact
+                # top-k, and the envelope says so.
+                else {"kind": "exact", "epsilon": 0.0}
+            ),
+        }
+        if timed_out:
+            payload["deadline_ms"] = deadline_ms
+            certified = last.details.get("certified")
+            if certified is not None:
+                payload["bounds"] = certified
+        return json_response(payload)
 
     async def _explain(self, request: HttpRequest) -> HttpResponse:
         query = request.query.get("query")
@@ -389,6 +536,7 @@ class ServingApp:
                 "invalid_page_size",
                 f"page_size must be a positive integer, got {page_size!r}",
             )
+        epsilon = self._epsilon_from(payload)
         # Opening is lazy (no subsystem work until the first page), so
         # no admission slot is needed — but the session *bound* is
         # enforced here, where the resource is allocated.
@@ -396,6 +544,7 @@ class ServingApp:
             spec.get("query", spec.get("aggregation")),
             conjunction=spec["conjunction"],
             page_size=page_size,
+            epsilon=epsilon,
         )
         wire_spec = {
             key: value
@@ -404,6 +553,7 @@ class ServingApp:
                 ("aggregation", spec.get("aggregation_name")),
                 ("conjunction", spec.get("conjunction")),
                 ("page_size", page_size),
+                ("epsilon", epsilon),
             )
             if value is not None
         }
@@ -451,23 +601,29 @@ class ServingApp:
             page = await self._bounded(session.cursor.next_k(k), deadline_ms)
         session.pages_served += 1
         remaining = session.cursor.remaining
-        return json_response(
-            {
-                "cursor_id": cursor_id,
-                "items": [
-                    {"obj": item.obj, "grade": item.grade}
-                    for item in page.items
-                ],
-                "stats": {
-                    "sorted": page.stats.sorted_cost,
-                    "random": page.stats.random_cost,
-                },
-                "done": remaining is not None and remaining <= 0,
-                "remaining": remaining,
-                "pages_fetched": session.cursor.pages_fetched,
-                "answers_fetched": session.cursor.answers_fetched,
-            }
-        )
+        envelope = {
+            "cursor_id": cursor_id,
+            "items": [
+                {"obj": item.obj, "grade": item.grade}
+                for item in page.items
+            ],
+            "stats": {
+                "sorted": page.stats.sorted_cost,
+                "random": page.stats.random_cost,
+            },
+            "done": remaining is not None and remaining <= 0,
+            "remaining": remaining,
+            "pages_fetched": session.cursor.pages_fetched,
+            "answers_fetched": session.cursor.answers_fetched,
+        }
+        # The anytime certificate as of *this* page: the guarantee plus
+        # the live bound state its threshold was read from.
+        if page.guarantee is not None:
+            envelope["guarantee"] = page.guarantee.as_dict()
+        certified = page.details.get("certified")
+        if certified is not None:
+            envelope["bounds"] = certified
+        return json_response(envelope)
 
     async def _cursor_describe(
         self, request: HttpRequest, cursor_id: str

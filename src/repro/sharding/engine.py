@@ -65,6 +65,7 @@ from typing import Iterable, Sequence
 from repro.access.cost import AccessStats
 from repro.algorithms.base import TopKResult, top_k_of
 from repro.core.aggregation import AggregationFunction
+from repro.core.certify import EXACT_GUARANTEE, Guarantee, QualityContract
 from repro.exceptions import InsufficientObjectsError, ShardingError
 from repro.sharding import worker as _worker
 from repro.sharding.partition import partition_columnar
@@ -300,15 +301,24 @@ class ShardedEngine:
         k: int,
         *,
         strategy: str | None = None,
+        contract: QualityContract | None = None,
     ) -> TopKResult:
-        """The exact global top-k, merged by threshold exchange.
+        """The global top-k, merged by threshold exchange.
 
         ``strategy`` names a registry strategy to force *per shard*
         (the merge is strategy-agnostic — it only needs local
         exactness); ``None`` lets each shard auto-select.
+
+        ``contract`` relaxes the *merge*, never the shards: local
+        probes stay exact, but under ε > 0 a shard is dropped from
+        re-probing as soon as its frontier θ_s < (1+ε)·τ. Every object
+        it then hides grades ≤ θ_s < (1+ε)·τ ≤ (1+ε)·g_k, which is
+        exactly the θ-approximate certificate — so ε-stopping composes
+        across shards without any shard knowing about ε. At ε = 0 the
+        comparison is the verbatim exact test (bit-identical merge).
         """
         self._require_open()
-        merge = self._start_merge(aggregation, k, strategy)
+        merge = self._start_merge(aggregation, k, strategy, contract)
         while merge.pending:
             for _tag, s, probe in self._run_round(
                 (None, request) for request in merge.requests()
@@ -322,6 +332,7 @@ class ShardedEngine:
         specs: Iterable[tuple["AggregationFunction | str", int]],
         *,
         strategy: str | None = None,
+        contract: QualityContract | None = None,
     ) -> list[TopKResult]:
         """Run a batch of ``(aggregation, k)`` queries across the pool.
 
@@ -340,10 +351,12 @@ class ShardedEngine:
         self._require_open()
         if self._processes == 0 or len(requests) == 1:
             return [
-                self.top_k(agg, k, strategy=strategy) for agg, k in requests
+                self.top_k(agg, k, strategy=strategy, contract=contract)
+                for agg, k in requests
             ]
         merges = [
-            self._start_merge(agg, k, strategy) for agg, k in requests
+            self._start_merge(agg, k, strategy, contract)
+            for agg, k in requests
         ]
         active = [i for i, merge in enumerate(merges) if merge.pending]
         while active:
@@ -357,13 +370,17 @@ class ShardedEngine:
             active = [i for i in active if merges[i].advance()]
         return [merge.finish() for merge in merges]
 
-    def _start_merge(self, aggregation, k, strategy) -> "_QueryMerge":
+    def _start_merge(
+        self, aggregation, k, strategy, contract=None
+    ) -> "_QueryMerge":
         """Validate one query and open its merge state (no probes yet)."""
         if isinstance(k, bool) or not isinstance(k, int) or k < 1:
             raise ValueError(f"k must be a positive int, got {k!r}")
         if k > self._num_objects:
             raise InsufficientObjectsError(k, self._num_objects)
-        return _QueryMerge(self, self._wire_aggregation(aggregation), k, strategy)
+        return _QueryMerge(
+            self, self._wire_aggregation(aggregation), k, strategy, contract
+        )
 
     # ------------------------------------------------------------------
     # Internals
@@ -459,6 +476,7 @@ class _QueryMerge:
         "wire",
         "k",
         "strategy",
+        "epsilon",
         "asked",
         "results",
         "stats",
@@ -466,15 +484,23 @@ class _QueryMerge:
         "reprobes",
         "rounds",
         "pending",
+        "tau",
+        "relaxed_drops",
     )
 
     def __init__(
-        self, engine: ShardedEngine, wire, k: int, strategy: str | None
+        self,
+        engine: ShardedEngine,
+        wire,
+        k: int,
+        strategy: str | None,
+        contract=None,
     ) -> None:
         self._engine = engine
         self.wire = wire
         self.k = k
         self.strategy = strategy
+        self.epsilon = 0.0 if contract is None else contract.epsilon
         self.asked = [min(k, spec.num_objects) for spec in engine._specs]
         self.results: dict[int, _worker.ProbeResult] = {}
         self.stats = AccessStats(
@@ -482,6 +508,12 @@ class _QueryMerge:
         )
         self.probes = self.reprobes = self.rounds = 0
         self.pending = list(range(engine.num_shards))
+        self.tau: float | None = None
+        #: Shards the ε-relaxed test retired that the exact test would
+        #: have re-probed. Zero means the merge ran to exact completion
+        #: and the result honestly carries the ``exact`` guarantee even
+        #: under an approximate contract.
+        self.relaxed_drops = 0
 
     def requests(self):
         """This round's probe requests: ``(shard, spec, wire, k', strategy)``."""
@@ -511,12 +543,31 @@ class _QueryMerge:
             tau = heapq.nlargest(self.k, (g for _, g in pool_items))[-1]
         else:
             tau = None
-        self.pending = [
-            s
-            for s in range(self._engine.num_shards)
-            if not self.results[s].exhausted
-            and (tau is None or self.results[s].frontier >= tau)
-        ]
+        self.tau = tau
+        # The ε-relaxed retirement bar. At ε = 0 the comparison below
+        # is the verbatim exact test (no 1.0·τ float round-trip), so
+        # the exact merge is bit-identical to the pre-contract code.
+        # Under ε > 0 a shard with θ_s < (1+ε)·τ hides only objects
+        # graded below (1+ε)·τ ≤ (1+ε)·g_k — the θ-approximate
+        # certificate — so it needs no re-probe.
+        bar = (
+            tau
+            if tau is None or self.epsilon == 0.0
+            else (1.0 + self.epsilon) * tau
+        )
+        pending = []
+        for s in range(self._engine.num_shards):
+            probe = self.results[s]
+            if probe.exhausted:
+                continue
+            if bar is None or probe.frontier >= bar:
+                pending.append(s)
+            elif probe.frontier >= tau:
+                # Retired by the slack alone: the exact merge would
+                # have deepened this shard, so the answer is certified
+                # approximate, not exact.
+                self.relaxed_drops += 1
+        self.pending = pending
         for s in self.pending:
             spec = self._engine._specs[s]
             self.asked[s] = min(spec.num_objects, max(2 * self.asked[s], self.k))
@@ -535,18 +586,30 @@ class _QueryMerge:
             engine._counters["reprobes"] += self.reprobes
             engine._counters["merge_rounds"] += self.rounds
         inner = self.results[0].algorithm if self.results else "?"
+        details = {
+            "shards": engine.num_shards,
+            "processes": engine._processes,
+            "backend": engine._backend,
+            "merge_rounds": self.rounds,
+            "probes": self.probes,
+            "reprobes": self.reprobes,
+            "per_shard_asked": tuple(self.asked),
+            "threshold_exchange": True,
+        }
+        if self.relaxed_drops:
+            guarantee = Guarantee(
+                "approximate", self.epsilon, threshold=self.tau
+            )
+            details["epsilon"] = self.epsilon
+            details["relaxed_drops"] = self.relaxed_drops
+        else:
+            # Either an exact contract, or the slack never fired: the
+            # merge ran to exact completion and says so.
+            guarantee = EXACT_GUARANTEE
         return TopKResult(
             items,
             self.stats,
             f"sharded-{inner}",
-            details={
-                "shards": engine.num_shards,
-                "processes": engine._processes,
-                "backend": engine._backend,
-                "merge_rounds": self.rounds,
-                "probes": self.probes,
-                "reprobes": self.reprobes,
-                "per_shard_asked": tuple(self.asked),
-                "threshold_exchange": True,
-            },
+            details=details,
+            guarantee=guarantee,
         )

@@ -126,6 +126,22 @@ class TestIncremental:
             [it.grade for it in truth]
         )
 
+    def test_deep_paging_stays_exact(self):
+        """Regression: a resumed sorted phase must not count an object
+        random-filled by an earlier batch as matched on its first
+        sorted delivery. That premature match stopped the phase early
+        and broke the exact-prefix guarantee — but only at N large
+        enough that pages keep extending the sorted phase."""
+        from repro.workloads.skeletons import independent_database
+
+        db = independent_database(3, 10_000, seed=42)
+        truth = db.true_top_k(MINIMUM, 80)
+        inc = IncrementalFagin(db.session(), MINIMUM)
+        combined = []
+        for _ in range(8):
+            combined.extend(inc.next_batch(10).items)
+        assert [it.grade for it in combined] == [it.grade for it in truth]
+
     def test_batches_do_not_repeat_objects(self, db2):
         inc = IncrementalFagin(db2.session(), MINIMUM)
         first = inc.next_batch(8)

@@ -1,0 +1,135 @@
+"""Anytime cursors: live bounds, page guarantees, and stop()."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.certify import CertifiedResult
+from repro.core.tnorms import MINIMUM
+from repro.engine import Engine
+from repro.exceptions import EngineConfigurationError
+from repro.workloads.skeletons import independent_database
+
+N, M = 300, 3
+
+
+@pytest.fixture()
+def db():
+    return independent_database(M, N, seed=47)
+
+
+class TestLiveBounds:
+    def test_none_before_first_page(self, db):
+        cursor = Engine.over(db).query(MINIMUM).cursor()
+        assert cursor.live_bounds() is None
+        assert cursor.guarantee is None
+
+    def test_bounds_follow_each_page(self, db):
+        cursor = Engine.over(db).query(MINIMUM).cursor()
+        page = cursor.next_k(5)
+        bounds = cursor.live_bounds()
+        assert bounds["answers_certified"] == 5
+        assert bounds["last_grade"] == page.items[-1].grade
+        assert bounds["kind"] == "anytime"
+        # The page carries the same snapshot in its details.
+        assert page.details["certified"] == bounds
+        assert page.guarantee.kind == "anytime"
+        assert page.guarantee.threshold == bounds["remaining_upper"]
+
+    def test_remaining_upper_tightens_monotonically(self, db):
+        cursor = Engine.over(db).query(MINIMUM).cursor()
+        uppers = []
+        for _ in range(6):
+            cursor.next_k(5)
+            uppers.append(cursor.live_bounds()["remaining_upper"])
+        assert uppers == sorted(uppers, reverse=True)
+        assert uppers[-1] < uppers[0]
+
+    def test_remaining_upper_is_sound(self, db):
+        """The certified cap really bounds every unreturned grade."""
+        truth = {item.obj: item.grade for item in db.true_top_k(MINIMUM, N)}
+        cursor = Engine.over(db).query(MINIMUM).cursor()
+        for _ in range(4):
+            page = cursor.next_k(7)
+            upper = page.details["certified"]["remaining_upper"]
+            returned = {item.obj for item in cursor.fetched}
+            hidden_best = max(
+                grade for obj, grade in truth.items() if obj not in returned
+            )
+            assert upper >= hidden_best - 1e-12
+
+    def test_pages_are_exact_prefix(self, db):
+        """Anytime epsilon is 0: every page extends the exact ranking."""
+        truth = db.true_top_k(MINIMUM, 20)
+        cursor = Engine.over(db).query(MINIMUM).cursor()
+        cursor.next_k(10)
+        cursor.next_k(10)
+        assert [item.grade for item in cursor.fetched] == [
+            item.grade for item in truth
+        ]
+        assert cursor.guarantee.epsilon == 0.0
+
+
+class TestStop:
+    def test_stop_returns_certified_partial(self, db):
+        cursor = Engine.over(db).query(MINIMUM).cursor()
+        cursor.next_k(5)
+        cursor.next_k(5)
+        certified = cursor.stop()
+        assert isinstance(certified, CertifiedResult)
+        assert certified.answers == 10
+        assert certified.guarantee.kind == "anytime"
+        assert certified.guarantee.threshold == pytest.approx(
+            cursor.live_bounds()["remaining_upper"]
+        )
+        for item in certified.items:
+            bounds = certified.bounds[item.obj]
+            assert bounds.exact and bounds.lower == item.grade
+
+    def test_stop_seals_the_cursor(self, db):
+        cursor = Engine.over(db).query(MINIMUM).cursor()
+        cursor.next_k(3)
+        cursor.stop()
+        assert cursor.closed
+        with pytest.raises(EngineConfigurationError):
+            cursor.next_k(3)
+
+    def test_stop_is_idempotent(self, db):
+        cursor = Engine.over(db).query(MINIMUM).cursor()
+        cursor.next_k(3)
+        first = cursor.stop()
+        second = cursor.stop()
+        assert second.answers == first.answers
+        assert second.guarantee == first.guarantee
+
+    def test_stop_before_any_page_certifies_empty_prefix(self, db):
+        cursor = Engine.over(db).query(MINIMUM).cursor()
+        certified = cursor.stop()
+        assert certified.answers == 0
+        # Nothing returned: the threshold is the trivial cap.
+        assert certified.guarantee.threshold == pytest.approx(1.0)
+
+
+class TestAsyncCursorBounds:
+    def test_async_facade_mirrors_bounds_and_stop(self, db):
+        import asyncio
+
+        from repro.engine.async_engine import AsyncEngine
+
+        async def scenario():
+            async with AsyncEngine(Engine.over(db)) as serving:
+                cursor = serving.cursor(MINIMUM, page_size=5)
+                assert cursor.live_bounds() is None
+                await cursor.next_k()
+                bounds = cursor.live_bounds()
+                assert bounds["answers_certified"] == 5
+                assert cursor.guarantee.kind == "anytime"
+                certified = await cursor.stop()
+                assert certified.answers == 5
+                # async for ends cleanly on a stopped cursor.
+                pages = [page async for page in cursor]
+                assert pages == []
+                return certified
+
+        certified = asyncio.run(scenario())
+        assert certified.guarantee.kind == "anytime"
