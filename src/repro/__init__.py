@@ -112,7 +112,7 @@ from repro.subsystems import (
     TextSubsystem,
 )
 
-__version__ = "2.7.0"
+__version__ = "2.8.0"
 
 __all__ = [
     "__version__",

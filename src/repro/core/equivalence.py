@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from repro.core.query import And, AtomicQuery, Not, Or, Query, atom
 from repro.core.semantics import FuzzySemantics

@@ -1,0 +1,89 @@
+"""``repro.devtools`` — static enforcement of the engine's contracts.
+
+PRs 5–9 built guarantees that live above the type system: replays are
+bit-identical, shared caches mutate only under their locks, every
+sorted/random access lands in the ``AccessStats`` ledger (the very
+quantity Fagin's Theorem 5.3 bounds), columnar stores stay frozen,
+and shard workers survive ``spawn``. Each was enforced by convention
+and review. This package machine-checks them: a stdlib-``ast``
+framework (``visitor``), a rule pack encoding the five contracts
+(``rules``, ids ``RPR001``–``RPR005``), inline pragma and TOML
+baseline suppression with mandatory reasons (``pragmas``,
+``config``), and a CLI (``python -m repro.devtools.check``) wired
+into CI as the ``contracts`` job.
+
+DESIGN.md "Static contracts" documents each rule, the PR that
+introduced its invariant, and how to suppress.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only re-exports
+    from repro.devtools.check import CheckResult, main, run_check
+    from repro.devtools.config import (
+        CheckConfig,
+        ConfigError,
+        RuleConfig,
+        Suppression,
+    )
+    from repro.devtools.findings import Finding
+    from repro.devtools.pragmas import Pragma, PragmaIndex
+    from repro.devtools.rules import ALL_RULES
+    from repro.devtools.visitor import ModuleInfo, Rule, parse_module
+
+#: attribute name -> defining submodule, resolved lazily (PEP 562) so
+#: `python -m repro.devtools.check` does not import the package's CLI
+#: module twice (once as `repro.devtools.check`, once as `__main__`).
+_EXPORTS = {
+    "ALL_RULES": "rules",
+    "CheckConfig": "config",
+    "CheckResult": "check",
+    "ConfigError": "config",
+    "Finding": "findings",
+    "ModuleInfo": "visitor",
+    "Pragma": "pragmas",
+    "PragmaIndex": "pragmas",
+    "Rule": "visitor",
+    "RuleConfig": "config",
+    "Suppression": "config",
+    "main": "check",
+    "parse_module": "visitor",
+    "run_check": "check",
+}
+
+
+def __getattr__(name: str) -> object:
+    submodule = _EXPORTS.get(name)
+    if submodule is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(
+        importlib.import_module(f"{__name__}.{submodule}"), name
+    )
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "ALL_RULES",
+    "CheckConfig",
+    "CheckResult",
+    "ConfigError",
+    "Finding",
+    "ModuleInfo",
+    "Pragma",
+    "PragmaIndex",
+    "Rule",
+    "RuleConfig",
+    "Suppression",
+    "main",
+    "parse_module",
+    "run_check",
+]

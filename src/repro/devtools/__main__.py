@@ -1,0 +1,10 @@
+"""``python -m repro.devtools`` — alias for ``repro.devtools.check``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.check import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,287 @@
+"""The contract checker driver and CLI.
+
+``python -m repro.devtools.check [paths…]`` walks the given files and
+directories (default ``src``), runs every scoped rule from
+:mod:`repro.devtools.rules` over each parsed module, filters the raw
+findings through inline pragmas and the TOML baseline, and reports
+what survives.
+
+Exit codes::
+
+    0  clean (possibly via reason-annotated suppressions)
+    1  findings (including stale suppressions and parse failures)
+    2  usage or configuration error
+
+``--format json`` emits a machine-readable report (the CI job uploads
+it as an artifact on failure); ``--changed-only`` restricts the walk
+to files touched in the working tree per ``git status`` — the fast
+pre-commit loop; ``--list-rules`` prints the rule pack and scopes.
+
+The meta-checks the driver itself adds:
+
+``DT001``  file cannot be read or parsed
+``DT002``  pragma without a reason (it suppressed nothing)
+``DT003``  stale waiver: an unused pragma or baseline entry
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.devtools.config import CheckConfig, ConfigError
+from repro.devtools.findings import Finding
+from repro.devtools.rules import ALL_RULES
+from repro.devtools.visitor import ModuleInfo, parse_module
+
+__all__ = ["CheckResult", "main", "run_check"]
+
+DEFAULT_CONFIG_NAME = "devtools.toml"
+
+
+class CheckResult:
+    """Findings plus enough bookkeeping to format a report."""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+        self.files_checked = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "clean": self.clean,
+            "summary": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def format_text(self) -> str:
+        lines = [f.format_text() for f in self.findings]
+        summary = ", ".join(
+            f"{rule}: {count}" for rule, count in self.counts().items()
+        )
+        if self.findings:
+            lines.append("")
+            lines.append(
+                f"{len(self.findings)} finding"
+                f"{'s' if len(self.findings) != 1 else ''} "
+                f"in {self.files_checked} files ({summary})"
+            )
+        else:
+            lines.append(f"clean: {self.files_checked} files, 0 findings")
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def _changed_files(root: Path) -> set[Path] | None:
+    """Resolved paths of files modified per git; None when git fails."""
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain", "--no-renames"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    changed: set[Path] = set()
+    for line in proc.stdout.splitlines():
+        if len(line) < 4 or line[:2] == "!!":
+            continue
+        name = line[3:].strip()
+        if name.endswith(".py"):
+            changed.add((root / name).resolve())
+    return changed
+
+
+def _relativize(path: Path, root: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+def run_check(
+    paths: list[Path],
+    config: CheckConfig,
+    root: Path | None = None,
+    changed_only: bool = False,
+) -> CheckResult:
+    """Run the rule pack; raises ConfigError for unusable inputs."""
+    root = (root or Path.cwd()).resolve()
+    for path in paths:
+        if not path.exists():
+            raise ConfigError(f"no such path: {path}")
+    files = iter_python_files(paths)
+    if changed_only:
+        changed = _changed_files(root)
+        if changed is None:
+            raise ConfigError(
+                "--changed-only needs a working `git status` in "
+                f"{root}; run without it or fix the checkout"
+            )
+        files = [f for f in files if f.resolve() in changed]
+
+    result = CheckResult()
+    modules: list[ModuleInfo] = []
+    for path in files:
+        rel = _relativize(path, root)
+        parsed = parse_module(path, rel)
+        if isinstance(parsed, Finding):
+            result.findings.append(parsed)
+            continue
+        modules.append(parsed)
+    result.files_checked = len(files)
+
+    for module in modules:
+        for rule in ALL_RULES:
+            rule_config = config.rule_config(rule.rule_id)
+            if not rule_config.applies_to(module.rel_path):
+                continue
+            for finding in rule.check(module, rule_config):
+                if module.pragmas.allows(finding.rule, finding.line):
+                    continue
+                if config.suppressed(
+                    finding.rule, finding.path, finding.symbol
+                ):
+                    continue
+                result.findings.append(finding)
+        for pragma in module.pragmas.without_reason():
+            result.findings.append(
+                Finding(
+                    "DT002", module.rel_path, pragma.line, 0,
+                    "suppression pragma without a reason — "
+                    "`# repro: allow[RPRxxx] <why>` (reasonless pragmas "
+                    "suppress nothing)",
+                )
+            )
+        for pragma in module.pragmas.unused():
+            result.findings.append(
+                Finding(
+                    "DT003", module.rel_path, pragma.line, 0,
+                    "stale pragma: suppressed nothing in this run — "
+                    "remove it or fix the rule ids "
+                    f"({', '.join(sorted(pragma.rules))})",
+                )
+            )
+    if not changed_only:
+        # A partial walk legitimately leaves baseline entries unused.
+        for entry in config.stale_suppressions():
+            result.findings.append(
+                Finding(
+                    "DT003", entry.path, 1, 0,
+                    f"stale baseline entry: {entry.rule} at "
+                    f"`{entry.symbol}` matched nothing — remove it",
+                    symbol=entry.symbol,
+                )
+            )
+    result.findings.sort(key=Finding.sort_key)
+    return result
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.check",
+        description="AST contract checker for the repo's invariants "
+        "(determinism, lock discipline, ledger accounting, spawn "
+        "safety, store immutability).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--config", default=None, metavar="TOML",
+        help=f"config/baseline file (default: ./{DEFAULT_CONFIG_NAME} "
+        "when present)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore any config file; run the built-in defaults",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="only check files modified per `git status` — the fast "
+        "pre-commit loop (skips stale-baseline detection)",
+    )
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repo root for relative paths (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule pack and default scopes, then exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scope = ", ".join(rule.default_paths) or "(everywhere)"
+            print(f"{rule.rule_id}  {rule.summary}")
+            print(f"        scope: {scope}")
+        return 0
+    root = Path(args.root) if args.root else Path.cwd()
+    config_path: Path | None = None
+    if not args.no_config:
+        if args.config is not None:
+            config_path = Path(args.config)
+        elif (root / DEFAULT_CONFIG_NAME).is_file():
+            config_path = root / DEFAULT_CONFIG_NAME
+    try:
+        config = CheckConfig.load(config_path)
+        result = run_check(
+            [Path(p) for p in args.paths],
+            config,
+            root=root,
+            changed_only=args.changed_only,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.format_text())
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

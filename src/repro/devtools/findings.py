@@ -1,0 +1,52 @@
+"""Finding records — what a contract rule reports.
+
+A :class:`Finding` is one violation of one rule at one source
+location. Findings are plain frozen data so the CLI can sort, format
+(text or JSON), diff against suppressions, and count them without any
+rule knowing how it will be rendered.
+
+``symbol`` is the dotted qualname of the enclosing function or class
+(``PlanCache.lookup``, ``<module>`` at top level). Suppressions match
+on ``(rule, path, symbol)`` rather than line numbers so a baseline
+entry survives unrelated edits that shift lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "MODULE_SYMBOL"]
+
+#: The ``symbol`` used for findings outside any function or class.
+MODULE_SYMBOL = "<module>"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = MODULE_SYMBOL
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def format_text(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.symbol}] {self.message}"
+        )

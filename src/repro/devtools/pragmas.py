@@ -1,0 +1,105 @@
+"""Inline suppression pragmas.
+
+A finding can be waived at its call site with a comment::
+
+    self._total += 1  # repro: allow[RPR002] counter is telemetry-only
+
+The pragma covers the line it sits on and, when written as a
+standalone comment, the line directly below it. Several rule ids may
+share one pragma (``allow[RPR001,RPR005]``).
+
+Two honesty requirements are enforced by the checker itself:
+
+* a pragma **must** carry a reason — a bare ``allow[RPR002]`` does not
+  suppress anything and is itself reported (``DT002``), and
+* a pragma that suppressed nothing in the run is reported as stale
+  (``DT003``) so dead waivers cannot accumulate.
+
+Comments are found with :mod:`tokenize`, not a regex over raw lines,
+so pragma-shaped text inside string literals is never misread.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Pragma", "PragmaIndex"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9_,\s]+)\]\s*(?P<reason>.*)"
+)
+
+
+@dataclass(slots=True)
+class Pragma:
+    """One ``# repro: allow[...]`` comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+    #: True when the comment is the whole line (covers the next line too).
+    standalone: bool
+    used: bool = field(default=False)
+
+    def covers(self, line: int) -> bool:
+        if line == self.line:
+            return True
+        return self.standalone and line == self.line + 1
+
+
+class PragmaIndex:
+    """All pragmas of one module, with use tracking."""
+
+    def __init__(self, pragmas: list[Pragma]) -> None:
+        self._pragmas = pragmas
+
+    @classmethod
+    def from_source(cls, source: str) -> "PragmaIndex":
+        pragmas: list[Pragma] = []
+        reader = io.StringIO(source).readline
+        try:
+            tokens = list(tokenize.generate_tokens(reader))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            # The AST parse reports the real error; no pragmas here.
+            return cls([])
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.match(tok.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            )
+            if not rules:
+                continue
+            pragmas.append(
+                Pragma(
+                    line=tok.start[0],
+                    rules=rules,
+                    reason=match.group("reason").strip(),
+                    standalone=tok.line.lstrip().startswith("#"),
+                )
+            )
+        return cls(pragmas)
+
+    def allows(self, rule: str, line: int) -> bool:
+        """True when a reason-carrying pragma waives ``rule`` at ``line``."""
+        for pragma in self._pragmas:
+            if rule in pragma.rules and pragma.covers(line):
+                if not pragma.reason:
+                    continue  # reasonless pragmas never suppress
+                pragma.used = True
+                return True
+        return False
+
+    def without_reason(self) -> list[Pragma]:
+        return [p for p in self._pragmas if not p.reason]
+
+    def unused(self) -> list[Pragma]:
+        return [p for p in self._pragmas if p.reason and not p.used]

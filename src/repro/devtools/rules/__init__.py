@@ -1,0 +1,34 @@
+"""The shipped rule pack.
+
+One module per rule; each encodes one invariant a previous PR
+introduced by convention (see DESIGN.md "Static contracts" for the
+rule-by-rule history). ``ALL_RULES`` is the registry the driver and
+the config defaults iterate — adding a rule means adding a module and
+one entry here.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.rules.determinism import DeterminismRule
+from repro.devtools.rules.immutability import StoreImmutabilityRule
+from repro.devtools.rules.ledger import LedgerAccountingRule
+from repro.devtools.rules.locks import LockDisciplineRule
+from repro.devtools.rules.spawn import SpawnSafetyRule
+from repro.devtools.visitor import Rule
+
+__all__ = [
+    "ALL_RULES",
+    "DeterminismRule",
+    "LedgerAccountingRule",
+    "LockDisciplineRule",
+    "SpawnSafetyRule",
+    "StoreImmutabilityRule",
+]
+
+ALL_RULES: tuple[Rule, ...] = (
+    DeterminismRule(),
+    LockDisciplineRule(),
+    LedgerAccountingRule(),
+    SpawnSafetyRule(),
+    StoreImmutabilityRule(),
+)

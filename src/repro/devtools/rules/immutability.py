@@ -1,0 +1,148 @@
+"""RPR005 — store immutability: frozen columns stay frozen.
+
+PR 5 made :class:`ColumnarScoringDatabase` an enforced shared
+read-only object: numpy columns and rank orders are marked
+non-writeable at mint time, so any thread can read them without a
+lock. That whole concurrency story rests on nobody flipping the
+write flag back on or scribbling into the arrays — numpy will happily
+oblige, and the corruption surfaces queries later as silently wrong
+grades.
+
+Outside the columnar mint paths (``access/columnar.py`` is excluded —
+it owns the freeze), this rule flags:
+
+* ``arr.setflags(write=True)`` and ``arr.flags.writeable = True`` —
+  un-freezing somebody else's array (``write=False`` is always fine);
+* element stores, augmented stores, and in-place mutators (``fill``,
+  ``put``, ``sort``, ``partition``, ``resize``) reaching through an
+  attribute named in ``protected-attrs`` (default: ``_columns``,
+  ``_orders`` — the store's frozen state).
+
+A legitimate new mint path builds fresh arrays and freezes them
+*before* publishing; it never needs to thaw a live store's columns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.config import RuleConfig
+from repro.devtools.findings import Finding
+from repro.devtools.visitor import ModuleInfo, Rule, iter_with_symbol
+
+__all__ = ["StoreImmutabilityRule"]
+
+_INPLACE_MUTATORS = {"fill", "put", "sort", "partition", "resize", "itemset"}
+
+
+def _is_truthy_const(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and bool(node.value)
+
+
+def _chain_touches(node: ast.AST, protected: frozenset[str]) -> bool:
+    """Does this attribute/subscript chain pass through a protected attr?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in protected:
+            return True
+    return False
+
+
+class StoreImmutabilityRule(Rule):
+    rule_id = "RPR005"
+    summary = (
+        "frozen columnar arrays must not be thawed or mutated outside "
+        "the store's mint paths"
+    )
+    default_paths = ("repro/",)
+    default_exclude = ("repro/access/columnar.py",)
+    default_options = {"protected_attrs": ["_columns", "_orders"]}
+
+    def check(
+        self, module: ModuleInfo, config: RuleConfig
+    ) -> Iterator[Finding]:
+        protected = frozenset(
+            str(name)
+            for name in config.options.get(
+                "protected_attrs", ["_columns", "_orders"]
+            )
+        )
+        for node, symbol, _classes in iter_with_symbol(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, protected, symbol)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_store(
+                        module, target, node.value, protected, symbol
+                    )
+            elif isinstance(node, ast.AugAssign):
+                yield from self._check_store(
+                    module, node.target, None, protected, symbol
+                )
+
+    def _check_call(
+        self,
+        module: ModuleInfo,
+        node: ast.Call,
+        protected: frozenset[str],
+        symbol: str,
+    ) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr == "setflags":
+            for kw in node.keywords:
+                if kw.arg == "write" and _is_truthy_const(kw.value):
+                    yield self.finding(
+                        module, node,
+                        "`setflags(write=True)` thaws a frozen array — "
+                        "mint a fresh array instead of un-freezing a "
+                        "shared one",
+                        symbol,
+                    )
+            return
+        if func.attr in _INPLACE_MUTATORS and _chain_touches(
+            func.value, protected
+        ):
+            yield self.finding(
+                module, node,
+                f"in-place `{func.attr}(…)` on a protected column "
+                "attribute — frozen store state must not be mutated",
+                symbol,
+            )
+
+    def _check_store(
+        self,
+        module: ModuleInfo,
+        target: ast.AST,
+        value: ast.AST | None,
+        protected: frozenset[str],
+        symbol: str,
+    ) -> Iterator[Finding]:
+        # arr.flags.writeable = True (thawing; `= False` freezes and is fine)
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "writeable"
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr == "flags"
+        ):
+            if value is None or not isinstance(value, ast.Constant) or (
+                bool(value.value)
+            ):
+                yield self.finding(
+                    module, target,
+                    "`.flags.writeable` set to a non-False value outside "
+                    "the store's mint path — thawing a shared frozen "
+                    "array is never allowed",
+                    symbol,
+                )
+            return
+        if isinstance(target, ast.Subscript) and _chain_touches(
+            target.value, protected
+        ):
+            yield self.finding(
+                module, target,
+                "element store into a protected column attribute — "
+                "frozen store state must not be mutated",
+                symbol,
+            )

@@ -1,0 +1,214 @@
+"""RPR002 — lock discipline: guarded state stays guarded.
+
+PR 5's concurrency model (DESIGN.md): shared mutable state lives
+behind an owning lock, and every *write* happens inside ``with
+self._lock:``. The subtle regression this rule exists for is the
+attribute that is guarded in nine methods and silently bare in the
+tenth — exactly the kind of miss a review skims past.
+
+For every class that mints a lock (``self.X = threading.Lock()`` /
+``RLock()`` in any method), the rule partitions its plain attribute
+assignments (``self.attr = …`` / ``self.attr += …``) into
+lock-guarded and unguarded sites. An attribute with sites in *both*
+partitions gets a finding at each unguarded site.
+
+Deliberately out of scope (precision over recall):
+
+* ``__init__``/``__new__`` — construction happens-before sharing;
+* methods named ``*_locked`` — the documented caller-holds-the-lock
+  convention;
+* container mutation through an attribute (``self._cache[k] = v``) —
+  guarded-call-chain analysis would need flow information; the plain
+  rebinding case is the one that corrupts snapshots in practice.
+
+A read path that is intentionally lock-free (e.g. a monotonic counter
+peeked for telemetry) is waived with an inline
+``# repro: allow[RPR002] reason`` at the assignment site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.config import RuleConfig
+from repro.devtools.findings import Finding
+from repro.devtools.visitor import ModuleInfo, Rule, dotted_name
+
+__all__ = ["LockDisciplineRule"]
+
+_EXEMPT_METHODS = {"__init__", "__new__"}
+_LOCK_FACTORIES = {"threading.Lock", "threading.RLock"}
+
+
+def _first_param(method: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    """The receiver parameter name, or None for static/classmethods.
+
+    A classmethod's ``cls`` is not an instance receiver: attribute
+    stores on locals (even one *named* ``self``) inside it are
+    unpublished construction state, which this rule must not flag.
+    """
+    for deco in method.decorator_list:
+        name = dotted_name(deco)
+        if name in ("staticmethod", "classmethod"):
+            return None
+    args = method.args
+    if args.posonlyargs:
+        return args.posonlyargs[0].arg
+    if args.args:
+        return args.args[0].arg
+    return None
+
+
+def _is_lock_mint(module: ModuleInfo, value: ast.AST) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    target = module.resolve_call(value.func)
+    if target in _LOCK_FACTORIES:
+        return True
+    # Unresolved bare names Lock()/RLock() imported via star imports.
+    name = dotted_name(value.func)
+    return name in ("Lock", "RLock")
+
+
+def _self_attr(node: ast.AST, self_name: str = "self") -> str | None:
+    """``attr`` when the node is exactly ``<self_name>.attr``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    ):
+        return node.attr
+    return None
+
+
+class _AssignmentCollector(ast.NodeVisitor):
+    """Walk one method, tracking whether we're under ``with self.<lock>``.
+
+    ``self_name`` is the method's *actual* first parameter — in a
+    classmethod a variable named ``self`` is a plain local (e.g. an
+    alternate constructor minting an unpublished instance), and its
+    attributes are construction state, not shared state.
+    """
+
+    def __init__(self, lock_attrs: frozenset[str], self_name: str) -> None:
+        self.lock_attrs = lock_attrs
+        self.self_name = self_name
+        self.depth = 0
+        #: (attr name, node, guarded) triples.
+        self.sites: list[tuple[str, ast.AST, bool]] = []
+
+    def _guards(self, item: ast.withitem) -> bool:
+        attr = _self_attr(item.context_expr, self.self_name)
+        return attr is not None and attr in self.lock_attrs
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        guarded = any(self._guards(item) for item in node.items)
+        for item in node.items:
+            self.visit(item)
+        if guarded:
+            self.depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if guarded:
+            self.depth -= 1
+
+    def _record(self, target: ast.AST) -> None:
+        attr = _self_attr(target, self.self_name)
+        if attr is not None and attr not in self.lock_attrs:
+            self.sites.append((attr, target, self.depth > 0))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Only plain `self.attr = …` rebinds (incl. tuple unpacking);
+        # container mutation through an attribute is documented out of
+        # scope — see the module docstring.
+        stack = list(node.targets)
+        while stack:
+            target = stack.pop()
+            if isinstance(target, (ast.Tuple, ast.List)):
+                stack.extend(target.elts)
+            elif isinstance(target, ast.Starred):
+                stack.append(target.value)
+            else:
+                self._record(target)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node.target)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record(node.target)
+            self.visit(node.value)
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "RPR002"
+    summary = (
+        "attributes of a lock-owning class must not be assigned both "
+        "inside and outside `with self._lock:`"
+    )
+    default_paths = ("repro/",)
+
+    def check(
+        self, module: ModuleInfo, config: RuleConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods = [
+            child
+            for child in cls.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        lock_attrs = set()
+        for method in methods:
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign) and _is_lock_mint(
+                    module, node.value
+                ):
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            lock_attrs.add(attr)
+        if not lock_attrs:
+            return
+        guarded_attrs: set[str] = set()
+        unguarded: list[tuple[str, ast.AST, str]] = []
+        for method in methods:
+            if method.name in _EXEMPT_METHODS or method.name.endswith(
+                "_locked"
+            ):
+                continue
+            self_name = _first_param(method)
+            if self_name is None:
+                continue  # static/zero-arg: no instance to guard
+            collector = _AssignmentCollector(frozenset(lock_attrs), self_name)
+            for stmt in method.body:
+                collector.visit(stmt)
+            symbol = f"{cls.name}.{method.name}"
+            for attr, node, is_guarded in collector.sites:
+                if is_guarded:
+                    guarded_attrs.add(attr)
+                else:
+                    unguarded.append((attr, node, symbol))
+        for attr, node, symbol in unguarded:
+            if attr in guarded_attrs:
+                yield self.finding(
+                    module, node,
+                    f"`self.{attr}` is assigned under `with self.<lock>:` "
+                    "elsewhere in this class but bare here — guard it or "
+                    "waive with a reason",
+                    symbol,
+                )

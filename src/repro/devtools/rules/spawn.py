@@ -1,0 +1,131 @@
+"""RPR004 — spawn safety: pool tasks must be module-level callables.
+
+PR 7's sharding design runs workers under the ``spawn`` start method
+(the fork-safety caveat in DESIGN.md "Sharded execution"): every task
+submitted to a process pool is pickled in the coordinator and
+unpickled in a worker that re-imports the module. Lambdas and nested
+functions don't pickle at all; bound methods drag their whole instance
+through the pipe (or fail on unpicklable state like pool handles).
+The repo's convention is module-level probe functions in
+``sharding/worker.py`` — this rule keeps it that way.
+
+Within its scope (``sharding/`` by default), calls to pool dispatch
+methods (``submit``/``map``/``apply_async``/…) are checked for a
+first argument that is
+
+* a ``lambda``,
+* a function *defined inside the enclosing function* (closures don't
+  survive pickling), or
+* a bound method rooted at ``self``/``cls``,
+
+unwrapping ``functools.partial(…)`` to judge the real callable.
+Module-level functions — bare names or attributes on imported modules
+(``_worker.run_probe_batch``) — pass.
+
+Thread pools have no pickling constraint; if a scoped module mixes
+executors, waive the thread-pool sites with
+``# repro: allow[RPR004] thread pool — no pickling``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.config import RuleConfig
+from repro.devtools.findings import Finding
+from repro.devtools.visitor import (
+    ModuleInfo,
+    Rule,
+    dotted_name,
+    iter_with_symbol,
+    root_name,
+)
+
+__all__ = ["SpawnSafetyRule"]
+
+_SUBMIT_METHODS = {
+    "submit", "map", "map_async", "apply", "apply_async",
+    "starmap", "starmap_async", "imap", "imap_unordered",
+}
+
+
+def _nested_function_names(tree: ast.Module) -> dict[tuple[int, int], set[str]]:
+    """Names of functions defined *inside* each function's span."""
+    spans: dict[tuple[int, int], set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        nested: set[str] = set()
+        for sub in ast.walk(node):
+            if sub is node:
+                continue
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(sub.name)
+        if nested:
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+            spans[(node.lineno, end)] = nested
+    return spans
+
+
+class SpawnSafetyRule(Rule):
+    rule_id = "RPR004"
+    summary = (
+        "callables submitted to process pools must be module-level "
+        "(spawn workers unpickle them from a fresh import)"
+    )
+    default_paths = ("repro/sharding/",)
+
+    def check(
+        self, module: ModuleInfo, config: RuleConfig
+    ) -> Iterator[Finding]:
+        nested_spans = _nested_function_names(module.tree)
+        for node, symbol, _classes in iter_with_symbol(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _SUBMIT_METHODS:
+                continue
+            if not node.args:
+                continue
+            task = self._unwrap_partial(module, node.args[0])
+            message = self._classify(module, task, node.lineno, nested_spans)
+            if message is not None:
+                yield self.finding(
+                    module, task,
+                    f"`{func.attr}(…)` given {message} — spawn workers "
+                    "unpickle tasks from a fresh module import; use a "
+                    "module-level function",
+                    symbol,
+                )
+
+    def _unwrap_partial(self, module: ModuleInfo, node: ast.AST) -> ast.AST:
+        if isinstance(node, ast.Call):
+            target = module.resolve_call(node.func)
+            name = dotted_name(node.func)
+            if target == "functools.partial" or name == "partial":
+                if node.args:
+                    return self._unwrap_partial(module, node.args[0])
+        return node
+
+    def _classify(
+        self,
+        module: ModuleInfo,
+        task: ast.AST,
+        line: int,
+        nested_spans: dict[tuple[int, int], set[str]],
+    ) -> str | None:
+        if isinstance(task, ast.Lambda):
+            return "a lambda"
+        if isinstance(task, ast.Name):
+            for (start, end), names in nested_spans.items():
+                if start <= line <= end and task.id in names:
+                    return f"the locally defined function `{task.id}`"
+            return None
+        if isinstance(task, ast.Attribute):
+            root = root_name(task)
+            if root in ("self", "cls"):
+                return f"the bound method `{dotted_name(task)}`"
+        return None

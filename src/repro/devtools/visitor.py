@@ -1,0 +1,215 @@
+"""The visitor core: parsed modules, symbol tracking, AST helpers.
+
+Rules never touch the filesystem or :mod:`ast` parsing directly. The
+driver parses each file once into a :class:`ModuleInfo` — source, AST,
+import tables, pragma index — and every rule walks that. The helpers
+here answer the questions all five shipped rules keep asking:
+
+* what dotted name does this expression spell (``dotted_name``), and
+  what module does it resolve to through the file's imports
+  (``ModuleInfo.resolve_call``)?
+* which function/class am I inside (``iter_with_symbol`` yields
+  ``(node, qualname, class_stack)`` triples)?
+* what name sits at the root of this attribute/subscript chain
+  (``root_name``)?
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.devtools.config import RuleConfig
+from repro.devtools.findings import MODULE_SYMBOL, Finding
+from repro.devtools.pragmas import PragmaIndex
+
+__all__ = [
+    "ModuleInfo",
+    "Rule",
+    "dotted_name",
+    "iter_with_symbol",
+    "parse_module",
+    "root_name",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def root_name(node: ast.AST) -> str | None:
+    """The Name at the bottom of an attribute/subscript/call chain."""
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            break
+    return node.id if isinstance(node, ast.Name) else None
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """One parsed file plus the lookup tables rules share."""
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    #: local alias -> module dotted path (``import numpy as np``).
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: local name -> (module, original name) (``from time import …``).
+    from_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+    pragmas: PragmaIndex = field(default_factory=lambda: PragmaIndex([]))
+
+    def resolve_call(self, func: ast.AST) -> str | None:
+        """Canonical dotted target of a call through this file's imports.
+
+        ``perf_counter()`` after ``from time import perf_counter``
+        resolves to ``time.perf_counter``; ``np.random.rand()`` after
+        ``import numpy as np`` to ``numpy.random.rand``. Returns None
+        for receivers that are not import-rooted name chains.
+        """
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.module_aliases:
+            base = self.module_aliases[head]
+            return f"{base}.{rest}" if rest else base
+        if head in self.from_imports:
+            module, original = self.from_imports[head]
+            resolved = f"{module}.{original}" if module else original
+            return f"{resolved}.{rest}" if rest else resolved
+        return None
+
+    def is_module_alias(self, name: str) -> bool:
+        return name in self.module_aliases
+
+
+def _collect_imports(info: ModuleInfo) -> None:
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else alias.name.partition(".")[0]
+                info.module_aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.from_imports[local] = (module, alias.name)
+
+
+def parse_module(path: Path, rel_path: str) -> ModuleInfo | Finding:
+    """Parse one file; a DT001 finding when it cannot be parsed."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return Finding("DT001", rel_path, 1, 0, f"cannot read file: {exc}")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            "DT001", rel_path, exc.lineno or 1, exc.offset or 0,
+            f"cannot parse file: {exc.msg}",
+        )
+    info = ModuleInfo(
+        path=path,
+        rel_path=rel_path,
+        source=source,
+        tree=tree,
+        pragmas=PragmaIndex.from_source(source),
+    )
+    _collect_imports(info)
+    return info
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def iter_with_symbol(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, str, tuple[ast.ClassDef, ...]]]:
+    """Yield ``(node, enclosing symbol, enclosing class stack)``.
+
+    The symbol is the qualname of the innermost function/class the
+    node sits in (the def/class line itself belongs to the *enclosing*
+    scope, matching how humans point at code).
+    """
+
+    def rec(
+        node: ast.AST, symbol: str, classes: tuple[ast.ClassDef, ...]
+    ) -> Iterator[tuple[ast.AST, str, tuple[ast.ClassDef, ...]]]:
+        for child in ast.iter_child_nodes(node):
+            yield child, symbol, classes
+            if isinstance(child, _SCOPE_NODES):
+                child_symbol = (
+                    child.name
+                    if symbol == MODULE_SYMBOL
+                    else f"{symbol}.{child.name}"
+                )
+                child_classes = (
+                    classes + (child,)
+                    if isinstance(child, ast.ClassDef)
+                    else classes
+                )
+                yield from rec(child, child_symbol, child_classes)
+            else:
+                yield from rec(child, symbol, classes)
+
+    yield tree, MODULE_SYMBOL, ()
+    yield from rec(tree, MODULE_SYMBOL, ())
+
+
+class Rule:
+    """Base class for contract rules.
+
+    Subclasses set the identity/scoping class attributes and implement
+    :meth:`check`. Registration happens in ``rules/__init__.py`` —
+    importing a rule module has no side effects.
+    """
+
+    rule_id: str = ""
+    #: One-line statement of the invariant (shown in ``--list-rules``).
+    summary: str = ""
+    #: Default path scopes (empty = the whole checked tree).
+    default_paths: tuple[str, ...] = ()
+    default_exclude: tuple[str, ...] = ()
+    default_options: dict[str, object] = {}
+
+    def check(
+        self, module: ModuleInfo, config: RuleConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        symbol: str = MODULE_SYMBOL,
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=symbol,
+        )

@@ -45,10 +45,10 @@ from __future__ import annotations
 import math
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace as _dc_replace
+from dataclasses import dataclass, replace as _dc_replace
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
-from repro.access.cost import AccessStats, CostModel, UNWEIGHTED
+from repro.access.cost import AccessStats, CostModel
 from repro.core.query import And, AtomicQuery, Ft, Not, Or, Query, Weighted
 from repro.engine.registry import (
     estimate_access_costs,
@@ -620,7 +620,7 @@ class PlanCache:
         with self._lock:
             return len(self._entries)
 
-    def _check_fingerprint(self, fingerprint: tuple) -> None:
+    def _check_fingerprint_locked(self, fingerprint: tuple) -> None:
         # Called under self._lock.
         if self._fingerprint != fingerprint:
             if self._fingerprint is not None and self._entries:
@@ -636,7 +636,7 @@ class PlanCache:
         Returns ``(entry, hit)``.
         """
         with self._lock:
-            self._check_fingerprint(shape.fingerprint)
+            self._check_fingerprint_locked(shape.fingerprint)
             entry = self._entries.get(shape)
             if entry is not None:
                 self._entries.move_to_end(shape)
@@ -647,7 +647,7 @@ class PlanCache:
             with self._lock:
                 # Re-check: another thread may have built while we
                 # waited, or the fingerprint may have moved again.
-                self._check_fingerprint(shape.fingerprint)
+                self._check_fingerprint_locked(shape.fingerprint)
                 entry = self._entries.get(shape)
                 if entry is not None:
                     self._entries.move_to_end(shape)
@@ -655,7 +655,7 @@ class PlanCache:
                     return entry, True
             entry = build()
             with self._lock:
-                self._check_fingerprint(shape.fingerprint)
+                self._check_fingerprint_locked(shape.fingerprint)
                 self.misses += 1
                 self._entries[shape] = entry
                 self._entries.move_to_end(shape)

@@ -36,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.access.cost import CostModel
-from repro.core.query import And, AtomicQuery, Not, Or, Query, Weighted
+from repro.core.query import And, AtomicQuery, Not, Or, Query
 from repro.core.semantics import STANDARD_FUZZY, FuzzySemantics
 from repro.core.tconorms import MaximumTConorm
 from repro.core.tnorms import MinimumTNorm

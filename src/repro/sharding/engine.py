@@ -60,7 +60,7 @@ from __future__ import annotations
 import heapq
 import threading
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.access.cost import AccessStats
 from repro.algorithms.base import TopKResult, top_k_of

@@ -16,7 +16,7 @@ under that model, with grades drawn from pluggable distributions
 from __future__ import annotations
 
 import random
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.access.scoring_database import ScoringDatabase, Skeleton
 from repro.workloads.distributions import GradeDistribution, Uniform

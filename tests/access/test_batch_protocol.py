@@ -17,7 +17,6 @@ from repro.access.source import (
     rank_items,
     tie_break_key,
 )
-from repro.access.types import GradedItem
 from repro.exceptions import SubsystemCapabilityError, UnknownObjectError
 
 GRADES = {"a": 0.9, "b": 0.7, "c": 0.5, "d": 0.3, "e": 0.1}

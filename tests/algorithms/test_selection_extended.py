@@ -1,6 +1,5 @@
 """Tests for random-access-aware and cost-model-aware selection."""
 
-import pytest
 
 from repro.access.cost import CostModel
 from repro.algorithms.disjunction import DisjunctionB0

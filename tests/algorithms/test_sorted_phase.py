@@ -1,6 +1,5 @@
 """Focused tests for A0's sorted-phase machinery, incl. resumption."""
 
-import pytest
 
 from repro.algorithms.fa import SortedPhaseState, run_sorted_phase
 from repro.workloads.skeletons import independent_database

@@ -7,7 +7,6 @@ monotone. A checker that can't reproduce those classifications would
 silently invalidate the rest of the suite.
 """
 
-import pytest
 
 from repro.core.means import ARITHMETIC_MEAN, MEDIAN
 from repro.core.properties import (

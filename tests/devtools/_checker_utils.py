@@ -1,0 +1,24 @@
+"""Helpers shared by the contract-checker test modules.
+
+Not a conftest: test modules import this by name (pytest prepends the
+test directory to ``sys.path`` for non-package test dirs), so the name
+is chosen to be collision-proof across the suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.config import CheckConfig
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def open_config() -> CheckConfig:
+    """Every rule everywhere — fixtures live outside the repro/ scopes."""
+    config = CheckConfig()
+    for rule_config in config.rules.values():
+        rule_config.paths = ()
+        rule_config.exclude = ()
+    return config

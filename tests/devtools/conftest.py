@@ -1,0 +1,19 @@
+"""Shared fixtures for the contract-checker suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from _checker_utils import FIXTURES, REPO_ROOT
+
+
+@pytest.fixture
+def fixtures() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return REPO_ROOT

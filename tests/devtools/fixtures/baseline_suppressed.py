@@ -1,0 +1,16 @@
+"""A real RPR002 hit carried as a baseline entry in baseline.toml."""
+
+import threading
+
+
+class Gauge:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def set(self, value):
+        with self._lock:
+            self.value = value
+
+    def reset(self):
+        self.value = 0  # suppressed by (rule, path, symbol) in the TOML

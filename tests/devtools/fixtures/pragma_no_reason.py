@@ -1,0 +1,8 @@
+"""A reasonless pragma: suppresses nothing and is itself flagged."""
+
+import time
+
+
+def stamp(payload):
+    payload["at"] = time.time()  # repro: allow[RPR001]
+    return payload

@@ -1,0 +1,6 @@
+"""A pragma left behind after the violation it waived was removed."""
+
+
+def add(a, b):
+    # repro: allow[RPR001] leftover waiver from a removed clock read
+    return a + b

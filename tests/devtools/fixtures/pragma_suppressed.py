@@ -1,0 +1,9 @@
+"""A real RPR001 hit waived by a reason-carrying inline pragma."""
+
+import time
+
+
+def stamp(payload):
+    # repro: allow[RPR001] telemetry timestamp, never a decision input
+    payload["at"] = time.time()
+    return payload

@@ -1,0 +1,19 @@
+"""Seeded RPR001 violations: entropy and wall-clock in replay scope.
+
+Every statement here is valid Python that ruff's gates accept — the
+nondeterminism is semantic, which is exactly why the contract checker
+exists.
+"""
+
+import random
+import time
+
+
+def decide(options):
+    started = time.monotonic()  # wall-clock read
+    pick = random.choice(options)  # process-global random state
+    rng = random.Random()  # unseeded Random draws OS entropy
+    total = 0.0
+    for _item in {pick, started}:  # set iteration is hash-ordered
+        total += rng.random()
+    return pick, total

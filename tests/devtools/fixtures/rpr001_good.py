@@ -1,0 +1,11 @@
+"""RPR001 true negatives: deterministic by construction."""
+
+import random
+
+
+def decide(options, seed):
+    rng = random.Random(seed)  # seeded: replayable
+    total = 0.0
+    for item in sorted(set(options)):  # sorted() fixes the order
+        total += rng.random() * item  # instance methods are fine
+    return total

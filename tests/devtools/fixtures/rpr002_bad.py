@@ -1,0 +1,16 @@
+"""Seeded RPR002 violation: guarded attribute assigned bare."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self.total += n
+
+    def reset(self):
+        self.total = 0  # bare write to an attribute guarded elsewhere

@@ -1,0 +1,32 @@
+"""RPR002 true negatives: every shared write is guarded.
+
+Also regression cover for the rule's precision carve-outs: alternate
+constructors assigning through a *local* named ``self`` (classmethod),
+and the ``*_locked`` caller-holds-the-lock naming convention.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    @classmethod
+    def from_snapshot(cls, data):
+        self = cls.__new__(cls)  # unpublished instance: bare is fine
+        self._lock = threading.Lock()
+        self.total = int(data["total"])
+        return self
+
+    def add(self, n):
+        with self._lock:
+            self._bump_locked(n)
+
+    def _bump_locked(self, n):
+        self.total += n  # caller holds the lock, per the suffix
+
+    def reset(self):
+        with self._lock:
+            self.total = 0

@@ -1,0 +1,22 @@
+"""Seeded RPR003 violations: accesses that dodge the session ledger."""
+
+from repro.access.source import MaterializedSource
+
+
+def peek_best(graded):
+    source = MaterializedSource(graded)  # raw mint: nothing charges it
+    return source.next_sorted()
+
+
+def probe(graded, obj):
+    return MaterializedSource(graded).random_access(obj)
+
+
+class CheatingAlgorithm:
+    """Not a source wrapper — stores a source and probes it off-ledger."""
+
+    def __init__(self, source):
+        self._source = source
+
+    def run(self):
+        return self._source.next_sorted()

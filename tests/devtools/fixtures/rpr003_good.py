@@ -1,0 +1,22 @@
+"""RPR003 true negatives: the sanctioned access paths."""
+
+from repro.access.source import SortedRandomSource
+
+
+class ForwardingSource(SortedRandomSource):
+    """A wrapper IS the access layer — delegation is its job."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def next_sorted(self):
+        return self._inner.next_sorted()
+
+
+def top_of_each(session):
+    # Session sources are instrumented; parameters are trusted.
+    return [source.next_sorted() for source in session.sources]
+
+
+def bulk_probe(sources, j, objs):
+    return sources[j].random_access_many(objs)

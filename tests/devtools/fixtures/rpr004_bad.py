@@ -1,0 +1,25 @@
+"""Seeded RPR004 violations: unpicklable callables sent to a pool."""
+
+from concurrent.futures.process import ProcessPoolExecutor
+
+
+def run_all(shards):
+    pool = ProcessPoolExecutor(1)
+    futures = [pool.submit(lambda s=s: s.total()) for s in shards]
+
+    def local_probe(shard):
+        return shard.total()
+
+    futures.append(pool.submit(local_probe, shards[0]))
+    return futures
+
+
+class Coordinator:
+    def __init__(self):
+        self._pool = ProcessPoolExecutor(1)
+
+    def go(self, shard):
+        return self._pool.submit(self._probe, shard)
+
+    def _probe(self, shard):
+        return shard.total()

@@ -1,0 +1,18 @@
+"""RPR004 true negatives: module-level callables pickle cleanly."""
+
+import functools
+from concurrent.futures.process import ProcessPoolExecutor
+
+from repro.sharding import worker as _worker
+
+
+def probe(shard):
+    return shard.total()
+
+
+def run(shards):
+    pool = ProcessPoolExecutor(1)
+    futures = [pool.submit(probe, shard) for shard in shards]
+    futures.append(pool.submit(_worker.run_probe, shards[0]))
+    futures.append(pool.submit(functools.partial(probe, shards[0])))
+    return futures

@@ -1,0 +1,10 @@
+"""Seeded RPR005 violations: thawing and scribbling on frozen columns."""
+
+
+def thaw_and_patch(store, grades):
+    column = store._columns[0]
+    column.setflags(write=True)  # thaw via setflags
+    column.flags.writeable = True  # thaw via the flags attribute
+    store._columns[0][:] = grades  # element store into a column
+    store._orders[1].sort()  # in-place mutator on a rank order
+    return column

@@ -1,0 +1,14 @@
+"""RPR005 true negatives: fresh mints, freezes, and plain reads."""
+
+import numpy as np
+
+
+def mint_column(grades):
+    column = np.asarray(grades, dtype=np.float64)
+    column.flags.writeable = False  # freezing is always allowed
+    return column
+
+
+def read_top(store):
+    ranked = sorted(store._columns[0])  # reading is fine
+    return ranked[0] if ranked else None

@@ -1,0 +1,178 @@
+"""The `python -m repro.devtools.check` surface: formats, exit codes,
+config discovery, --changed-only."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.check import main
+
+from _checker_utils import FIXTURES, REPO_ROOT
+
+
+def test_clean_file_exits_zero(capsys) -> None:
+    code = main([str(FIXTURES / "rpr001_good.py"), "--no-config"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "clean" in out
+
+
+def test_findings_exit_one_text(capsys) -> None:
+    code = main(
+        [
+            str(FIXTURES / "rpr002_bad.py"),
+            "--config",
+            str(FIXTURES / "open_scopes.toml"),
+            "--root",
+            str(FIXTURES),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RPR002" in out
+    assert "rpr002_bad.py:16" in out
+    assert "1 finding" in out
+
+
+def test_json_format_schema(capsys) -> None:
+    code = main(
+        [
+            str(FIXTURES / "rpr005_bad.py"),
+            "--config",
+            str(FIXTURES / "open_scopes.toml"),
+            "--format",
+            "json",
+            "--root",
+            str(FIXTURES),
+        ]
+    )
+    report = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert report["version"] == 1
+    assert report["clean"] is False
+    assert report["summary"] == {"RPR005": 4}
+    finding = report["findings"][0]
+    assert set(finding) == {"rule", "path", "line", "col", "symbol", "message"}
+
+
+def test_missing_path_is_usage_error(capsys) -> None:
+    code = main(["definitely/not/here.py", "--no-config"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "no such path" in err
+
+
+def test_bad_config_is_usage_error(tmp_path: Path, capsys) -> None:
+    bad = tmp_path / "broken.toml"
+    bad.write_text("rules = [oops\n")
+    code = main(
+        [str(FIXTURES / "rpr001_good.py"), "--config", str(bad)]
+    )
+    assert code == 2
+    assert "invalid TOML" in capsys.readouterr().err
+
+
+def test_list_rules(capsys) -> None:
+    code = main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        assert rule_id in out
+
+
+def test_module_entrypoint_runs() -> None:
+    # The documented invocation, end to end in a real interpreter.
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.devtools.check",
+            str(FIXTURES / "rpr003_bad.py"),
+            "--config",
+            str(FIXTURES / "open_scopes.toml"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        timeout=120,
+    )
+    assert proc.returncode == 1, proc.stderr
+    assert "RPR003" in proc.stdout
+    assert "RuntimeWarning" not in proc.stderr
+
+
+def test_changed_only_outside_git(tmp_path: Path, capsys) -> None:
+    target = tmp_path / "snippet.py"
+    target.write_text("x = 1\n")
+    code = main(
+        [str(target), "--no-config", "--changed-only", "--root", str(tmp_path)]
+    )
+    assert code == 2
+    assert "git" in capsys.readouterr().err
+
+
+def test_changed_only_in_git_checks_only_touched_files(
+    tmp_path: Path, capsys
+) -> None:
+    git = ["git", "-C", str(tmp_path)]
+    subprocess.run(git + ["init", "-q"], check=True, timeout=60)
+    subprocess.run(
+        git + ["config", "user.email", "t@example.com"], check=True, timeout=60
+    )
+    subprocess.run(git + ["config", "user.name", "t"], check=True, timeout=60)
+    committed = tmp_path / "committed.py"
+    committed.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    subprocess.run(git + ["add", "."], check=True, timeout=60)
+    subprocess.run(
+        git + ["commit", "-qm", "seed"], check=True, timeout=60
+    )
+    touched = tmp_path / "touched.py"
+    touched.write_text("import time\n\n\ndef g():\n    return time.time()\n")
+    # Widen RPR001 to the whole tmp tree (the defaults scope it to
+    # repro/ paths, which a tmp checkout does not have).
+    config = tmp_path / "devtools.toml"
+    config.write_text("[rules.RPR001]\npaths = []\n")
+
+    code = main(
+        [
+            str(tmp_path),
+            "--config",
+            str(config),
+            "--changed-only",
+            "--root",
+            str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    # Only the uncommitted file is checked; the committed violation
+    # rides along untouched (that is the fast pre-commit loop).
+    assert "touched.py" in out
+    assert "committed.py" not in out
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+def test_default_config_discovery_keeps_live_tree_clean(
+    capsys, fmt: str
+) -> None:
+    # Run from the repo root exactly as CI does: devtools.toml is
+    # picked up implicitly and the committed tree is clean.
+    code = main(
+        [
+            str(REPO_ROOT / "src"),
+            "--format",
+            fmt,
+            "--config",
+            str(REPO_ROOT / "devtools.toml"),
+            "--root",
+            str(REPO_ROOT),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out

@@ -1,0 +1,126 @@
+"""Pragma and baseline suppression semantics, including the honesty
+meta-findings (DT002 reasonless pragma, DT003 stale waivers)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.check import run_check
+from repro.devtools.config import CheckConfig
+from repro.devtools.pragmas import PragmaIndex
+
+from _checker_utils import FIXTURES, open_config
+
+
+def _findings(name: str, config=None):
+    result = run_check(
+        [FIXTURES / name], config or open_config(), root=FIXTURES
+    )
+    return result.findings
+
+
+def test_pragma_with_reason_suppresses() -> None:
+    assert _findings("pragma_suppressed.py") == []
+
+
+def test_pragma_without_reason_suppresses_nothing() -> None:
+    findings = _findings("pragma_no_reason.py")
+    assert sorted(f.rule for f in findings) == ["DT002", "RPR001"]
+
+
+def test_stale_pragma_is_flagged() -> None:
+    findings = _findings("pragma_stale.py")
+    assert [f.rule for f in findings] == ["DT003"]
+    assert "RPR001" in findings[0].message
+
+
+def test_baseline_entry_suppresses() -> None:
+    config = open_config()
+    config.merge(
+        {
+            "suppressions": [
+                {
+                    "rule": "RPR002",
+                    "path": "baseline_suppressed.py",
+                    "symbol": "Gauge.reset",
+                    "reason": "fixture",
+                }
+            ]
+        }
+    )
+    assert _findings("baseline_suppressed.py", config) == []
+
+
+def test_baseline_toml_file_round_trip() -> None:
+    config = CheckConfig.load(FIXTURES / "baseline.toml")
+    for rule_config in config.rules.values():
+        rule_config.paths = ()
+        rule_config.exclude = ()
+    assert _findings("baseline_suppressed.py", config) == []
+
+
+def test_without_baseline_the_fixture_fires() -> None:
+    findings = _findings("baseline_suppressed.py")
+    assert [f.rule for f in findings] == ["RPR002"]
+    assert findings[0].symbol == "Gauge.reset"
+
+
+def test_stale_baseline_entry_is_flagged() -> None:
+    config = open_config()
+    config.merge(
+        {
+            "suppressions": [
+                {
+                    "rule": "RPR005",
+                    "path": "baseline_suppressed.py",
+                    "symbol": "Gauge.reset",
+                    "reason": "wrong rule: matches nothing",
+                }
+            ]
+        }
+    )
+    findings = _findings("baseline_suppressed.py", config)
+    assert sorted(f.rule for f in findings) == ["DT003", "RPR002"]
+
+
+def test_baseline_matching_survives_line_shifts(tmp_path: Path) -> None:
+    source = (FIXTURES / "baseline_suppressed.py").read_text()
+    shifted = tmp_path / "baseline_suppressed.py"
+    shifted.write_text("# shifted\n# down\n# by comments\n" + source)
+    config = open_config()
+    config.merge(
+        {
+            "suppressions": [
+                {
+                    "rule": "RPR002",
+                    "path": "baseline_suppressed.py",
+                    "symbol": "Gauge.reset",
+                    "reason": "fixture",
+                }
+            ]
+        }
+    )
+    result = run_check([shifted], config, root=tmp_path)
+    assert result.findings == []
+
+
+def test_pragma_index_parsing() -> None:
+    source = (
+        "x = 1  # repro: allow[RPR001] same-line reason\n"
+        "# repro: allow[RPR002, RPR003] standalone covers next line\n"
+        "y = 2\n"
+        "z = 3  # repro: allow[RPR004]\n"
+    )
+    index = PragmaIndex.from_source(source)
+    assert index.allows("RPR001", 1)
+    assert index.allows("RPR002", 3)  # standalone covers the next line
+    assert index.allows("RPR003", 2)  # and its own line
+    assert not index.allows("RPR002", 4)
+    assert not index.allows("RPR004", 4)  # reasonless never suppresses
+    assert [p.line for p in index.without_reason()] == [4]
+
+
+def test_pragma_inside_string_literal_is_ignored() -> None:
+    source = 's = "# repro: allow[RPR001] not a comment"\n'
+    index = PragmaIndex.from_source(source)
+    assert not index.allows("RPR001", 1)

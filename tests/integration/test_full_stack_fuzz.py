@@ -11,7 +11,6 @@ aggregation compilation bug surfaces here.
 import random
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import given, settings
 
 from repro.algorithms.base import is_valid_top_k

@@ -1,6 +1,5 @@
 """Unit tests for the Section 8 mode-comparison machinery."""
 
-import pytest
 
 from repro.access.cost import AccessStats
 from repro.access.types import GradedItem

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.query import And, atom
 from repro.core.semantics import FuzzySemantics
 from repro.core.tconorms import ALGEBRAIC_SUM
 from repro.core.tnorms import ALGEBRAIC_PRODUCT

@@ -6,7 +6,6 @@ valid top-k answer — checked against the ground-truth oracle.
 """
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import given, settings
 
 from repro.access.scoring_database import ScoringDatabase

@@ -1,6 +1,5 @@
 """Tests for the exception hierarchy."""
 
-import pytest
 
 from repro import exceptions as ex
 
